@@ -1,0 +1,397 @@
+// Package segscale's root benchmark harness: one benchmark per
+// reconstructed table/figure of the paper (see DESIGN.md's experiment
+// index) plus ablation benches for the design decisions DESIGN.md
+// calls out. Key quantities are attached as custom benchmark metrics
+// (img/s, eff%, ...) so `go test -bench .` regenerates the numbers
+// EXPERIMENTS.md reports.
+package segscale
+
+import (
+	"testing"
+	"time"
+
+	"segscale/internal/core"
+	"segscale/internal/horovod"
+	"segscale/internal/model"
+	"segscale/internal/mpiprofile"
+	"segscale/internal/netmodel"
+	"segscale/internal/netsim"
+	"segscale/internal/perfsim"
+	"segscale/internal/timeline"
+	"segscale/internal/topology"
+	"segscale/internal/train"
+)
+
+func mustSim(b *testing.B, cfg perfsim.Config) *perfsim.Result {
+	b.Helper()
+	res, err := perfsim.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func simConfig(gpus int, nc core.NamedCandidate) perfsim.Config {
+	return perfsim.Config{
+		GPUs: gpus, Model: model.DLv3Plus(),
+		MPI: nc.Candidate.MPI, Horovod: nc.Candidate.Horovod, Seed: 1,
+	}
+}
+
+// BenchmarkT1_Topology regenerates the system-configuration table:
+// machine construction and link classification across the full
+// 132-rank allocation.
+func BenchmarkT1_Topology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := topology.ForGPUs(132)
+		links := 0
+		for a := 0; a < m.Ranks(); a++ {
+			for c := a + 1; c < m.Ranks(); c++ {
+				if m.Link(a, c) == topology.LinkIB {
+					links++
+				}
+			}
+		}
+		if links == 0 {
+			b.Fatal("no inter-node links")
+		}
+	}
+	b.ReportMetric(132, "gpus")
+	b.ReportMetric(22, "nodes")
+}
+
+// BenchmarkF1_SingleGPU regenerates the single-GPU throughput anchors
+// (paper: DLv3+ 6.7 img/s, ResNet-50 300 img/s).
+func BenchmarkF1_SingleGPU(b *testing.B) {
+	for _, prof := range []*model.Profile{model.DLv3Plus(), model.ResNet50()} {
+		b.Run(prof.Name, func(b *testing.B) {
+			var last *perfsim.Result
+			for i := 0; i < b.N; i++ {
+				last = mustSim(b, perfsim.Config{GPUs: 1, Model: prof, MPI: mpiprofile.MV2GDR(), Horovod: horovod.Default(), Seed: 1})
+			}
+			b.ReportMetric(last.ImgPerSec, "img/s")
+		})
+	}
+}
+
+// BenchmarkF2_AllreduceMicro regenerates the osu_allreduce-style
+// latency comparison at the paper's fused-buffer size on 22 nodes.
+func BenchmarkF2_AllreduceMicro(b *testing.B) {
+	const bytes = 64 << 20
+	for _, name := range mpiprofile.Names() {
+		b.Run(name, func(b *testing.B) {
+			prof, _ := mpiprofile.ByName(name)
+			net := netmodel.MustNew(topology.Summit(22), prof)
+			ranks := net.WorldRanks()
+			var t float64
+			for i := 0; i < b.N; i++ {
+				t = net.Allreduce(netmodel.AlgAuto, ranks, bytes)
+			}
+			b.ReportMetric(t*1e3, "ms/allreduce-64MiB")
+		})
+	}
+}
+
+// BenchmarkF3_Timeline regenerates the Horovod timeline breakdown at
+// 24 GPUs and reports the negotiation+allreduce share.
+func BenchmarkF3_Timeline(b *testing.B) {
+	for _, nc := range []core.NamedCandidate{core.DefaultCandidate(), core.TunedCandidate()} {
+		b.Run(nc.Name, func(b *testing.B) {
+			var comm, span float64
+			for i := 0; i < b.N; i++ {
+				rec := timeline.New()
+				cfg := simConfig(24, nc)
+				cfg.Timeline = rec
+				mustSim(b, cfg)
+				br := rec.Breakdown()
+				comm = br[timeline.PhaseNegotiate] + br[timeline.PhaseAllreduce] + br[timeline.PhaseMemcpy]
+				lo, hi := rec.Span()
+				span = hi - lo
+			}
+			b.ReportMetric(100*comm/span, "comm%ofstep")
+		})
+	}
+}
+
+// BenchmarkF4_FusionSweep regenerates the fusion-threshold sweep at
+// 96 GPUs (reports the spread between worst and best threshold).
+func BenchmarkF4_FusionSweep(b *testing.B) {
+	thresholds := []int{1 << 20, 8 << 20, 64 << 20, 256 << 20}
+	var worst, best float64
+	for i := 0; i < b.N; i++ {
+		worst, best = 0, 0
+		for _, th := range thresholds {
+			cfg := simConfig(96, core.DefaultCandidate())
+			cfg.Horovod.FusionThreshold = th
+			r := mustSim(b, cfg)
+			if worst == 0 || r.ImgPerSec < worst {
+				worst = r.ImgPerSec
+			}
+			if r.ImgPerSec > best {
+				best = r.ImgPerSec
+			}
+		}
+	}
+	b.ReportMetric(best, "best-img/s")
+	b.ReportMetric(100*(best/worst-1), "spread%")
+}
+
+// BenchmarkF5_CycleSweep regenerates the cycle-time sweep at 96 GPUs
+// (the U-shape: reports interior-optimum gain over the extremes).
+func BenchmarkF5_CycleSweep(b *testing.B) {
+	cycles := []time.Duration{500 * time.Microsecond, 2 * time.Millisecond, 5 * time.Millisecond, 30 * time.Millisecond}
+	var edge, best float64
+	for i := 0; i < b.N; i++ {
+		edge, best = 0, 0
+		for j, ct := range cycles {
+			cfg := simConfig(96, core.TunedCandidate())
+			cfg.Horovod.CycleTime = ct
+			r := mustSim(b, cfg)
+			if j == 0 || j == len(cycles)-1 {
+				if r.ImgPerSec > edge {
+					edge = r.ImgPerSec
+				}
+			}
+			if r.ImgPerSec > best {
+				best = r.ImgPerSec
+			}
+		}
+	}
+	b.ReportMetric(best, "best-img/s")
+	b.ReportMetric(100*(best/edge-1), "gain-vs-extremes%")
+}
+
+// BenchmarkF6_Scaling regenerates the scaling-throughput figure
+// (1..132 GPUs, default vs tuned) and reports the 132-GPU rates.
+func BenchmarkF6_Scaling(b *testing.B) {
+	var def132, tun132 float64
+	for i := 0; i < b.N; i++ {
+		points, err := core.ScalingStudy(topology.PaperScales(), model.DLv3Plus(),
+			[]core.NamedCandidate{core.DefaultCandidate(), core.TunedCandidate()}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.GPUs == 132 {
+				if p.Config == "default-spectrum" {
+					def132 = p.ImgPerSec
+				} else {
+					tun132 = p.ImgPerSec
+				}
+			}
+		}
+	}
+	b.ReportMetric(def132, "default-img/s@132")
+	b.ReportMetric(tun132, "tuned-img/s@132")
+}
+
+// BenchmarkF7_Efficiency regenerates the headline numbers: tuned
+// efficiency ≈92 %, improvement ≈+24 %, speedup ≈1.3×.
+func BenchmarkF7_Efficiency(b *testing.B) {
+	var effT, effD, speedup float64
+	for i := 0; i < b.N; i++ {
+		baseT := mustSim(b, simConfig(1, core.TunedCandidate()))
+		baseD := mustSim(b, simConfig(1, core.DefaultCandidate()))
+		tuned := mustSim(b, simConfig(132, core.TunedCandidate()))
+		def := mustSim(b, simConfig(132, core.DefaultCandidate()))
+		effT = tuned.EfficiencyVs(baseT)
+		effD = def.EfficiencyVs(baseD)
+		speedup = tuned.ImgPerSec / def.ImgPerSec
+	}
+	b.ReportMetric(100*effT, "tuned-eff%")
+	b.ReportMetric(100*effD, "default-eff%")
+	b.ReportMetric(100*(effT/effD-1), "improvement%")
+	b.ReportMetric(speedup, "speedup-x")
+}
+
+// BenchmarkT2_BestConfig regenerates the tuned-knob table via the
+// staged tuner at 132 GPUs.
+func BenchmarkT2_BestConfig(b *testing.B) {
+	var rep *core.TuneReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = core.NewTuner(132, model.DLv3Plus(), 1).StagedTune(core.DefaultSpace())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.Evals), "evals")
+	b.ReportMetric(100*rep.Best.Efficiency, "best-eff%")
+}
+
+// BenchmarkF8_Accuracy regenerates (a shortened form of) the accuracy
+// experiment: real distributed training of the mini DLv3+.
+func BenchmarkF8_Accuracy(b *testing.B) {
+	var miou float64
+	for i := 0; i < b.N; i++ {
+		cfg := train.DefaultConfig()
+		cfg.World = 2
+		cfg.Epochs = 4
+		cfg.TrainSize = 32
+		cfg.EvalSize = 8
+		res, err := train.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		miou = res.FinalMIOU
+	}
+	b.ReportMetric(100*miou, "mIOU%@4epochs")
+}
+
+// BenchmarkT3_ModelContrast regenerates the DLv3+ vs ResNet-50
+// scaling contrast at 132 GPUs.
+func BenchmarkT3_ModelContrast(b *testing.B) {
+	var effDL, effRN float64
+	for i := 0; i < b.N; i++ {
+		for _, prof := range []*model.Profile{model.DLv3Plus(), model.ResNet50()} {
+			cfg := perfsim.Config{GPUs: 1, Model: prof, MPI: mpiprofile.MV2GDR(), Horovod: horovod.Default(), Seed: 3}
+			base := mustSim(b, cfg)
+			cfg.GPUs = 132
+			at := mustSim(b, cfg)
+			if prof.Name == "resnet-50" {
+				effRN = at.EfficiencyVs(base)
+			} else {
+				effDL = at.EfficiencyVs(base)
+			}
+		}
+	}
+	b.ReportMetric(100*effDL, "dlv3-eff%")
+	b.ReportMetric(100*effRN, "rn50-eff%")
+}
+
+// --- Ablation benches for DESIGN.md's design decisions. ---
+
+// BenchmarkAblation_Overlap quantifies the GDR-overlap mechanism:
+// forcing the GPU-direct library to serialise against compute.
+func BenchmarkAblation_Overlap(b *testing.B) {
+	var auto, serial float64
+	for i := 0; i < b.N; i++ {
+		cfg := simConfig(132, core.TunedCandidate())
+		auto = mustSim(b, cfg).ImgPerSec
+		cfg.Overlap = perfsim.OverlapNone
+		serial = mustSim(b, cfg).ImgPerSec
+	}
+	b.ReportMetric(auto, "overlap-img/s")
+	b.ReportMetric(serial, "serial-img/s")
+}
+
+// BenchmarkAblation_Hierarchical compares the three allreduce shapes
+// analytically for the paper-size fused buffer at 132 ranks.
+func BenchmarkAblation_Hierarchical(b *testing.B) {
+	net := netmodel.MustNew(topology.Summit(22), mpiprofile.MV2GDR())
+	ranks := net.WorldRanks()
+	const bytes = 64 << 20
+	var flat, leader, torus float64
+	for i := 0; i < b.N; i++ {
+		flat = net.AllreduceRing(ranks, bytes)
+		leader = net.AllreduceHierLeader(ranks, bytes)
+		torus = net.AllreduceHierTorus(ranks, bytes)
+	}
+	b.ReportMetric(flat*1e3, "flat-ms")
+	b.ReportMetric(leader*1e3, "hier-leader-ms")
+	b.ReportMetric(torus*1e3, "hier-torus-ms")
+}
+
+// BenchmarkAblation_NoFusion disables tensor fusion entirely
+// (per-tensor allreduce — what Horovod exists to avoid).
+func BenchmarkAblation_NoFusion(b *testing.B) {
+	var fused, unfused float64
+	for i := 0; i < b.N; i++ {
+		cfg := simConfig(96, core.DefaultCandidate())
+		fused = mustSim(b, cfg).ImgPerSec
+		cfg.Horovod.FusionThreshold = 0
+		unfused = mustSim(b, cfg).ImgPerSec
+	}
+	b.ReportMetric(fused, "fused-img/s")
+	b.ReportMetric(unfused, "unfused-img/s")
+}
+
+// BenchmarkAblation_GDRPath disables GPU-direct on the MVAPICH2-GDR
+// profile (MV2_USE_GPUDIRECT=0), forcing host staging.
+func BenchmarkAblation_GDRPath(b *testing.B) {
+	var gdr, staged float64
+	for i := 0; i < b.N; i++ {
+		cfg := simConfig(132, core.TunedCandidate())
+		gdr = mustSim(b, cfg).ImgPerSec
+		mpi := cfg.MPI.Clone()
+		if err := mpi.ApplyEnv([]string{"MV2_USE_GPUDIRECT=0"}); err != nil {
+			b.Fatal(err)
+		}
+		cfg.MPI = mpi
+		staged = mustSim(b, cfg).ImgPerSec
+	}
+	b.ReportMetric(gdr, "gdr-img/s")
+	b.ReportMetric(staged, "staged-img/s")
+}
+
+// BenchmarkAblation_Placement compares packed vs cyclic MPI-rank
+// placement (a jsrun-level knob): cyclic puts every ring edge on the
+// NIC, congesting it 6 ways.
+func BenchmarkAblation_Placement(b *testing.B) {
+	var packed, cyclic float64
+	for i := 0; i < b.N; i++ {
+		cfg := simConfig(132, core.TunedCandidate())
+		cfg.Horovod.Algorithm = netmodel.AlgRing
+		packed = mustSim(b, cfg).AllreduceSec
+		cfg.Placement = perfsim.PlacementCyclic
+		cyclic = mustSim(b, cfg).AllreduceSec
+	}
+	b.ReportMetric(packed*1e3, "packed-allreduce-ms")
+	b.ReportMetric(cyclic*1e3, "cyclic-allreduce-ms")
+}
+
+// BenchmarkAblation_FP16Compression measures fp16 gradient
+// compression on the bandwidth-bound default path.
+func BenchmarkAblation_FP16Compression(b *testing.B) {
+	var plain, fp16c float64
+	for i := 0; i < b.N; i++ {
+		cfg := simConfig(132, core.DefaultCandidate())
+		plain = mustSim(b, cfg).ImgPerSec
+		cfg.Horovod.FP16Compression = true
+		fp16c = mustSim(b, cfg).ImgPerSec
+	}
+	b.ReportMetric(plain, "fp32-img/s")
+	b.ReportMetric(fp16c, "fp16-img/s")
+}
+
+// BenchmarkAblation_TwoViewValidation cross-checks the analytic ring
+// cost against the message-level DES (the "two-view" design
+// decision): the reported ratio should hover near 1.
+func BenchmarkAblation_TwoViewValidation(b *testing.B) {
+	mach := topology.Summit(4)
+	prof := mpiprofile.MV2GDR()
+	const bytes = 16 << 20
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		nw, err := netsim.New(mach, prof)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ranks := make([]int, 24)
+		for j := range ranks {
+			ranks[j] = j
+		}
+		res, err := nw.RingAllreduce(ranks, bytes, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		analytic := netmodel.MustNew(mach, prof).AllreduceRing(ranks, bytes)
+		ratio = res.Finish / analytic
+	}
+	b.ReportMetric(ratio, "netsim/analytic-ratio")
+}
+
+// BenchmarkAblation_ResponseCache measures the coordinator response
+// cache's effect on negotiation time at 132 ranks.
+func BenchmarkAblation_ResponseCache(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		cfg := simConfig(132, core.TunedCandidate())
+		cfg.Horovod.ResponseCache = true
+		with = mustSim(b, cfg).NegotiateSec
+		cfg.Horovod.ResponseCache = false
+		without = mustSim(b, cfg).NegotiateSec
+	}
+	b.ReportMetric(with*1e3, "cached-negotiate-ms")
+	b.ReportMetric(without*1e3, "uncached-negotiate-ms")
+}

@@ -1,0 +1,58 @@
+// Command osu-micro prints an osu_allreduce-style latency table for
+// the modelled MPI libraries on a Summit allocation — the
+// microbenchmark the paper uses to contrast Spectrum MPI with
+// MVAPICH2-GDR before the end-to-end runs.
+//
+// Usage:
+//
+//	osu-micro [-nodes 2] [-mpi spectrum,mv2gdr]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"segscale/pkg/summitseg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("osu-micro: ")
+
+	nodes := flag.Int("nodes", 2, "number of Summit nodes (6 GPUs each)")
+	mpis := flag.String("mpi", "spectrum,mv2gdr", "comma-separated MPI profiles")
+	op := flag.String("op", "allreduce", "collective: allreduce, bcast, allgather, reduce-scatter")
+	flag.Parse()
+
+	names := strings.Split(*mpis, ",")
+	sizes := summitseg.OSUMessageSizes()
+
+	tables := make(map[string][]summitseg.LatencyRow)
+	for _, name := range names {
+		mpi, err := summitseg.MPIByName(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := summitseg.CollectiveLatency(*op, mpi, *nodes, sizes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tables[mpi.Name] = rows
+	}
+
+	fmt.Printf("# OSU-style %s latency, %d nodes × 6 GPUs\n", *op, *nodes)
+	fmt.Printf("%-12s", "bytes")
+	for _, name := range names {
+		fmt.Printf(" %14s", strings.TrimSpace(name)+" (µs)")
+	}
+	fmt.Println()
+	for i, n := range sizes {
+		fmt.Printf("%-12d", n)
+		for _, name := range names {
+			fmt.Printf(" %14.2f", tables[strings.TrimSpace(name)][i].LatencyUS)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,125 @@
+// Command summit-sim simulates distributed training of a model on a
+// Summit-like machine and prints the scaling table (throughput and
+// efficiency per GPU count) for a chosen MPI library and Horovod
+// configuration.
+//
+// Usage:
+//
+//	summit-sim [-model dlv3plus] [-mpi mv2gdr] [-tuned] [-gpus 1,6,12,...]
+//	           [-seed 1] [-timeline trace.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"segscale/internal/asciichart"
+	"segscale/pkg/summitseg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("summit-sim: ")
+
+	modelName := flag.String("model", "dlv3plus", "model profile: dlv3plus or resnet50")
+	mpiName := flag.String("mpi", "mv2gdr", "MPI profile: spectrum or mv2gdr")
+	tuned := flag.Bool("tuned", false, "use the tuned Horovod knobs instead of defaults")
+	gpuList := flag.String("gpus", "", "comma-separated GPU counts (default: the paper's 1,6,...,132)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	timelineOut := flag.String("timeline", "", "write a Chrome trace of one step to this file (largest scale)")
+	fp16 := flag.Bool("fp16", false, "enable fp16 gradient compression")
+	cyclic := flag.Bool("cyclic", false, "cyclic (round-robin) rank placement instead of packed")
+	withIO := flag.Bool("io", false, "model the input pipeline (GPFS + decode + prefetch)")
+	plot := flag.Bool("plot", false, "render a throughput bar chart after the table")
+	jsonOut := flag.String("json", "", "also write results as JSON to this file")
+	flag.Parse()
+
+	prof, err := summitseg.ModelByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mpi, err := summitseg.MPIByName(*mpiName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hvd := summitseg.DefaultHorovod()
+	if *tuned {
+		hvd = summitseg.TunedHorovod()
+	}
+	hvd.FP16Compression = *fp16
+	var io *summitseg.IOConfig
+	if *withIO {
+		c := summitseg.DefaultIO()
+		io = &c
+	}
+
+	scales := summitseg.PaperScales()
+	if *gpuList != "" {
+		scales = scales[:0]
+		for _, part := range strings.Split(*gpuList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				log.Fatalf("bad GPU count %q", part)
+			}
+			scales = append(scales, n)
+		}
+	}
+
+	fmt.Printf("model=%s mpi=%s tuned=%v\n", prof.Name, mpi.Name, *tuned)
+	fmt.Printf("%-6s %12s %10s %12s %12s\n", "GPUs", "img/s", "eff", "step", "exposed")
+
+	var base *summitseg.SimResult
+	var bars []asciichart.Bar
+	var all []*summitseg.SimResult
+	for i, g := range scales {
+		opts := summitseg.SimOptions{GPUs: g, Model: prof, MPI: mpi, Horovod: hvd, Seed: *seed,
+			CyclicPlacement: *cyclic, IO: io}
+		if *timelineOut != "" && i == len(scales)-1 {
+			opts.Timeline = &summitseg.Timeline{Enabled: true}
+		}
+		res, err := summitseg.Simulate(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == nil {
+			base = res
+		}
+		fmt.Printf("%-6d %12.1f %9.1f%% %12s %12s\n",
+			g, res.ImgPerSec, 100*res.EfficiencyVs(base),
+			summitseg.FormatDuration(res.AvgStep), summitseg.FormatDuration(res.ExposedSec))
+		bars = append(bars, asciichart.Bar{Label: fmt.Sprintf("%d GPUs", g), Value: res.ImgPerSec})
+		all = append(all, res)
+		if opts.Timeline != nil {
+			f, err := os.Create(*timelineOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := opts.Timeline.WriteChromeTrace(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("timeline for %d GPUs written to %s\n", g, *timelineOut)
+		}
+	}
+	if *plot {
+		fmt.Println()
+		fmt.Print(asciichart.HBar(bars, 48, "%.1f img/s"))
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(all, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("results written to %s\n", *jsonOut)
+	}
+}

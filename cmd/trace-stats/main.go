@@ -1,0 +1,58 @@
+// Command trace-stats aggregates a Chrome trace (as written by
+// summit-sim -timeline or real Horovod's HOROVOD_TIMELINE) into a
+// per-phase time breakdown — the quick way to see where a step went.
+//
+// Usage:
+//
+//	trace-stats trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"segscale/internal/asciichart"
+	"segscale/internal/timeline"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trace-stats: ")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: trace-stats <trace.json>")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	rec, err := timeline.ReadChromeTrace(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	br := rec.Breakdown()
+	lo, hi := rec.Span()
+	span := hi - lo
+	if span <= 0 {
+		log.Fatal("trace is empty")
+	}
+
+	phases := make([]string, 0, len(br))
+	for ph := range br {
+		phases = append(phases, ph)
+	}
+	sort.Slice(phases, func(i, j int) bool { return br[phases[i]] > br[phases[j]] })
+
+	fmt.Printf("%d events over %.3f ms\n\n", len(rec.Events), span*1e3)
+	var bars []asciichart.Bar
+	for _, ph := range phases {
+		bars = append(bars, asciichart.Bar{Label: ph, Value: br[ph] * 1e3})
+	}
+	fmt.Print(asciichart.HBar(bars, 40, "%.2f ms"))
+	fmt.Printf("\n(lane-concurrent phases can sum past the %.3f ms span)\n", span*1e3)
+}

@@ -1,0 +1,82 @@
+// Extensions demonstrates the features beyond the paper's core study:
+// fp16 gradient compression (hvd.Compression.fp16), LARS for stable
+// large-batch weak scaling, rank-placement effects, and checkpointing
+// a trained model.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"segscale/internal/checkpoint"
+	"segscale/internal/core"
+	"segscale/internal/deeplab"
+	"segscale/internal/model"
+	"segscale/internal/netmodel"
+	"segscale/internal/perfsim"
+	"segscale/pkg/summitseg"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. fp16 gradient compression on the bandwidth-bound path.
+	fmt.Println("1) fp16 gradient compression (132 GPUs, default Horovod + Spectrum):")
+	cfg := perfsim.Config{GPUs: 132, Model: model.DLv3Plus(),
+		MPI: core.DefaultCandidate().Candidate.MPI, Horovod: core.DefaultCandidate().Candidate.Horovod, Seed: 1}
+	plain, err := perfsim.Run(cfg)
+	must(err)
+	cfg.Horovod.FP16Compression = true
+	compressed, err := perfsim.Run(cfg)
+	must(err)
+	fmt.Printf("   fp32 %.1f img/s → fp16 %.1f img/s (allreduce %.0f → %.0f ms)\n\n",
+		plain.ImgPerSec, compressed.ImgPerSec, plain.AllreduceSec*1e3, compressed.AllreduceSec*1e3)
+
+	// 2. Rank placement: packed vs cyclic (jsrun task ordering).
+	fmt.Println("2) MPI rank placement with a flat ring (132 GPUs):")
+	pc := perfsim.Config{GPUs: 132, Model: model.DLv3Plus(),
+		MPI: core.TunedCandidate().Candidate.MPI, Horovod: core.TunedCandidate().Candidate.Horovod, Seed: 1}
+	pc.Horovod.Algorithm = netmodel.AlgRing
+	packed, err := perfsim.Run(pc)
+	must(err)
+	pc.Placement = perfsim.PlacementCyclic
+	cyclic, err := perfsim.Run(pc)
+	must(err)
+	fmt.Printf("   packed allreduce %.0f ms/step, cyclic %.0f ms/step — keep ranks blocked per node\n\n",
+		packed.AllreduceSec*1e3, cyclic.AllreduceSec*1e3)
+
+	// 3. LARS vs SGD under the large-batch weak-scaling recipe.
+	fmt.Println("3) LARS vs SGD, 4-rank weak scaling, 12 epochs (real training):")
+	for _, opt := range []string{"sgd", "lars"} {
+		tc := summitseg.DefaultTraining()
+		tc.World = 4
+		tc.Epochs = 12
+		tc.TrainSize = 64
+		tc.WarmupFrac = 0.25
+		tc.Optimizer = opt
+		if opt == "lars" {
+			tc.BaseLR = 2.0
+		}
+		res, err := summitseg.Train(tc)
+		must(err)
+		fmt.Printf("   %-5s final mIOU %.1f%%\n", opt, 100*res.FinalMIOU)
+	}
+	fmt.Println()
+
+	// 4. Checkpoint round trip.
+	fmt.Println("4) checkpoint: save → restore → identical predictions:")
+	m := deeplab.New(deeplab.DefaultConfig())
+	var buf bytes.Buffer
+	must(checkpoint.Save(&buf, m.Params(), m.BatchNorms()))
+	size := buf.Len()
+	restored := deeplab.New(func() deeplab.Config { c := deeplab.DefaultConfig(); c.Seed = 999; return c }())
+	must(checkpoint.Load(&buf, restored.Params(), restored.BatchNorms()))
+	fmt.Printf("   %d parameters restored from a %d-byte checkpoint\n", m.ParamCount(), size)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: simulate DeepLab-v3+ distributed training at a few
+// scales with default and tuned configurations, then train the real
+// scaled-down model for a handful of epochs — the two halves of the
+// library in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"segscale/pkg/summitseg"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// --- Performance half: how fast would training run on Summit? ---
+	prof, err := summitseg.ModelByName("dlv3plus")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mv2, err := summitseg.MPIByName("mv2gdr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spectrum, err := summitseg.MPIByName("spectrum")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Simulated DLv3+ throughput (img/s):")
+	fmt.Printf("%-6s %16s %16s\n", "GPUs", "default+Spectrum", "tuned+MV2-GDR")
+	for _, gpus := range []int{1, 24, 132} {
+		def, err := summitseg.Simulate(summitseg.SimOptions{
+			GPUs: gpus, Model: prof, MPI: spectrum, Horovod: summitseg.DefaultHorovod(), Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tuned, err := summitseg.Simulate(summitseg.SimOptions{
+			GPUs: gpus, Model: prof, MPI: mv2, Horovod: summitseg.TunedHorovod(), Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d %16.1f %16.1f\n", gpus, def.ImgPerSec, tuned.ImgPerSec)
+	}
+
+	// --- Accuracy half: really train the mini DeepLab-v3+. ---
+	cfg := summitseg.DefaultTraining()
+	cfg.World = 2
+	cfg.Epochs = 6
+	fmt.Printf("\nReal 2-rank training (%d epochs, %d synthetic VOC images):\n", cfg.Epochs, cfg.TrainSize)
+	res, err := summitseg.Train(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range res.History {
+		fmt.Printf("  epoch %d: loss %.3f, mIOU %.1f%%\n", e.Epoch, e.Loss, 100*e.MIOU)
+	}
+}

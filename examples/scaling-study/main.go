@@ -1,0 +1,65 @@
+// Scaling-study reproduces the paper's headline experiment: DLv3+
+// throughput and scaling efficiency from 1 to 132 GPUs for default
+// Horovod + Spectrum MPI versus tuned Horovod + MVAPICH2-GDR, ending
+// with the efficiency-improvement and speedup numbers the abstract
+// reports (92 % tuned efficiency, +23.9 %, 1.3×).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"segscale/pkg/summitseg"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	prof, err := summitseg.ModelByName("dlv3plus")
+	if err != nil {
+		log.Fatal(err)
+	}
+	points, err := summitseg.Scaling(nil, prof, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct{ def, tuned *summitseg.ScalingPoint }
+	byGPU := map[int]*row{}
+	order := []int{}
+	for i := range points {
+		p := &points[i]
+		r := byGPU[p.GPUs]
+		if r == nil {
+			r = &row{}
+			byGPU[p.GPUs] = r
+			order = append(order, p.GPUs)
+		}
+		if p.Config == "default-spectrum" {
+			r.def = p
+		} else {
+			r.tuned = p
+		}
+	}
+
+	fmt.Println("DLv3+ scaling on simulated Summit (img/s and efficiency):")
+	fmt.Printf("%-6s | %12s %8s | %12s %8s\n", "GPUs", "default", "eff", "tuned", "eff")
+	seen := map[int]bool{}
+	var defEff, tunEff, defThr, tunThr float64
+	for _, g := range order {
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		r := byGPU[g]
+		fmt.Printf("%-6d | %12.1f %7.1f%% | %12.1f %7.1f%%\n",
+			g, r.def.ImgPerSec, 100*r.def.Efficiency, r.tuned.ImgPerSec, 100*r.tuned.Efficiency)
+		if g == 132 {
+			defEff, tunEff = r.def.Efficiency, r.tuned.Efficiency
+			defThr, tunThr = r.def.ImgPerSec, r.tuned.ImgPerSec
+		}
+	}
+	fmt.Printf("\nAt 132 GPUs: tuned efficiency %.1f%% (paper: ~92%%)\n", 100*tunEff)
+	fmt.Printf("Efficiency improvement over default: %+.1f%% (paper: +23.9%%)\n", 100*(tunEff/defEff-1))
+	fmt.Printf("Training speedup: %.2f× (paper: ~1.3×)\n", tunThr/defThr)
+}

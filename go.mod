@@ -1,0 +1,3 @@
+module segscale
+
+go 1.22

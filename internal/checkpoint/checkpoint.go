@@ -1,0 +1,222 @@
+// Package checkpoint serialises and restores training state: model
+// parameters, batch-norm running statistics, and optimiser velocity —
+// what long-running distributed jobs on Summit write between job
+// allocations. The format is a small self-describing binary container
+// (magic, version, named float32/float64 sections with lengths),
+// written with encoding/binary; no reflection, no external deps.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"segscale/internal/nn"
+)
+
+const (
+	magic   = 0x5345_4743 // "SEGC"
+	version = 1
+
+	secParam   = 1
+	secBNStats = 2
+	secEnd     = 0xFF
+)
+
+// Save writes parameters (weights) and batch-norm running statistics
+// to w. Gradients and optimiser state are not included — Horovod jobs
+// conventionally restart momentum cold, as we do.
+func Save(w io.Writer, params []*nn.Param, bns []*nn.BatchNorm2D) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeSection(bw, secParam, p.Name, p.W.Data); err != nil {
+			return err
+		}
+	}
+	for i, bn := range bns {
+		stats := make([]float32, 0, 2*len(bn.RunningMean))
+		for _, v := range bn.RunningMean {
+			stats = append(stats, float32(v))
+		}
+		for _, v := range bn.RunningVar {
+			stats = append(stats, float32(v))
+		}
+		if err := writeSection(bw, secBNStats, fmt.Sprintf("bn%d", i), stats); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte(secEnd); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load restores parameters and batch-norm statistics written by Save.
+// The parameter list and BN list must structurally match (same names,
+// same order, same lengths) — the usual same-model-code contract.
+func Load(r io.Reader, params []*nn.Param, bns []*nn.BatchNorm2D) error {
+	br := bufio.NewReader(r)
+	if err := readHeader(br); err != nil {
+		return err
+	}
+	pi, bi := 0, 0
+	for {
+		kind, name, data, err := readSection(br)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case secEnd:
+			if pi != len(params) || bi != len(bns) {
+				return fmt.Errorf("checkpoint: restored %d/%d params, %d/%d batch norms",
+					pi, len(params), bi, len(bns))
+			}
+			return nil
+		case secParam:
+			if pi >= len(params) {
+				return fmt.Errorf("checkpoint: extra parameter %q", name)
+			}
+			p := params[pi]
+			if name != p.Name {
+				return fmt.Errorf("checkpoint: parameter %d is %q, model has %q", pi, name, p.Name)
+			}
+			if len(data) != p.W.Len() {
+				return fmt.Errorf("checkpoint: %q has %d values, model wants %d", name, len(data), p.W.Len())
+			}
+			copy(p.W.Data, data)
+			pi++
+		case secBNStats:
+			if bi >= len(bns) {
+				return fmt.Errorf("checkpoint: extra batch-norm section %q", name)
+			}
+			bn := bns[bi]
+			c := len(bn.RunningMean)
+			if len(data) != 2*c {
+				return fmt.Errorf("checkpoint: %q has %d stats, model wants %d", name, len(data), 2*c)
+			}
+			for i := 0; i < c; i++ {
+				bn.RunningMean[i] = float64(data[i])
+				bn.RunningVar[i] = float64(data[c+i])
+			}
+			bi++
+		default:
+			return fmt.Errorf("checkpoint: unknown section kind %d", kind)
+		}
+	}
+}
+
+// SaveFile writes a checkpoint atomically (temp file + rename).
+func SaveFile(path string, params []*nn.Param, bns []*nn.BatchNorm2D) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, params, bns); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores a checkpoint from disk.
+func LoadFile(path string, params []*nn.Param, bns []*nn.BatchNorm2D) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Load(f, params, bns)
+}
+
+func writeHeader(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(magic)); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, uint16(version))
+}
+
+func readHeader(r io.Reader) error {
+	var m uint32
+	if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
+		return fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if m != magic {
+		return fmt.Errorf("checkpoint: bad magic %#x", m)
+	}
+	var v uint16
+	if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+		return err
+	}
+	if v != version {
+		return fmt.Errorf("checkpoint: unsupported version %d", v)
+	}
+	return nil
+}
+
+func writeSection(w io.Writer, kind byte, name string, data []float32) error {
+	if len(name) > 255 {
+		return fmt.Errorf("checkpoint: name %q too long", name)
+	}
+	if _, err := w.Write([]byte{kind, byte(len(name))}); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, name); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(data))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readSection(r *bufio.Reader) (kind byte, name string, data []float32, err error) {
+	kind, err = r.ReadByte()
+	if err != nil {
+		return 0, "", nil, fmt.Errorf("checkpoint: reading section kind: %w", err)
+	}
+	if kind == secEnd {
+		return kind, "", nil, nil
+	}
+	nameLen, err := r.ReadByte()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, nameBuf); err != nil {
+		return 0, "", nil, err
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return 0, "", nil, err
+	}
+	const maxSection = 1 << 28 // 256 MiB of floats — far above any model here
+	if n > maxSection {
+		return 0, "", nil, fmt.Errorf("checkpoint: section %q implausibly large (%d)", nameBuf, n)
+	}
+	raw := make([]byte, 4*int(n))
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return 0, "", nil, err
+	}
+	data = make([]float32, n)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return kind, string(nameBuf), data, nil
+}

@@ -1,0 +1,40 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"segscale/internal/deeplab"
+)
+
+// FuzzLoad hardens the checkpoint reader against corrupt or
+// adversarial inputs: any byte stream must produce an error or a
+// clean load, never a panic or runaway allocation.
+func FuzzLoad(f *testing.F) {
+	cfg := deeplab.DefaultConfig()
+	cfg.InputSize = 16
+	cfg.Width = 6
+	cfg.DeepBlocks = 1
+	cfg.AtrousRates = [3]int{1, 2, 3}
+
+	// Seed with a valid checkpoint and mutations of it.
+	m := deeplab.New(cfg)
+	var valid bytes.Buffer
+	if err := Save(&valid, m.Params(), m.BatchNorms()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	truncated := valid.Bytes()[:valid.Len()/2]
+	f.Add(truncated)
+	f.Add([]byte{})
+	f.Add([]byte{0x43, 0x47, 0x45, 0x53, 1, 0}) // magic, v1, nothing else
+	bigSection := append(append([]byte{}, valid.Bytes()[:6]...),
+		1, 1, 'x', 0xFF, 0xFF, 0xFF, 0x7F) // section claiming 2³¹ floats
+	f.Add(bigSection)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		model := deeplab.New(cfg)
+		// Must not panic; error or success are both fine.
+		_ = Load(bytes.NewReader(data), model.Params(), model.BatchNorms())
+	})
+}

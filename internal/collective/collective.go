@@ -1,0 +1,252 @@
+// Package collective implements real, data-carrying collective
+// operations — the algorithms whose *costs* internal/netmodel models
+// analytically. The same algorithm shapes exist in both packages; unit
+// tests verify every implementation against a naive gather-reduce
+// reference, which is what makes the distributed-training accuracy
+// experiment trustworthy: gradients are combined by this code, not by
+// a mock.
+//
+// All collectives operate over an explicit group of global ranks
+// (which enables the hierarchical compositions) and reduce with
+// summation — Horovod divides by world size afterwards to average.
+package collective
+
+import (
+	"fmt"
+
+	"segscale/internal/topology"
+	"segscale/internal/transport"
+)
+
+// Tag bases keep concurrent phases of composed collectives from
+// colliding. Each collective call consumes tags [base, base+steps).
+const (
+	tagRing   = 1 << 16
+	tagRD     = 2 << 16
+	tagNaive  = 3 << 16
+	tagReduce = 4 << 16
+	tagBcast  = 5 << 16
+	tagGather = 6 << 16
+)
+
+// indexIn returns the caller's index within group, panicking if the
+// rank is not a member — always a caller bug.
+func indexIn(group []int, rank int) int {
+	for i, r := range group {
+		if r == rank {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("collective: rank %d not in group %v", rank, group))
+}
+
+// segment splits length n into p nearly-equal pieces; returns the
+// [lo,hi) bounds of piece i. Earlier pieces get the remainder, the
+// standard MPI decomposition.
+func segment(n, p, i int) (lo, hi int) {
+	base := n / p
+	rem := n % p
+	lo = i*base + min(i, rem)
+	size := base
+	if i < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+func addInto(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("collective: reduce length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// AllreduceNaive gathers every contribution to group[0], reduces, and
+// broadcasts the result linearly. O(p) time and the reference other
+// algorithms are verified against.
+func AllreduceNaive(c *transport.Comm, group []int, buf []float32) {
+	me := indexIn(group, c.Rank())
+	root := group[0]
+	if me == 0 {
+		for _, r := range group[1:] {
+			addInto(buf, c.Recv(r, tagNaive))
+		}
+		for _, r := range group[1:] {
+			c.Send(r, tagNaive+1, buf)
+		}
+		return
+	}
+	c.Send(root, tagNaive, buf)
+	c.RecvInto(root, tagNaive+1, buf)
+}
+
+// AllreduceRing is the bandwidth-optimal ring: p−1 reduce-scatter
+// steps followed by p−1 allgather steps over ceil(n/p) segments.
+func AllreduceRing(c *transport.Comm, group []int, buf []float32) {
+	p := len(group)
+	if p <= 1 {
+		return
+	}
+	me := indexIn(group, c.Rank())
+	next := group[(me+1)%p]
+	prev := group[(me-1+p)%p]
+	n := len(buf)
+
+	// Reduce-scatter: after step s, each rank holds the full sum of
+	// segment (me+1) mod p ... converging to segment (me+1).
+	for s := 0; s < p-1; s++ {
+		sendSeg := ((me-s)%p + p) % p
+		recvSeg := ((me-s-1)%p + p) % p
+		slo, shi := segment(n, p, sendSeg)
+		c.Send(next, tagRing+s, buf[slo:shi])
+		rlo, rhi := segment(n, p, recvSeg)
+		addInto(buf[rlo:rhi], c.Recv(prev, tagRing+s))
+	}
+	// Allgather: circulate the completed segments.
+	for s := 0; s < p-1; s++ {
+		sendSeg := ((me-s+1)%p + p) % p
+		recvSeg := ((me-s)%p + p) % p
+		slo, shi := segment(n, p, sendSeg)
+		c.Send(next, tagRing+p+s, buf[slo:shi])
+		rlo, rhi := segment(n, p, recvSeg)
+		got := c.Recv(prev, tagRing+p+s)
+		copy(buf[rlo:rhi], got)
+	}
+}
+
+// AllreduceRecursiveDoubling is the latency-optimal log₂(p)-step
+// exchange, with the MPICH-style fold for non-power-of-two groups.
+func AllreduceRecursiveDoubling(c *transport.Comm, group []int, buf []float32) {
+	p := len(group)
+	if p <= 1 {
+		return
+	}
+	me := indexIn(group, c.Rank())
+	pow := 1
+	for pow*2 <= p {
+		pow *= 2
+	}
+	rem := p - pow
+
+	// Fold: the first 2·rem ranks pair up; evens donate and go idle.
+	newrank := -1
+	switch {
+	case me < 2*rem && me%2 == 0:
+		c.Send(group[me+1], tagRD, buf)
+	case me < 2*rem: // odd
+		addInto(buf, c.Recv(group[me-1], tagRD))
+		newrank = me / 2
+	default:
+		newrank = me - rem
+	}
+
+	if newrank >= 0 {
+		old := func(nr int) int {
+			if nr < rem {
+				return nr*2 + 1
+			}
+			return nr + rem
+		}
+		for dist := 1; dist < pow; dist *= 2 {
+			partner := group[old(newrank^dist)]
+			got := c.SendRecv(partner, tagRD+1+dist, buf, partner, tagRD+1+dist)
+			addInto(buf, got)
+		}
+	}
+
+	// Unfold: odd ranks return the result to their even partner.
+	if me < 2*rem {
+		if me%2 == 0 {
+			c.RecvInto(group[me+1], tagRD+2*pow, buf)
+		} else {
+			c.Send(group[me-1], tagRD+2*pow, buf)
+		}
+	}
+}
+
+// ReduceTree reduces every rank's buf into group[0] using a binomial
+// tree (non-roots' buffers are left with partial sums).
+func ReduceTree(c *transport.Comm, group []int, buf []float32) {
+	p := len(group)
+	me := indexIn(group, c.Rank())
+	for dist := 1; dist < p; dist *= 2 {
+		if me%(2*dist) == 0 {
+			src := me + dist
+			if src < p {
+				addInto(buf, c.Recv(group[src], tagReduce+dist))
+			}
+		} else if me%dist == 0 {
+			c.Send(group[me-dist], tagReduce+dist, buf)
+			return
+		}
+	}
+}
+
+// BcastTree broadcasts group[0]'s buf to the group via binomial tree.
+func BcastTree(c *transport.Comm, group []int, buf []float32) {
+	p := len(group)
+	me := indexIn(group, c.Rank())
+	// Highest power of two ≥ p.
+	top := 1
+	for top < p {
+		top *= 2
+	}
+	for dist := top / 2; dist >= 1; dist /= 2 {
+		if me%(2*dist) == 0 {
+			dst := me + dist
+			if dst < p {
+				c.Send(group[dst], tagBcast+dist, buf)
+			}
+		} else if me%dist == 0 {
+			c.RecvInto(group[me-dist], tagBcast+dist, buf)
+		}
+	}
+}
+
+// AllgatherRing circulates per-rank shards around the ring. shards[i]
+// must be the shard contributed by group index i; only shards[me] need
+// be filled on entry, and all are filled on return.
+func AllgatherRing(c *transport.Comm, group []int, shards [][]float32) {
+	p := len(group)
+	if p <= 1 {
+		return
+	}
+	me := indexIn(group, c.Rank())
+	next := group[(me+1)%p]
+	prev := group[(me-1+p)%p]
+	for s := 0; s < p-1; s++ {
+		sendIdx := ((me-s)%p + p) % p
+		recvIdx := ((me-s-1)%p + p) % p
+		c.Send(next, tagGather+s, shards[sendIdx])
+		shards[recvIdx] = c.Recv(prev, tagGather+s)
+	}
+}
+
+// AllreduceHierLeader composes the node-leader hierarchy Horovod uses
+// under HOROVOD_HIERARCHICAL_ALLREDUCE: binomial reduce to each node
+// leader, recursive-doubling allreduce among the leaders, binomial
+// broadcast back down. The machine layout decides the groups; the
+// world must equal mach.Ranks() ranks.
+func AllreduceHierLeader(c *transport.Comm, mach topology.Machine, buf []float32) {
+	if c.Size() != mach.Ranks() {
+		panic(fmt.Sprintf("collective: world %d != machine ranks %d", c.Size(), mach.Ranks()))
+	}
+	node := mach.Node(c.Rank())
+	local := mach.NodeRanks(node)
+	ReduceTree(c, local, buf)
+	if mach.IsLeader(c.Rank()) {
+		AllreduceRecursiveDoubling(c, mach.Leaders(), buf)
+	}
+	BcastTree(c, local, buf)
+}
+
+// Scale multiplies buf by 1/worldSize — the averaging step Horovod
+// applies after its summing allreduce.
+func Scale(buf []float32, worldSize int) {
+	inv := float32(1) / float32(worldSize)
+	for i := range buf {
+		buf[i] *= inv
+	}
+}

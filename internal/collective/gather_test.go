@@ -1,0 +1,117 @@
+package collective
+
+import (
+	"math"
+	"testing"
+
+	"segscale/internal/transport"
+)
+
+func TestGather(t *testing.T) {
+	const p = 5
+	var rootView [][]float32
+	runGroup(p, func(c *transport.Comm, group []int) {
+		buf := []float32{float32(c.Rank()), float32(c.Rank() * 2)}
+		out := Gather(c, group, buf)
+		if c.Rank() == 0 {
+			rootView = out
+		} else if out != nil {
+			t.Errorf("rank %d got a non-nil gather result", c.Rank())
+		}
+	})
+	if len(rootView) != p {
+		t.Fatalf("root gathered %d slices", len(rootView))
+	}
+	for i, s := range rootView {
+		if s[0] != float32(i) || s[1] != float32(i*2) {
+			t.Fatalf("slice %d = %v", i, s)
+		}
+	}
+}
+
+func TestScatter(t *testing.T) {
+	const p = 4
+	got := make([][]float32, p)
+	runGroup(p, func(c *transport.Comm, group []int) {
+		var shards [][]float32
+		if c.Rank() == 0 {
+			for i := 0; i < p; i++ {
+				shards = append(shards, []float32{float32(i * 100)})
+			}
+		}
+		got[c.Rank()] = Scatter(c, group, shards)
+	})
+	for i := 0; i < p; i++ {
+		if len(got[i]) != 1 || got[i][0] != float32(i*100) {
+			t.Fatalf("rank %d shard %v", i, got[i])
+		}
+	}
+}
+
+func TestScatterValidatesShardCount(t *testing.T) {
+	// Single-rank world: the root's shard-count check fires before
+	// any communication, so no peer can be left blocked.
+	runGroup(1, func(c *transport.Comm, group []int) {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong shard count accepted")
+			}
+		}()
+		Scatter(c, group, [][]float32{{1}, {2}})
+	})
+}
+
+func TestReduceScatter(t *testing.T) {
+	for _, p := range []int{2, 3, 6} {
+		n := 13
+		ins, want := makeInputs(p, n, int64(p*3))
+		type res struct {
+			lo, hi int
+			vals   []float32
+		}
+		results := make([]res, p)
+		runGroup(p, func(c *transport.Comm, group []int) {
+			buf := make([]float32, n)
+			copy(buf, ins[c.Rank()])
+			lo, hi := ReduceScatter(c, group, buf)
+			results[c.Rank()] = res{lo, hi, append([]float32(nil), buf[lo:hi]...)}
+		})
+		covered := make([]bool, n)
+		for r := 0; r < p; r++ {
+			seg := results[r]
+			for i := seg.lo; i < seg.hi; i++ {
+				if covered[i] {
+					t.Fatalf("p=%d: element %d owned twice", p, i)
+				}
+				covered[i] = true
+				if d := math.Abs(float64(seg.vals[i-seg.lo] - want[i])); d > 1e-4 {
+					t.Fatalf("p=%d rank %d elem %d: %g vs %g", p, r, i, seg.vals[i-seg.lo], want[i])
+				}
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("p=%d: element %d unowned", p, i)
+			}
+		}
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	// Single-rank round trips.
+	runGroup(1, func(c *transport.Comm, group []int) {
+		out := Scatter(c, group, [][]float32{{7}})
+		if out[0] != 7 {
+			t.Error("single-rank scatter broken")
+		}
+		g := Gather(c, group, []float32{3})
+		if g[0][0] != 3 {
+			t.Error("single-rank gather broken")
+		}
+		buf := []float32{1, 2}
+		lo, hi := ReduceScatter(c, group, buf)
+		if lo != 0 || hi != 2 {
+			t.Error("single-rank reduce-scatter bounds wrong")
+		}
+	})
+}

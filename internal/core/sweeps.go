@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"segscale/internal/horovod"
+	"segscale/internal/model"
+	"segscale/internal/mpiprofile"
+	"segscale/internal/perfsim"
+)
+
+// NamedCandidate labels a configuration for scaling studies
+// ("default-spectrum", "tuned-mv2gdr", ...).
+type NamedCandidate struct {
+	Name      string
+	Candidate Candidate
+}
+
+// DefaultCandidate is Summit's out-of-the-box configuration.
+func DefaultCandidate() NamedCandidate {
+	return NamedCandidate{Name: "default-spectrum", Candidate: defaultCandidate()}
+}
+
+// NCCLCandidate is Horovod's recommended backend with default knobs —
+// the third series of the paper's comparison.
+func NCCLCandidate() NamedCandidate {
+	return NamedCandidate{Name: "default-nccl", Candidate: Candidate{
+		MPI: mpiprofile.NCCL(), Horovod: horovod.Default(),
+	}}
+}
+
+// TunedCandidate is the configuration the staged tuner converges to
+// (also reproducible via Tuner.StagedTune); hard-coded here so the
+// scaling benches don't re-run the search.
+func TunedCandidate() NamedCandidate {
+	hvd := horovod.Default()
+	hvd.FusionThreshold = 128 << 20
+	hvd.CycleTime = 2 * time.Millisecond
+	hvd.ResponseCache = true
+	mpi := mpiprofile.MV2GDR()
+	mpi.CUDABlockSize = 512 << 10
+	return NamedCandidate{Name: "tuned-mv2gdr", Candidate: Candidate{MPI: mpi, Horovod: hvd}}
+}
+
+// SweepKnob evaluates variations of one candidate produced by mutate
+// for each value index, at a fixed scale. Used by the fusion, cycle
+// and chunk-size sweep figures.
+func sweepKnob(gpus int, prof *model.Profile, seed int64, n int,
+	mutate func(i int, c *Candidate) string) ([]Evaluation, error) {
+	t := NewTuner(gpus, prof, seed)
+	out := make([]Evaluation, 0, n)
+	for i := 0; i < n; i++ {
+		c := TunedCandidate().Candidate
+		c.MPI = c.MPI.Clone()
+		label := mutate(i, &c)
+		ev, err := t.evaluate(c, label)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// SweepFusion varies HOROVOD_FUSION_THRESHOLD at a fixed scale (F4).
+func SweepFusion(gpus int, prof *model.Profile, thresholds []int, seed int64) ([]Evaluation, error) {
+	return sweepKnob(gpus, prof, seed, len(thresholds), func(i int, c *Candidate) string {
+		c.Horovod.FusionThreshold = thresholds[i]
+		return fmt.Sprintf("fusion=%d", thresholds[i])
+	})
+}
+
+// SweepCycle varies HOROVOD_CYCLE_TIME at a fixed scale (F5).
+func SweepCycle(gpus int, prof *model.Profile, cycles []time.Duration, seed int64) ([]Evaluation, error) {
+	return sweepKnob(gpus, prof, seed, len(cycles), func(i int, c *Candidate) string {
+		c.Horovod.CycleTime = cycles[i]
+		return fmt.Sprintf("cycle=%s", cycles[i])
+	})
+}
+
+// SweepChunk varies MV2_CUDA_BLOCK_SIZE at a fixed scale.
+func SweepChunk(gpus int, prof *model.Profile, chunks []int, seed int64) ([]Evaluation, error) {
+	return sweepKnob(gpus, prof, seed, len(chunks), func(i int, c *Candidate) string {
+		c.MPI.CUDABlockSize = chunks[i]
+		return fmt.Sprintf("chunk=%d", chunks[i])
+	})
+}
+
+// ScalingPoint is one (configuration, scale) measurement.
+type ScalingPoint struct {
+	Config     string
+	GPUs       int
+	ImgPerSec  float64
+	Efficiency float64
+	Result     *perfsim.Result
+}
+
+// ScalingStudy runs each named configuration across the GPU scales,
+// computing efficiency against that configuration's own single-GPU
+// run — exactly how the paper's scaling figure is constructed.
+func ScalingStudy(scales []int, prof *model.Profile, configs []NamedCandidate, seed int64) ([]ScalingPoint, error) {
+	var out []ScalingPoint
+	for _, nc := range configs {
+		base, err := perfsim.Run(perfsim.Config{
+			GPUs: 1, Model: prof, MPI: nc.Candidate.MPI,
+			Horovod: nc.Candidate.Horovod, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range scales {
+			res := base
+			if g != 1 {
+				res, err = perfsim.Run(perfsim.Config{
+					GPUs: g, Model: prof, MPI: nc.Candidate.MPI,
+					Horovod: nc.Candidate.Horovod, Seed: seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			out = append(out, ScalingPoint{
+				Config:     nc.Name,
+				GPUs:       g,
+				ImgPerSec:  res.ImgPerSec,
+				Efficiency: res.EfficiencyVs(base),
+				Result:     res,
+			})
+		}
+	}
+	return out, nil
+}

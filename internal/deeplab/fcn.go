@@ -1,0 +1,89 @@
+package deeplab
+
+import (
+	"math/rand"
+
+	"segscale/internal/nn"
+	"segscale/internal/tensor"
+)
+
+// Segmenter is the interface both models (DeepLab-v3+ and the FCN
+// baseline) expose to the trainer.
+type Segmenter interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(dlogits *tensor.Tensor)
+	Params() []*nn.Param
+	BatchNorms() []*nn.BatchNorm2D
+	Loss(x *tensor.Tensor, labels []int32, ignore int32, train bool) float64
+	Predict(x *tensor.Tensor) []int32
+}
+
+// FCN is the no-atrous, no-ASPP, no-skip baseline: a plain strided
+// encoder with a bilinear upsampling head. It shows what DeepLab's
+// architectural machinery buys on the segmentation task.
+type FCN struct {
+	Cfg  Config
+	net  *nn.Sequential
+	head *nn.Sequential
+}
+
+// NewFCN builds the baseline at a comparable parameter budget.
+func NewFCN(cfg Config) *FCN {
+	cfg.validate()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := cfg.Width
+	f := &FCN{Cfg: cfg}
+	f.net = nn.NewSequential(
+		nn.NewConv2D(rng, "fcn.c1", 3, w, 3, tensor.ConvSpec{Stride: 2, Pad: 1}, false),
+		nn.NewBatchNorm2D("fcn.bn1", w),
+		&nn.ReLU{},
+		nn.NewConv2D(rng, "fcn.c2", w, 2*w, 3, tensor.ConvSpec{Stride: 2, Pad: 1}, false),
+		nn.NewBatchNorm2D("fcn.bn2", 2*w),
+		&nn.ReLU{},
+		nn.NewConv2D(rng, "fcn.c3", 2*w, 2*w, 3, tensor.ConvSpec{Pad: 1}, false),
+		nn.NewBatchNorm2D("fcn.bn3", 2*w),
+		&nn.ReLU{},
+		nn.NewConv2D(rng, "fcn.c4", 2*w, 2*w, 3, tensor.ConvSpec{Pad: 1}, false),
+		nn.NewBatchNorm2D("fcn.bn4", 2*w),
+		&nn.ReLU{},
+	)
+	f.head = nn.NewSequential(
+		nn.NewConv2D(rng, "fcn.cls", 2*w, cfg.Classes, 1, tensor.ConvSpec{}, true),
+		&nn.Upsample{OutH: cfg.InputSize, OutW: cfg.InputSize},
+	)
+	return f
+}
+
+func (f *FCN) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return f.head.Forward(f.net.Forward(x, train), train)
+}
+
+func (f *FCN) Backward(dlogits *tensor.Tensor) {
+	f.net.Backward(f.head.Backward(dlogits))
+}
+
+func (f *FCN) Params() []*nn.Param {
+	return append(f.net.Params(), f.head.Params()...)
+}
+
+func (f *FCN) BatchNorms() []*nn.BatchNorm2D {
+	return append(f.net.BatchNorms(), f.head.BatchNorms()...)
+}
+
+func (f *FCN) Loss(x *tensor.Tensor, labels []int32, ignore int32, train bool) float64 {
+	logits := f.Forward(x, train)
+	loss, dlogits := tensor.SoftmaxCrossEntropy(logits, labels, ignore)
+	if train {
+		f.Backward(dlogits)
+	}
+	return loss
+}
+
+func (f *FCN) Predict(x *tensor.Tensor) []int32 {
+	return tensor.ArgmaxClass(f.Forward(x, false))
+}
+
+var (
+	_ Segmenter = (*Model)(nil)
+	_ Segmenter = (*FCN)(nil)
+)

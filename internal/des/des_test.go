@@ -1,0 +1,288 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRun(t *testing.T) {
+	s := New()
+	if got := s.Run(); got != 0 {
+		t.Fatalf("empty run ended at %v, want 0", got)
+	}
+	if s.Events() != 0 {
+		t.Fatalf("events = %d, want 0", s.Events())
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", s.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1.0, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestAfterChaining(t *testing.T) {
+	s := New()
+	var times []float64
+	var step func()
+	n := 0
+	step = func() {
+		times = append(times, s.Now())
+		n++
+		if n < 5 {
+			s.After(0.5, step)
+		}
+	}
+	s.After(0.5, step)
+	s.Run()
+	for i, tm := range times {
+		want := 0.5 * float64(i+1)
+		if math.Abs(tm-want) > 1e-12 {
+			t.Fatalf("times[%d] = %v, want %v", i, tm, want)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(1, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestNonFiniteTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NaN time did not panic")
+		}
+	}()
+	New().At(math.NaN(), func() {})
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(1, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event does not report cancelled")
+	}
+	// Cancelling twice, and cancelling nil, are no-ops.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	s := New()
+	var fired []int
+	var events []*Event
+	for i := 0; i < 8; i++ {
+		i := i
+		events = append(events, s.At(float64(i+1), func() { fired = append(fired, i) }))
+	}
+	s.Cancel(events[3])
+	s.Cancel(events[6])
+	s.Run()
+	if len(fired) != 6 {
+		t.Fatalf("fired %d events, want 6: %v", len(fired), fired)
+	}
+	for _, i := range fired {
+		if i == 3 || i == 6 {
+			t.Fatalf("cancelled event %d fired", i)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, tm := range []float64{1, 2, 3, 4} {
+		tm := tm
+		s.At(tm, func() { fired = append(fired, tm) })
+	}
+	s.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want first two", fired)
+	}
+	if s.PeekTime() != 3 {
+		t.Fatalf("next event at %v, want 3", s.PeekTime())
+	}
+	s.Run()
+	if len(fired) != 4 {
+		t.Fatalf("after full run fired = %v", fired)
+	}
+}
+
+func TestPeekTimeEmpty(t *testing.T) {
+	if !math.IsInf(New().PeekTime(), 1) {
+		t.Fatal("PeekTime on empty sim not +Inf")
+	}
+}
+
+func TestMaxEventsGuard(t *testing.T) {
+	s := New()
+	s.MaxEvents = 100
+	var loop func()
+	loop = func() { s.After(1, loop) }
+	s.After(1, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("runaway loop did not trip MaxEvents")
+		}
+	}()
+	s.Run()
+}
+
+// Property: executing random event sets always yields non-decreasing
+// firing times regardless of insertion order.
+func TestPropertyMonotoneClock(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		count := int(n%64) + 1
+		var fired []float64
+		for i := 0; i < count; i++ {
+			s.At(rng.Float64()*100, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		return sort.Float64sAreSorted(fired) && len(fired) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceSerialises(t *testing.T) {
+	s := New()
+	r := NewResource(s, "nic", 1)
+	var done []float64
+	for i := 0; i < 3; i++ {
+		r.Use(2.0, func() { done = append(done, s.Now()) })
+	}
+	s.Run()
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if math.Abs(done[i]-want[i]) > 1e-12 {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	s := New()
+	r := NewResource(s, "dma", 2)
+	var done []float64
+	for i := 0; i < 4; i++ {
+		r.Use(2.0, func() { done = append(done, s.Now()) })
+	}
+	s.Run()
+	want := []float64{2, 2, 4, 4}
+	for i := range want {
+		if math.Abs(done[i]-want[i]) > 1e-12 {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceReleaseIdlePanics(t *testing.T) {
+	s := New()
+	r := NewResource(s, "x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("release of idle resource did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestResourceZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	NewResource(New(), "x", 0)
+}
+
+func TestResourceQueueLen(t *testing.T) {
+	s := New()
+	r := NewResource(s, "x", 1)
+	r.Acquire(func() {}) // hold forever (never released)
+	r.Acquire(func() { t.Error("second acquire should stay queued") })
+	s.Run()
+	if r.QueueLen() != 1 {
+		t.Fatalf("QueueLen = %d, want 1", r.QueueLen())
+	}
+	if r.InUse() != 1 {
+		t.Fatalf("InUse = %d, want 1", r.InUse())
+	}
+}
+
+// Property: with a capacity-c resource and n unit-duration jobs, the
+// makespan is ceil(n/c).
+func TestPropertyResourceMakespan(t *testing.T) {
+	f := func(nn, cc uint8) bool {
+		n := int(nn%20) + 1
+		c := int(cc%4) + 1
+		s := New()
+		r := NewResource(s, "p", c)
+		for i := 0; i < n; i++ {
+			r.Use(1.0, nil)
+		}
+		end := s.Run()
+		want := float64((n + c - 1) / c)
+		return math.Abs(end-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

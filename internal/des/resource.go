@@ -1,0 +1,68 @@
+package des
+
+// Resource models a capacity-limited facility (a NIC injection port, a
+// DMA engine, a host staging buffer). Acquire queues FIFO; Release
+// hands the slot to the next waiter at the current virtual time.
+type Resource struct {
+	sim      *Sim
+	capacity int
+	inUse    int
+	waiters  []func()
+	// Name is used in panics and traces.
+	Name string
+}
+
+// NewResource creates a resource with the given concurrency capacity.
+func NewResource(sim *Sim, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("des: resource capacity must be positive")
+	}
+	return &Resource{sim: sim, capacity: capacity, Name: name}
+}
+
+// Acquire calls fn as soon as a slot is available — immediately (still
+// via the event queue, preserving determinism) if the resource is
+// idle, otherwise when a current holder releases.
+func (r *Resource) Acquire(fn func()) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		r.sim.After(0, fn)
+		return
+	}
+	r.waiters = append(r.waiters, fn)
+}
+
+// Release frees one slot. The longest-waiting Acquire, if any, runs at
+// the current virtual time.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("des: release of idle resource " + r.Name)
+	}
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.sim.After(0, next)
+		return
+	}
+	r.inUse--
+}
+
+// InUse returns the number of held slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of blocked acquirers.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Use is the common acquire-hold-release pattern: it acquires the
+// resource, holds it for d virtual seconds, releases, then calls done
+// (which may be nil).
+func (r *Resource) Use(d float64, done func()) {
+	r.Acquire(func() {
+		r.sim.After(d, func() {
+			r.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}

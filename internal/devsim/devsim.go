@@ -1,0 +1,90 @@
+// Package devsim models a V100 GPU's compute time for training steps.
+// It is calibrated, not predictive: the paper's measured single-GPU
+// throughput anchors the step time (6.7 img/s for DeepLab-v3+,
+// 300 img/s for ResNet-50), and per-layer FLOP shares from the model
+// profile distribute that time across the forward/backward passes —
+// which is all the communication study needs from the compute side.
+package devsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"segscale/internal/model"
+)
+
+// backwardShare is the fraction of step time spent in the backward
+// pass (the standard fwd:bwd ≈ 1:2 split).
+const backwardShare = 2.0 / 3.0
+
+// GPU is a calibrated compute model for one device running one model.
+type GPU struct {
+	Prof *model.Profile
+	// JitterStd is the relative per-step compute-noise σ. Real
+	// distributed runs see a few % step-time variation; stragglers are
+	// one source of scaling loss.
+	JitterStd float64
+}
+
+// New builds the compute model with the default 4 % jitter.
+func New(p *model.Profile) *GPU {
+	if p.MeasuredImgPerSec <= 0 || p.BatchPerGPU <= 0 {
+		panic(fmt.Sprintf("devsim: profile %q missing calibration", p.Name))
+	}
+	return &GPU{Prof: p, JitterStd: 0.04}
+}
+
+// StepTime is the compute time of one training step at the given
+// per-GPU batch (no communication).
+func (g *GPU) StepTime(batch int) float64 {
+	if batch <= 0 {
+		panic("devsim: non-positive batch")
+	}
+	return float64(batch) / g.Prof.MeasuredImgPerSec
+}
+
+// ForwardTime is the forward-pass share of the step.
+func (g *GPU) ForwardTime(batch int) float64 {
+	return g.StepTime(batch) * (1 - backwardShare)
+}
+
+// BackwardTime is the backward-pass share of the step.
+func (g *GPU) BackwardTime(batch int) float64 {
+	return g.StepTime(batch) * backwardShare
+}
+
+// Jitter draws a multiplicative step-time factor ≥ 1 (stragglers slow
+// steps, never speed them).
+func (g *GPU) Jitter(rng *rand.Rand) float64 {
+	if g.JitterStd <= 0 {
+		return 1
+	}
+	j := rng.NormFloat64() * g.JitterStd
+	if j < 0 {
+		j = -j
+	}
+	return 1 + j
+}
+
+// TensorReady pairs a gradient tensor with its ready time measured
+// from the start of the backward pass.
+type TensorReady struct {
+	Name   string
+	Bytes  int
+	Offset float64 // seconds after backward starts
+}
+
+// TensorReadyTimes returns every gradient tensor with its ready
+// offset, in ready order, for one step at the given batch.
+func (g *GPU) TensorReadyTimes(batch int) []TensorReady {
+	bwd := g.BackwardTime(batch)
+	sched := g.Prof.GradientSchedule()
+	out := make([]TensorReady, len(sched))
+	for i, s := range sched {
+		out[i] = TensorReady{Name: s.Name, Bytes: s.Bytes, Offset: s.ReadyFrac * bwd}
+	}
+	return out
+}
+
+// ImagesPerSec is the calibrated single-GPU training throughput.
+func (g *GPU) ImagesPerSec() float64 { return g.Prof.MeasuredImgPerSec }

@@ -1,0 +1,111 @@
+package devsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"segscale/internal/model"
+)
+
+func TestCalibratedThroughput(t *testing.T) {
+	// The abstract's two anchors must come out exactly.
+	dl := New(model.DLv3Plus())
+	if math.Abs(dl.ImagesPerSec()-6.7) > 1e-12 {
+		t.Fatalf("DLv3+ throughput %g, want 6.7", dl.ImagesPerSec())
+	}
+	rn := New(model.ResNet50())
+	if math.Abs(rn.ImagesPerSec()-300) > 1e-12 {
+		t.Fatalf("ResNet-50 throughput %g, want 300", rn.ImagesPerSec())
+	}
+	// Step time for the paper batch.
+	if st := dl.StepTime(8); math.Abs(st-8/6.7) > 1e-12 {
+		t.Fatalf("DLv3+ step time %g", st)
+	}
+}
+
+func TestForwardBackwardSplit(t *testing.T) {
+	g := New(model.DLv3Plus())
+	f, b := g.ForwardTime(8), g.BackwardTime(8)
+	if math.Abs(f+b-g.StepTime(8)) > 1e-12 {
+		t.Fatal("fwd+bwd != step")
+	}
+	if math.Abs(b/f-2) > 1e-9 {
+		t.Fatalf("bwd/fwd ratio %g, want 2", b/f)
+	}
+}
+
+func TestStepTimeScalesWithBatch(t *testing.T) {
+	g := New(model.ResNet50())
+	if g.StepTime(64) <= g.StepTime(32) {
+		t.Fatal("step time not increasing in batch")
+	}
+}
+
+func TestBadInputsPanic(t *testing.T) {
+	g := New(model.DLv3Plus())
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero batch accepted")
+			}
+		}()
+		g.StepTime(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("uncalibrated profile accepted")
+			}
+		}()
+		New(&model.Profile{Name: "empty"})
+	}()
+}
+
+func TestJitterDistribution(t *testing.T) {
+	g := New(model.DLv3Plus())
+	rng := rand.New(rand.NewSource(1))
+	sum := 0.0
+	for i := 0; i < 1000; i++ {
+		j := g.Jitter(rng)
+		if j < 1 {
+			t.Fatalf("jitter %g below 1", j)
+		}
+		sum += j
+	}
+	mean := sum / 1000
+	// Half-normal mean = 1 + σ·√(2/π) ≈ 1.032 for σ=0.04.
+	if mean < 1.02 || mean > 1.045 {
+		t.Fatalf("jitter mean %g", mean)
+	}
+	g.JitterStd = 0
+	if g.Jitter(rng) != 1 {
+		t.Fatal("zero jitter should return exactly 1")
+	}
+}
+
+func TestTensorReadyTimes(t *testing.T) {
+	g := New(model.DLv3Plus())
+	batch := 8
+	rt := g.TensorReadyTimes(batch)
+	if len(rt) != len(g.Prof.GradientSchedule()) {
+		t.Fatal("tensor count mismatch")
+	}
+	bwd := g.BackwardTime(batch)
+	prev := 0.0
+	total := 0
+	for _, r := range rt {
+		if r.Offset < prev || r.Offset > bwd+1e-12 {
+			t.Fatalf("offset %g outside [%g, %g]", r.Offset, prev, bwd)
+		}
+		prev = r.Offset
+		total += r.Bytes
+	}
+	if total != g.Prof.GradientBytes() {
+		t.Fatal("tensor bytes do not sum to gradient volume")
+	}
+	// Last tensor is ready exactly when backward finishes.
+	if math.Abs(rt[len(rt)-1].Offset-bwd) > 1e-9 {
+		t.Fatalf("last tensor at %g, backward ends %g", rt[len(rt)-1].Offset, bwd)
+	}
+}

@@ -1,0 +1,116 @@
+// Package fp16 implements IEEE 754 binary16 conversion — the numeric
+// substrate of Horovod's fp16 gradient compression
+// (hvd.Compression.fp16), which halves allreduce volume at the cost
+// of precision. Conversion uses round-to-nearest-even and handles
+// subnormals, infinities and NaN.
+package fp16
+
+import "math"
+
+const (
+	expMask16  = 0x7C00
+	fracMask16 = 0x03FF
+	signMask16 = 0x8000
+)
+
+// FromFloat32 converts a float32 to its nearest binary16
+// representation (round-to-nearest-even; overflow becomes ±Inf).
+func FromFloat32(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & signMask16
+	exp := int32(bits>>23) & 0xFF
+	frac := bits & 0x7FFFFF
+
+	switch {
+	case exp == 0xFF: // Inf / NaN
+		if frac != 0 {
+			return sign | expMask16 | 0x200 | uint16(frac>>13) | 1 // quiet NaN, payload preserved-ish
+		}
+		return sign | expMask16
+	case exp == 0 && frac == 0:
+		return sign // ±0
+	}
+
+	// Unbiased exponent.
+	e := exp - 127
+	switch {
+	case e > 15: // overflow → ±Inf
+		return sign | expMask16
+	case e >= -14: // normal half
+		half := sign | uint16(e+15)<<10 | uint16(frac>>13)
+		// Round to nearest even on the 13 dropped bits.
+		rem := frac & 0x1FFF
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++ // may carry into exponent; that is correct rounding
+		}
+		return half
+	case e >= -24: // subnormal half
+		// Implicit leading 1 becomes explicit; shift by the deficit.
+		mant := frac | 0x800000
+		shift := uint32(-e - 14 + 13)
+		half := sign | uint16(mant>>shift)
+		rem := mant & ((1 << shift) - 1)
+		halfway := uint32(1) << (shift - 1)
+		if rem > halfway || (rem == halfway && half&1 == 1) {
+			half++
+		}
+		return half
+	default: // underflow → ±0
+		return sign
+	}
+}
+
+// ToFloat32 converts a binary16 value to float32 exactly.
+func ToFloat32(h uint16) float32 {
+	sign := uint32(h&signMask16) << 16
+	exp := uint32(h&expMask16) >> 10
+	frac := uint32(h & fracMask16)
+
+	switch {
+	case exp == 0x1F: // Inf / NaN
+		return math.Float32frombits(sign | 0x7F800000 | frac<<13)
+	case exp == 0:
+		if frac == 0 {
+			return math.Float32frombits(sign) // ±0
+		}
+		// Subnormal half → normal float32.
+		e := uint32(127 - 15 + 1)
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= fracMask16
+		return math.Float32frombits(sign | e<<23 | frac<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | frac<<13)
+	}
+}
+
+// Quantize rounds every element through binary16 in place — the
+// precision effect of compressing, transmitting and decompressing a
+// gradient buffer.
+func Quantize(buf []float32) {
+	for i, v := range buf {
+		buf[i] = ToFloat32(FromFloat32(v))
+	}
+}
+
+// Encode packs a float32 slice into binary16 words.
+func Encode(src []float32, dst []uint16) {
+	if len(dst) < len(src) {
+		panic("fp16: destination too small")
+	}
+	for i, v := range src {
+		dst[i] = FromFloat32(v)
+	}
+}
+
+// Decode unpacks binary16 words into float32.
+func Decode(src []uint16, dst []float32) {
+	if len(dst) < len(src) {
+		panic("fp16: destination too small")
+	}
+	for i, h := range src {
+		dst[i] = ToFloat32(h)
+	}
+}

@@ -1,0 +1,142 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},                 // max finite half
+		{6.103515625e-05, 0x0400},       // smallest normal half
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal half
+		{float32(math.Inf(1)), 0x7C00},
+		{float32(math.Inf(-1)), 0xFC00},
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.h {
+			t.Errorf("FromFloat32(%g) = %#04x, want %#04x", c.f, got, c.h)
+		}
+		if got := ToFloat32(c.h); got != c.f {
+			t.Errorf("ToFloat32(%#04x) = %g, want %g", c.h, got, c.f)
+		}
+	}
+}
+
+func TestNegativeZero(t *testing.T) {
+	h := FromFloat32(float32(math.Copysign(0, -1)))
+	if h != 0x8000 {
+		t.Fatalf("-0 → %#04x", h)
+	}
+	if f := ToFloat32(h); !math.Signbit(float64(f)) || f != 0 {
+		t.Fatalf("round trip of -0: %g", f)
+	}
+}
+
+func TestNaN(t *testing.T) {
+	h := FromFloat32(float32(math.NaN()))
+	if h&0x7C00 != 0x7C00 || h&0x3FF == 0 {
+		t.Fatalf("NaN encoded as %#04x", h)
+	}
+	if f := ToFloat32(h); !math.IsNaN(float64(f)) {
+		t.Fatalf("NaN round trip gave %g", f)
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	if h := FromFloat32(1e6); h != 0x7C00 {
+		t.Fatalf("1e6 → %#04x, want +Inf", h)
+	}
+	if h := FromFloat32(-1e6); h != 0xFC00 {
+		t.Fatalf("-1e6 → %#04x, want -Inf", h)
+	}
+}
+
+func TestUnderflowToZero(t *testing.T) {
+	if h := FromFloat32(1e-10); h != 0 {
+		t.Fatalf("1e-10 → %#04x, want 0", h)
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1 and the next half
+	// (1+2^-10); ties round to even (stay at 1, mantissa 0).
+	f := float32(1) + float32(math.Pow(2, -11))
+	if h := FromFloat32(f); h != 0x3C00 {
+		t.Errorf("halfway tie rounded to %#04x, want 0x3C00 (even)", h)
+	}
+	// Slightly above halfway rounds up.
+	f = float32(1) + float32(math.Pow(2, -11)) + float32(math.Pow(2, -13))
+	if h := FromFloat32(f); h != 0x3C01 {
+		t.Errorf("above-halfway rounded to %#04x, want 0x3C01", h)
+	}
+}
+
+// Property: every half value round-trips exactly through float32.
+func TestPropertyHalfRoundTrip(t *testing.T) {
+	for h := 0; h <= 0xFFFF; h++ {
+		u := uint16(h)
+		if u&0x7C00 == 0x7C00 && u&0x3FF != 0 {
+			continue // NaN payloads need not round trip bit-exactly
+		}
+		f := ToFloat32(u)
+		if got := FromFloat32(f); got != u {
+			t.Fatalf("half %#04x → %g → %#04x", u, f, got)
+		}
+	}
+}
+
+// Property: conversion error is within half a ULP of binary16 for
+// in-range values.
+func TestPropertyQuantisationError(t *testing.T) {
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) || math.Abs(float64(v)) > 65000 || (v != 0 && math.Abs(float64(v)) < 1e-4) {
+			return true // outside the interesting range
+		}
+		q := ToFloat32(FromFloat32(v))
+		relErr := math.Abs(float64(q-v)) / math.Max(math.Abs(float64(v)), 1e-8)
+		return relErr <= 1.0/1024 // 2^-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeSlice(t *testing.T) {
+	buf := []float32{1, 1.0002, -3.14159, 0}
+	Quantize(buf)
+	if buf[0] != 1 || buf[3] != 0 {
+		t.Fatal("exact values changed")
+	}
+	if buf[1] == 1.0002 {
+		t.Fatal("inexact value not quantised")
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	src := []float32{1, 2, -0.5}
+	enc := make([]uint16, 3)
+	Encode(src, enc)
+	dst := make([]float32, 3)
+	Decode(enc, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("encode/decode changed exact value %g → %g", src[i], dst[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("short destination accepted")
+		}
+	}()
+	Encode(src, make([]uint16, 1))
+}

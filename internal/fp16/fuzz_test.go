@@ -1,0 +1,63 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRoundTrip checks the binary16 conversion invariants on
+// arbitrary float32 inputs: quantisation is idempotent and
+// order-preserving, and no input can panic the converters.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(float32(0))
+	f.Add(float32(1))
+	f.Add(float32(-65504))
+	f.Add(float32(1e-8))
+	f.Add(float32(math.Inf(1)))
+	f.Add(float32(math.NaN()))
+
+	f.Fuzz(func(t *testing.T, v float32) {
+		q := ToFloat32(FromFloat32(v))
+		if math.IsNaN(float64(v)) {
+			if !math.IsNaN(float64(q)) {
+				t.Fatalf("NaN %x lost: %g", math.Float32bits(v), q)
+			}
+			return
+		}
+		// Idempotence: quantising twice changes nothing.
+		q2 := ToFloat32(FromFloat32(q))
+		if q2 != q {
+			t.Fatalf("not idempotent: %g → %g → %g", v, q, q2)
+		}
+		// Sign preservation (except the underflow-to-zero region,
+		// which keeps the sign bit on ±0).
+		if v > 0 && math.Signbit(float64(q)) {
+			t.Fatalf("positive %g became negative %g", v, q)
+		}
+		if v < 0 && q > 0 {
+			t.Fatalf("negative %g became positive %g", v, q)
+		}
+	})
+}
+
+// FuzzHalfBits checks that ToFloat32 tolerates every 16-bit pattern
+// and that FromFloat32∘ToFloat32 is identity on non-NaN halves.
+func FuzzHalfBits(f *testing.F) {
+	f.Add(uint16(0))
+	f.Add(uint16(0x3C00))
+	f.Add(uint16(0x7C00))
+	f.Add(uint16(0xFFFF))
+
+	f.Fuzz(func(t *testing.T, h uint16) {
+		v := ToFloat32(h)
+		if h&0x7C00 == 0x7C00 && h&0x3FF != 0 {
+			if !math.IsNaN(float64(v)) {
+				t.Fatalf("NaN pattern %#04x decoded to %g", h, v)
+			}
+			return
+		}
+		if got := FromFloat32(v); got != h {
+			t.Fatalf("half %#04x → %g → %#04x", h, v, got)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package horovod
+
+import "fmt"
+
+// PlanFusion partitions tensors (given by size, in submission order)
+// into fused-buffer groups the way Horovod's coordinator does: walk
+// the ready list, packing consecutive tensors while the running total
+// stays within the threshold; a tensor larger than the threshold gets
+// a group of its own. threshold ≤ 0 disables fusion (one tensor per
+// group). Each returned group is a slice of indices into sizes.
+func PlanFusion(sizes []int, threshold int) [][]int {
+	var groups [][]int
+	var cur []int
+	curBytes := 0
+	for i, s := range sizes {
+		if s < 0 {
+			panic(fmt.Sprintf("horovod: negative tensor size at %d", i))
+		}
+		if threshold <= 0 {
+			groups = append(groups, []int{i})
+			continue
+		}
+		if len(cur) > 0 && curBytes+s > threshold {
+			groups = append(groups, cur)
+			cur, curBytes = nil, 0
+		}
+		cur = append(cur, i)
+		curBytes += s
+		if curBytes >= threshold {
+			groups = append(groups, cur)
+			cur, curBytes = nil, 0
+		}
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+// GroupBytes sums the sizes of one fusion group.
+func GroupBytes(sizes []int, group []int) int {
+	n := 0
+	for _, i := range group {
+		n += sizes[i]
+	}
+	return n
+}

@@ -1,0 +1,380 @@
+package horovod
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"segscale/internal/netmodel"
+	"segscale/internal/nn"
+	"segscale/internal/tensor"
+	"segscale/internal/topology"
+	"segscale/internal/transport"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	c := Default()
+	if c.FusionThreshold != 64<<20 {
+		t.Errorf("default fusion threshold %d", c.FusionThreshold)
+	}
+	if c.CycleTime != 5*time.Millisecond {
+		t.Errorf("default cycle time %v", c.CycleTime)
+	}
+	if c.Hierarchical || c.ResponseCache {
+		t.Error("defaults should be flat, uncached")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	c := Default()
+	c.CycleTime = 0
+	if c.Validate() == nil {
+		t.Error("zero cycle time accepted")
+	}
+	c = Default()
+	c.FusionThreshold = -1
+	if c.Validate() == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestEnvRoundTrip(t *testing.T) {
+	c := Default()
+	c.FusionThreshold = 128 << 20
+	c.CycleTime = 3500 * time.Microsecond
+	c.Hierarchical = true
+	c.ResponseCache = true
+	env := c.Env()
+	d := Default()
+	if err := d.ApplyEnv(env); err != nil {
+		t.Fatal(err)
+	}
+	if d.FusionThreshold != c.FusionThreshold || d.CycleTime != c.CycleTime ||
+		d.Hierarchical != c.Hierarchical || d.ResponseCache != c.ResponseCache {
+		t.Fatalf("round trip: %+v vs %+v", d, c)
+	}
+}
+
+func TestApplyEnvErrors(t *testing.T) {
+	c := Default()
+	for _, bad := range []string{"NOEQ", "HOROVOD_CYCLE_TIME=zero", "HOROVOD_CYCLE_TIME=-1", "HOROVOD_FUSION_THRESHOLD=x", "HOROVOD_CACHE_CAPACITY=-2"} {
+		if err := c.ApplyEnv([]string{bad}); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	if err := c.ApplyEnv([]string{"UNRELATED=1"}); err != nil {
+		t.Errorf("unknown var rejected: %v", err)
+	}
+}
+
+func TestResolveAlgorithm(t *testing.T) {
+	c := Default()
+	if c.ResolveAlgorithm() != netmodel.AlgAuto {
+		t.Error("default should defer to the library (auto)")
+	}
+	c.Hierarchical = true
+	if c.ResolveAlgorithm() != netmodel.AlgHierLeader {
+		t.Error("hierarchical should resolve to the leader variant")
+	}
+}
+
+func TestPlanFusionBasic(t *testing.T) {
+	sizes := []int{10, 10, 10, 10}
+	groups := PlanFusion(sizes, 25)
+	if len(groups) != 2 || len(groups[0]) != 2 || len(groups[1]) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+}
+
+func TestPlanFusionOversizedTensor(t *testing.T) {
+	groups := PlanFusion([]int{100, 5, 5}, 20)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups[0]) != 1 || groups[0][0] != 0 {
+		t.Fatalf("oversized tensor not isolated: %v", groups)
+	}
+}
+
+func TestPlanFusionDisabled(t *testing.T) {
+	groups := PlanFusion([]int{1, 2, 3}, 0)
+	if len(groups) != 3 {
+		t.Fatalf("fusion disabled should yield singletons: %v", groups)
+	}
+}
+
+func TestPlanFusionNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size accepted")
+		}
+	}()
+	PlanFusion([]int{-1}, 10)
+}
+
+// Properties: groups cover all indices exactly once, in order, and no
+// multi-tensor group exceeds the threshold.
+func TestPropertyPlanFusion(t *testing.T) {
+	f := func(raw []uint16, th uint32) bool {
+		sizes := make([]int, len(raw))
+		for i, r := range raw {
+			sizes[i] = int(r)
+		}
+		threshold := int(th % 5000)
+		groups := PlanFusion(sizes, threshold)
+		next := 0
+		for _, g := range groups {
+			if len(g) == 0 {
+				return false
+			}
+			for _, i := range g {
+				if i != next {
+					return false
+				}
+				next++
+			}
+			if threshold > 0 && len(g) > 1 && GroupBytes(sizes, g) > threshold {
+				return false
+			}
+		}
+		return next == len(sizes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// makeParams builds identical-shape params with rank-dependent grads.
+func makeParams(rank int, shapes []int) []*nn.Param {
+	var out []*nn.Param
+	rng := rand.New(rand.NewSource(int64(rank) + 100))
+	for i, n := range shapes {
+		w := tensor.New(n)
+		p := &nn.Param{Name: string(rune('a' + i)), W: w, G: tensor.New(n)}
+		for j := range p.G.Data {
+			p.G.Data[j] = float32(rng.NormFloat64())
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func testAllreduceGradsWithConfig(t *testing.T, cfg Config, world int) {
+	t.Helper()
+	shapes := []int{7, 129, 3, 64, 1}
+	// Expected average.
+	expect := make([][]float32, len(shapes))
+	for i, n := range shapes {
+		expect[i] = make([]float32, n)
+	}
+	for r := 0; r < world; r++ {
+		ps := makeParams(r, shapes)
+		for i, p := range ps {
+			for j, v := range p.G.Data {
+				expect[i][j] += v / float32(world)
+			}
+		}
+	}
+	mach := topology.ForGPUs(world)
+	results := make([][][]float32, world)
+	transport.Run(world, func(c *transport.Comm) {
+		rt := NewRuntime(c, mach, cfg)
+		ps := makeParams(c.Rank(), shapes)
+		rt.AllreduceGrads(ps)
+		grads := make([][]float32, len(ps))
+		for i, p := range ps {
+			grads[i] = append([]float32(nil), p.G.Data...)
+		}
+		results[c.Rank()] = grads
+	})
+	for r := 0; r < world; r++ {
+		for i := range shapes {
+			for j := range expect[i] {
+				if d := math.Abs(float64(results[r][i][j] - expect[i][j])); d > 1e-4 {
+					t.Fatalf("cfg %+v rank %d tensor %d[%d]: %g vs %g", cfg, r, i, j, results[r][i][j], expect[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestAllreduceGradsAverages(t *testing.T) {
+	testAllreduceGradsWithConfig(t, Default(), 4)
+}
+
+func TestAllreduceGradsTinyFusionBuffers(t *testing.T) {
+	cfg := Default()
+	cfg.FusionThreshold = 64 // bytes → many groups
+	testAllreduceGradsWithConfig(t, cfg, 3)
+}
+
+func TestAllreduceGradsNoFusion(t *testing.T) {
+	cfg := Default()
+	cfg.FusionThreshold = 0
+	testAllreduceGradsWithConfig(t, cfg, 2)
+}
+
+func TestAllreduceGradsHierarchical(t *testing.T) {
+	cfg := Default()
+	cfg.Hierarchical = true
+	testAllreduceGradsWithConfig(t, cfg, 6) // one full node
+	testAllreduceGradsWithConfig(t, cfg, 12)
+}
+
+func TestAllreduceGradsRecursiveDoubling(t *testing.T) {
+	cfg := Default()
+	cfg.Algorithm = netmodel.AlgRecursiveDoubling
+	testAllreduceGradsWithConfig(t, cfg, 5)
+}
+
+func TestAllreduceGradsFP16Compression(t *testing.T) {
+	// With compression the averages must agree within binary16
+	// precision (~2⁻¹⁰ relative).
+	world := 3
+	shapes := []int{64, 7}
+	expect := make([][]float32, len(shapes))
+	for i, n := range shapes {
+		expect[i] = make([]float32, n)
+	}
+	for r := 0; r < world; r++ {
+		ps := makeParams(r, shapes)
+		for i, p := range ps {
+			for j, v := range p.G.Data {
+				expect[i][j] += v / float32(world)
+			}
+		}
+	}
+	cfg := Default()
+	cfg.FP16Compression = true
+	mach := topology.ForGPUs(world)
+	results := make([][][]float32, world)
+	transport.Run(world, func(c *transport.Comm) {
+		rt := NewRuntime(c, mach, cfg)
+		ps := makeParams(c.Rank(), shapes)
+		rt.AllreduceGrads(ps)
+		grads := make([][]float32, len(ps))
+		for i, p := range ps {
+			grads[i] = append([]float32(nil), p.G.Data...)
+		}
+		results[c.Rank()] = grads
+	})
+	for r := 0; r < world; r++ {
+		for i := range shapes {
+			for j := range expect[i] {
+				got := float64(results[r][i][j])
+				want := float64(expect[i][j])
+				if d := math.Abs(got - want); d > 2e-3*(1+math.Abs(want)) {
+					t.Fatalf("rank %d tensor %d[%d]: %g vs %g (beyond fp16 tolerance)", r, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleRankNoop(t *testing.T) {
+	transport.Run(1, func(c *transport.Comm) {
+		rt := NewRuntime(c, topology.ForGPUs(1), Default())
+		ps := makeParams(0, []int{4})
+		orig := append([]float32(nil), ps[0].G.Data...)
+		rt.AllreduceGrads(ps)
+		for i := range orig {
+			if ps[0].G.Data[i] != orig[i] {
+				t.Error("single-rank allreduce changed gradients")
+			}
+		}
+	})
+}
+
+func TestBroadcastParams(t *testing.T) {
+	world := 4
+	mach := topology.ForGPUs(world)
+	results := make([][]float32, world)
+	transport.Run(world, func(c *transport.Comm) {
+		rt := NewRuntime(c, mach, Default())
+		w := tensor.New(16)
+		for i := range w.Data {
+			w.Data[i] = float32(c.Rank()*100 + i)
+		}
+		ps := []*nn.Param{{Name: "w", W: w, G: tensor.New(16)}}
+		rt.BroadcastParams(ps)
+		results[c.Rank()] = append([]float32(nil), w.Data...)
+	})
+	for r := 1; r < world; r++ {
+		for i := range results[0] {
+			if results[r][i] != results[0][i] {
+				t.Fatalf("rank %d differs after broadcast", r)
+			}
+		}
+		if results[r][3] != 3 { // rank 0's values
+			t.Fatalf("broadcast did not come from rank 0: %v", results[r][:4])
+		}
+	}
+}
+
+func TestAllreduceScalarAndCounts(t *testing.T) {
+	world := 3
+	mach := topology.ForGPUs(world)
+	scalars := make([]float64, world)
+	counts := make([][]int64, world)
+	transport.Run(world, func(c *transport.Comm) {
+		rt := NewRuntime(c, mach, Default())
+		scalars[c.Rank()] = rt.AllreduceScalar(float64(c.Rank() + 1))
+		cnt := []int64{int64(c.Rank()), 10}
+		rt.AllreduceCounts(cnt)
+		counts[c.Rank()] = cnt
+	})
+	for r := 0; r < world; r++ {
+		if math.Abs(scalars[r]-2) > 1e-6 { // mean of 1,2,3
+			t.Fatalf("scalar mean %g", scalars[r])
+		}
+		if counts[r][0] != 3 || counts[r][1] != 30 {
+			t.Fatalf("counts %v", counts[r])
+		}
+	}
+}
+
+func TestAllgatherAndBroadcast(t *testing.T) {
+	world := 4
+	mach := topology.ForGPUs(world)
+	gathered := make([][][]float32, world)
+	bcast := make([][]float32, world)
+	transport.Run(world, func(c *transport.Comm) {
+		rt := NewRuntime(c, mach, Default())
+		local := []float32{float32(c.Rank()), float32(c.Rank() * 10)}
+		gathered[c.Rank()] = rt.Allgather(local)
+
+		buf := []float32{float32(c.Rank() + 100)}
+		rt.Broadcast(buf)
+		bcast[c.Rank()] = buf
+	})
+	for r := 0; r < world; r++ {
+		if len(gathered[r]) != world {
+			t.Fatalf("rank %d gathered %d shards", r, len(gathered[r]))
+		}
+		for src := 0; src < world; src++ {
+			got := gathered[r][src]
+			if got[0] != float32(src) || got[1] != float32(src*10) {
+				t.Fatalf("rank %d shard %d = %v", r, src, got)
+			}
+		}
+		if bcast[r][0] != 100 {
+			t.Fatalf("rank %d broadcast got %v, want rank 0's 100", r, bcast[r])
+		}
+	}
+}
+
+func TestRuntimeWorldMismatchPanics(t *testing.T) {
+	transport.Run(2, func(c *transport.Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched machine accepted")
+			}
+		}()
+		NewRuntime(c, topology.ForGPUs(6), Default())
+	})
+}

@@ -1,0 +1,166 @@
+package horovod
+
+import (
+	"fmt"
+
+	"segscale/internal/collective"
+	"segscale/internal/fp16"
+	"segscale/internal/netmodel"
+	"segscale/internal/nn"
+	"segscale/internal/topology"
+	"segscale/internal/transport"
+)
+
+// Runtime is the real (data-carrying) Horovod: it owns one rank's
+// communicator and performs fused gradient allreduce and parameter
+// broadcast, exactly as hvd.DistributedOptimizer and
+// hvd.broadcast_global_variables do.
+type Runtime struct {
+	Comm *transport.Comm
+	Mach topology.Machine
+	Cfg  Config
+
+	world []int
+	fused []float32 // reusable fusion buffer
+}
+
+// NewRuntime builds one rank's runtime. The machine layout must match
+// the world size (it defines the node groups hierarchical allreduce
+// uses).
+func NewRuntime(c *transport.Comm, mach topology.Machine, cfg Config) *Runtime {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if mach.Ranks() != c.Size() {
+		panic(fmt.Sprintf("horovod: machine has %d ranks, world has %d", mach.Ranks(), c.Size()))
+	}
+	world := make([]int, c.Size())
+	for i := range world {
+		world[i] = i
+	}
+	return &Runtime{Comm: c, Mach: mach, Cfg: cfg, world: world}
+}
+
+// Rank returns this runtime's rank.
+func (r *Runtime) Rank() int { return r.Comm.Rank() }
+
+// Size returns the world size.
+func (r *Runtime) Size() int { return r.Comm.Size() }
+
+// BroadcastParams overwrites every rank's parameters with rank 0's —
+// the initial weight synchronisation of distributed training.
+func (r *Runtime) BroadcastParams(params []*nn.Param) {
+	for _, p := range params {
+		collective.BcastTree(r.Comm, r.world, p.W.Data)
+	}
+}
+
+// AllreduceGrads averages gradients across all ranks in place,
+// fusing consecutive tensors up to the configured threshold per
+// buffer. Every rank must call it with an identically-shaped
+// parameter list (guaranteed by deterministic model construction).
+func (r *Runtime) AllreduceGrads(params []*nn.Param) {
+	if r.Size() == 1 {
+		return
+	}
+	sizes := make([]int, len(params))
+	for i, p := range params {
+		sizes[i] = 4 * p.G.Len() // bytes, as Horovod's planner sees them
+	}
+	groups := PlanFusion(sizes, r.Cfg.FusionThreshold)
+	for _, group := range groups {
+		n := 0
+		for _, i := range group {
+			n += params[i].G.Len()
+		}
+		if cap(r.fused) < n {
+			r.fused = make([]float32, n)
+		}
+		buf := r.fused[:n]
+		off := 0
+		for _, i := range group {
+			copy(buf[off:], params[i].G.Data)
+			off += params[i].G.Len()
+		}
+		if r.Cfg.FP16Compression {
+			// hvd.Compression.fp16: gradients travel as binary16.
+			fp16.Quantize(buf)
+		}
+		r.allreduce(buf)
+		collective.Scale(buf, r.Size())
+		off = 0
+		for _, i := range group {
+			copy(params[i].G.Data, buf[off:off+params[i].G.Len()])
+			off += params[i].G.Len()
+		}
+	}
+}
+
+// allreduce dispatches one fused buffer to the configured collective.
+func (r *Runtime) allreduce(buf []float32) {
+	switch r.Cfg.ResolveAlgorithm() {
+	case netmodel.AlgHierLeader:
+		collective.AllreduceHierLeader(r.Comm, r.Mach, buf)
+	case netmodel.AlgRecursiveDoubling:
+		collective.AllreduceRecursiveDoubling(r.Comm, r.world, buf)
+	case netmodel.AlgRabenseifner:
+		collective.AllreduceRabenseifner(r.Comm, r.world, buf)
+	default:
+		collective.AllreduceRing(r.Comm, r.world, buf)
+	}
+}
+
+// AllreduceSumFloat64 sums a float64 vector elementwise across ranks
+// in place — the reduction synchronized batch norm uses for its
+// statistics. Values ride the float32 collective.
+func (r *Runtime) AllreduceSumFloat64(buf []float64) {
+	if r.Size() == 1 {
+		return
+	}
+	f := make([]float32, len(buf))
+	for i, v := range buf {
+		f[i] = float32(v)
+	}
+	collective.AllreduceRing(r.Comm, r.world, f)
+	for i := range buf {
+		buf[i] = float64(f[i])
+	}
+}
+
+// Allgather collects each rank's (possibly differently-sized) vector
+// and returns all contributions indexed by rank — hvd.allgather.
+func (r *Runtime) Allgather(local []float32) [][]float32 {
+	shards := make([][]float32, r.Size())
+	shards[r.Rank()] = local
+	collective.AllgatherRing(r.Comm, r.world, shards)
+	return shards
+}
+
+// Broadcast overwrites buf on every rank with rank 0's contents —
+// hvd.broadcast for a single tensor.
+func (r *Runtime) Broadcast(buf []float32) {
+	collective.BcastTree(r.Comm, r.world, buf)
+}
+
+// AllreduceScalar averages one float64 across ranks (used for loss
+// and metric reporting).
+func (r *Runtime) AllreduceScalar(v float64) float64 {
+	buf := []float32{float32(v)}
+	collective.AllreduceRing(r.Comm, r.world, buf)
+	return float64(buf[0]) / float64(r.Size())
+}
+
+// AllreduceCounts sums an int64 vector across ranks (used to merge
+// confusion matrices for global mIOU). Summation rides the float32
+// collective, which is exact while every partial sum stays below 2²⁴
+// — comfortably true for this package's evaluation-set pixel counts.
+func (r *Runtime) AllreduceCounts(counts []int64) {
+	buf := make([]float32, len(counts))
+	for i, c := range counts {
+		buf[i] = float32(c)
+	}
+	collective.AllreduceRing(r.Comm, r.world, buf)
+	for i := range counts {
+		counts[i] = int64(buf[i] + 0.5)
+	}
+}

@@ -1,0 +1,118 @@
+// Package iosim models the training input pipeline: samples read
+// from a shared parallel filesystem (GPFS/Alpine on Summit), decoded
+// and augmented by per-rank CPU workers, and buffered ahead of the
+// GPU by a prefetch queue (tf.data's prefetch/num_parallel_calls
+// knobs). Its product is the per-step data stall the performance
+// simulator adds to compute — zero when the pipeline keeps up, the
+// production-consumption gap when it does not, and the full batch
+// production time when prefetching is disabled.
+package iosim
+
+import "fmt"
+
+// Config describes one rank's input pipeline and the shared
+// filesystem behind it.
+type Config struct {
+	// ImageBytes is the on-disk size of one training sample.
+	ImageBytes int
+	// FSBandwidth is the *aggregate* shared filesystem bandwidth; all
+	// ranks contend for it.
+	FSBandwidth float64
+	// ReadLatency is the per-batch metadata/open overhead.
+	ReadLatency float64
+	// DecodeTime is the CPU decode + augmentation cost per image.
+	DecodeTime float64
+	// Workers is the number of decode workers per rank
+	// (num_parallel_calls).
+	Workers int
+	// PrefetchDepth is the number of batches buffered ahead
+	// (tf.data prefetch). 0 means a synchronous pipeline.
+	PrefetchDepth int
+}
+
+// Default models VOC-scale JPEGs on Summit's Alpine GPFS with the
+// TF1-era preprocessing cost of a 513×513 random-scale-crop-flip
+// pipeline on POWER9 cores.
+func Default() Config {
+	return Config{
+		ImageBytes:    120 << 10,
+		FSBandwidth:   2.5e12, // Alpine aggregate ~2.5 TB/s
+		ReadLatency:   300e-6,
+		DecodeTime:    45e-3,
+		Workers:       7, // cores per resource set
+		PrefetchDepth: 2,
+	}
+}
+
+// Validate checks physical sanity.
+func (c Config) Validate() error {
+	if c.ImageBytes <= 0 || c.FSBandwidth <= 0 {
+		return fmt.Errorf("iosim: non-positive image size or bandwidth")
+	}
+	if c.DecodeTime < 0 || c.ReadLatency < 0 {
+		return fmt.Errorf("iosim: negative latency")
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("iosim: %d workers", c.Workers)
+	}
+	if c.PrefetchDepth < 0 {
+		return fmt.Errorf("iosim: negative prefetch depth")
+	}
+	return nil
+}
+
+// BatchProduction is the time one rank needs to materialise a batch
+// when `ranks` ranks share the filesystem: reads contend for the
+// aggregate bandwidth; decodes parallelise over the rank's workers
+// and overlap the reads.
+func (c Config) BatchProduction(ranks, batch int) float64 {
+	if ranks <= 0 || batch <= 0 {
+		panic(fmt.Sprintf("iosim: ranks=%d batch=%d", ranks, batch))
+	}
+	perRankBW := c.FSBandwidth / float64(ranks)
+	read := c.ReadLatency + float64(batch)*float64(c.ImageBytes)/perRankBW
+	decode := float64(batch) * c.DecodeTime / float64(c.Workers)
+	// Read and decode stages pipeline; production is paced by the
+	// slower stage.
+	if read > decode {
+		return read
+	}
+	return decode
+}
+
+// StallPerStep is the data-loading time exposed on each training step
+// of duration stepTime.
+//
+//   - PrefetchDepth ≥ 1: the pipeline works ahead, so data only
+//     stalls the GPU when production is slower than consumption, by
+//     the difference.
+//   - PrefetchDepth == 0: the batch is produced synchronously before
+//     the step, exposing the full production time.
+func (c Config) StallPerStep(ranks, batch int, stepTime float64) float64 {
+	prod := c.BatchProduction(ranks, batch)
+	if c.PrefetchDepth == 0 {
+		return prod
+	}
+	if prod <= stepTime {
+		return 0
+	}
+	return prod - stepTime
+}
+
+// BreakEvenRanks returns the rank count at which shared-filesystem
+// reads become the pipeline's pacing stage (production switches from
+// decode-bound to read-bound) — the scale where "add more nodes"
+// starts to hurt the input pipeline.
+func (c Config) BreakEvenRanks(batch int) int {
+	// read(batch, ranks) == decode(batch):
+	// latency + batch·bytes·ranks/BW == batch·decode/workers
+	decode := float64(batch) * c.DecodeTime / float64(c.Workers)
+	if decode <= c.ReadLatency {
+		return 1
+	}
+	r := (decode - c.ReadLatency) * c.FSBandwidth / (float64(batch) * float64(c.ImageBytes))
+	if r < 1 {
+		return 1
+	}
+	return int(r)
+}

@@ -1,0 +1,133 @@
+package iosim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bads := []func(*Config){
+		func(c *Config) { c.ImageBytes = 0 },
+		func(c *Config) { c.FSBandwidth = 0 },
+		func(c *Config) { c.DecodeTime = -1 },
+		func(c *Config) { c.ReadLatency = -1 },
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.PrefetchDepth = -1 },
+	}
+	for i, mutate := range bads {
+		c := Default()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestBatchProductionDecodeBoundAtSmallScale(t *testing.T) {
+	c := Default()
+	// 132 ranks on Alpine: reads are nowhere near the bottleneck.
+	prod := c.BatchProduction(132, 4)
+	decode := 4 * c.DecodeTime / float64(c.Workers)
+	if math.Abs(prod-decode) > 1e-9 {
+		t.Fatalf("production %.4g, want decode-bound %.4g", prod, decode)
+	}
+}
+
+func TestBatchProductionReadBoundAtHugeScale(t *testing.T) {
+	c := Default()
+	c.FSBandwidth = 1e9 // cripple the filesystem
+	prod := c.BatchProduction(1000, 4)
+	decode := 4 * c.DecodeTime / float64(c.Workers)
+	if prod <= decode {
+		t.Fatalf("production %.4g should be read-bound above decode %.4g", prod, decode)
+	}
+}
+
+func TestStallHiddenByPrefetch(t *testing.T) {
+	c := Default()
+	// Step time far above production: no stall with prefetch.
+	if s := c.StallPerStep(132, 4, 0.6); s != 0 {
+		t.Fatalf("prefetch pipeline stalls %.4g on a slow consumer", s)
+	}
+}
+
+func TestStallWithoutPrefetch(t *testing.T) {
+	c := Default()
+	c.PrefetchDepth = 0
+	want := c.BatchProduction(132, 4)
+	if s := c.StallPerStep(132, 4, 0.6); math.Abs(s-want) > 1e-12 {
+		t.Fatalf("synchronous stall %.4g, want full production %.4g", s, want)
+	}
+}
+
+func TestStallWhenProductionSlow(t *testing.T) {
+	c := Default()
+	c.DecodeTime = 2.0 // pathological decode
+	prod := c.BatchProduction(132, 4)
+	step := 0.6
+	if s := c.StallPerStep(132, 4, step); math.Abs(s-(prod-step)) > 1e-9 {
+		t.Fatalf("stall %.4g, want gap %.4g", s, prod-step)
+	}
+}
+
+func TestBreakEvenRanks(t *testing.T) {
+	c := Default()
+	be := c.BreakEvenRanks(4)
+	if be < 10_000 {
+		t.Fatalf("Alpine break-even at %d ranks — should be enormous", be)
+	}
+	// Production is decode-bound below break-even, read-bound above.
+	below := c.BatchProduction(max(1, be/2), 4)
+	above := c.BatchProduction(be*2, 4)
+	decode := 4 * c.DecodeTime / float64(c.Workers)
+	if math.Abs(below-decode) > 1e-9 {
+		t.Fatalf("below break-even not decode-bound: %.4g vs %.4g", below, decode)
+	}
+	if above <= decode {
+		t.Fatalf("above break-even not read-bound: %.4g", above)
+	}
+}
+
+func TestBreakEvenDegenerate(t *testing.T) {
+	c := Default()
+	c.DecodeTime = 0
+	if c.BreakEvenRanks(4) != 1 {
+		t.Fatal("zero decode should be read-bound immediately")
+	}
+}
+
+// Property: production increases (weakly) with rank count and batch.
+func TestPropertyProductionMonotone(t *testing.T) {
+	c := Default()
+	f := func(r1, r2, b1, b2 uint16) bool {
+		ra, rb := int(r1%5000)+1, int(r2%5000)+1
+		ba, bb := int(b1%64)+1, int(b2%64)+1
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		if ba > bb {
+			ba, bb = bb, ba
+		}
+		return c.BatchProduction(ra, ba) <= c.BatchProduction(rb, ba)+1e-12 &&
+			c.BatchProduction(ra, ba) <= c.BatchProduction(ra, bb)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero batch accepted")
+		}
+	}()
+	Default().BatchProduction(1, 0)
+}

@@ -1,0 +1,88 @@
+package jobscript
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"segscale/internal/horovod"
+	"segscale/internal/mpiprofile"
+)
+
+func TestFromConfigGeometry(t *testing.T) {
+	j := FromConfig("dlv3-132", 132, mpiprofile.MV2GDR(), horovod.Default())
+	if j.Nodes != 22 || j.GPUsPerNode != 6 || j.Ranks() != 132 {
+		t.Fatalf("geometry %d×%d", j.Nodes, j.GPUsPerNode)
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLSFContents(t *testing.T) {
+	hvd := horovod.Default()
+	hvd.FusionThreshold = 128 << 20
+	j := FromConfig("tuned", 48, mpiprofile.MV2GDR(), hvd)
+	script, err := j.LSF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"#BSUB -J tuned",
+		"#BSUB -nnodes 8",
+		"module load mvapich2-gdr",
+		"export HOROVOD_FUSION_THRESHOLD=134217728",
+		"export MV2_USE_GPUDIRECT=1",
+		"jsrun -n 48 -a 1 -c 7 -g 1 -r 6",
+	} {
+		if !strings.Contains(script, want) {
+			t.Errorf("script missing %q:\n%s", want, script)
+		}
+	}
+}
+
+func TestSpectrumModule(t *testing.T) {
+	j := FromConfig("default", 6, mpiprofile.Spectrum(), horovod.Default())
+	script, err := j.LSF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(script, "spectrum-mpi") {
+		t.Error("Spectrum job missing its module")
+	}
+	if strings.Contains(script, "mvapich2-gdr") {
+		t.Error("Spectrum job loads MVAPICH2")
+	}
+}
+
+func TestWallTimeFormat(t *testing.T) {
+	j := FromConfig("x", 6, mpiprofile.MV2GDR(), horovod.Default())
+	j.WallTime = 90 * time.Minute
+	script, err := j.LSF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(script, "#BSUB -W 1:30") {
+		t.Errorf("wall time rendering wrong:\n%s", script)
+	}
+}
+
+func TestValidateRejectsBadJobs(t *testing.T) {
+	base := FromConfig("x", 6, mpiprofile.MV2GDR(), horovod.Default())
+	bads := []func(*Job){
+		func(j *Job) { j.Name = "" },
+		func(j *Job) { j.Command = "" },
+		func(j *Job) { j.Nodes = 0 },
+		func(j *Job) { j.GPUsPerNode = 7 },
+		func(j *Job) { j.WallTime = 0 },
+		func(j *Job) { j.Env = append(j.Env, "NOEQUALS") },
+	}
+	for i, mutate := range bads {
+		j := base
+		j.Env = append([]string(nil), base.Env...)
+		mutate(&j)
+		if _, err := j.LSF(); err == nil {
+			t.Errorf("bad job %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// BootstrapMIOU estimates a confidence interval for mIOU by
+// resampling evaluation *images* with replacement — the unit of
+// statistical independence in a segmentation eval set. perImage holds
+// one confusion matrix per evaluation image; the returned lo/hi are
+// the (1−conf)/2 and 1−(1−conf)/2 quantiles over `rounds` resamples.
+func BootstrapMIOU(perImage []*Confusion, rounds int, conf float64, seed int64) (lo, hi float64, err error) {
+	if len(perImage) == 0 {
+		return 0, 0, fmt.Errorf("metrics: no per-image matrices")
+	}
+	if rounds < 10 {
+		return 0, 0, fmt.Errorf("metrics: %d bootstrap rounds (want ≥10)", rounds)
+	}
+	if conf <= 0 || conf >= 1 {
+		return 0, 0, fmt.Errorf("metrics: confidence %g outside (0,1)", conf)
+	}
+	k := perImage[0].K
+	for _, c := range perImage {
+		if c.K != k {
+			return 0, 0, fmt.Errorf("metrics: mixed class counts in bootstrap input")
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]float64, rounds)
+	agg := NewConfusion(k)
+	for r := 0; r < rounds; r++ {
+		for i := range agg.M {
+			agg.M[i] = 0
+		}
+		for range perImage {
+			agg.Merge(perImage[rng.Intn(len(perImage))])
+		}
+		samples[r] = agg.MeanIOU()
+	}
+	sort.Float64s(samples)
+	alpha := (1 - conf) / 2
+	loIdx := int(alpha * float64(rounds))
+	hiIdx := int((1 - alpha) * float64(rounds))
+	if hiIdx >= rounds {
+		hiIdx = rounds - 1
+	}
+	return samples[loIdx], samples[hiIdx], nil
+}

@@ -1,0 +1,168 @@
+// Package model describes the *full-size* networks of the paper as
+// layer-by-layer profiles — parameter counts, per-image FLOPs, and
+// the order in which gradients become available during the backward
+// pass. The profiles drive the performance simulator; the actually
+// trainable scaled-down network lives in internal/deeplab.
+//
+// Two models matter to the paper: DeepLab-v3+ with the Xception-65
+// backbone (the workload, ~41 M parameters, 6.7 img/s on one V100)
+// and ResNet-50 (the contrast model, 25.6 M parameters, 300 img/s).
+package model
+
+import "fmt"
+
+// Layer is one parameterised operator in forward order.
+type Layer struct {
+	Name string
+	// Params is the number of trainable scalars whose gradients the
+	// allreduce must move (4 bytes each).
+	Params int
+	// FwdFLOPs is the forward cost for one image.
+	FwdFLOPs float64
+	// ActBytes is the activation storage per image this layer's
+	// output needs (kept for the backward pass).
+	ActBytes int
+}
+
+// BwdFLOPs uses the standard 2× rule (grad-input + grad-weight each
+// cost about one forward).
+func (l Layer) BwdFLOPs() float64 { return 2 * l.FwdFLOPs }
+
+// Profile is a full network description.
+type Profile struct {
+	Name string
+	// Layers in forward order.
+	Layers []Layer
+	// CropSize and BatchPerGPU are the training geometry the paper
+	// used.
+	CropSize    int
+	BatchPerGPU int
+	// MeasuredImgPerSec is the paper's single-V100 throughput, the
+	// calibration anchor for the compute model.
+	MeasuredImgPerSec float64
+}
+
+// TotalParams sums trainable scalars.
+func (p *Profile) TotalParams() int {
+	n := 0
+	for _, l := range p.Layers {
+		n += l.Params
+	}
+	return n
+}
+
+// GradientBytes is the per-step allreduce volume (fp32).
+func (p *Profile) GradientBytes() int { return 4 * p.TotalParams() }
+
+// FwdFLOPs is the per-image forward cost.
+func (p *Profile) FwdFLOPs() float64 {
+	s := 0.0
+	for _, l := range p.Layers {
+		s += l.FwdFLOPs
+	}
+	return s
+}
+
+// StepFLOPs is the full per-image training cost (fwd + bwd).
+func (p *Profile) StepFLOPs() float64 { return 3 * p.FwdFLOPs() }
+
+// GradTensor is one gradient buffer in the order the backward pass
+// produces it (deepest layer first), with the fraction of backward
+// time elapsed when it becomes ready — what Horovod's fusion cycle
+// consumes.
+type GradTensor struct {
+	Name  string
+	Bytes int
+	// ReadyFrac ∈ (0,1]: fraction of the backward pass completed when
+	// this gradient is available.
+	ReadyFrac float64
+}
+
+// GradientSchedule returns gradient tensors in backward order with
+// ready fractions proportional to cumulative backward FLOPs.
+// Parameterless layers contribute time but no tensor.
+func (p *Profile) GradientSchedule() []GradTensor {
+	totalBwd := 0.0
+	for _, l := range p.Layers {
+		totalBwd += l.BwdFLOPs()
+	}
+	if totalBwd == 0 {
+		panic(fmt.Sprintf("model %q: zero backward cost", p.Name))
+	}
+	var out []GradTensor
+	done := 0.0
+	for i := len(p.Layers) - 1; i >= 0; i-- {
+		l := p.Layers[i]
+		done += l.BwdFLOPs()
+		if l.Params == 0 {
+			continue
+		}
+		out = append(out, GradTensor{Name: l.Name, Bytes: 4 * l.Params, ReadyFrac: done / totalBwd})
+	}
+	return out
+}
+
+// conv adds a standard convolution layer.
+func conv(name string, cin, cout, k, outH, outW int, bias bool) Layer {
+	params := cin * cout * k * k
+	if bias {
+		params += cout
+	}
+	flops := 2 * float64(cin*cout*k*k) * float64(outH*outW)
+	return Layer{Name: name, Params: params, FwdFLOPs: flops, ActBytes: 4 * cout * outH * outW}
+}
+
+// sepconv adds a depthwise-separable convolution (depthwise 3×3 +
+// pointwise 1×1 + both batch norms), the Xception building block.
+func sepconv(name string, cin, cout, outH, outW int) Layer {
+	params := cin*9 + cin*cout + 2*cin + 2*cout // dw + pw + 2 BNs
+	flops := 2*float64(cin*9)*float64(outH*outW) + 2*float64(cin*cout)*float64(outH*outW)
+	// Depthwise and pointwise outputs are both kept for backward.
+	return Layer{Name: name, Params: params, FwdFLOPs: flops, ActBytes: 4 * (cin + cout) * outH * outW}
+}
+
+// bn adds a standalone batch-norm layer.
+func bn(name string, c, outH, outW int) Layer {
+	return Layer{Name: name, Params: 2 * c, FwdFLOPs: 4 * float64(c*outH*outW), ActBytes: 4 * c * outH * outW}
+}
+
+// ActivationBytes is the per-image activation footprint across the
+// whole network (everything the backward pass rereads).
+func (p *Profile) ActivationBytes() int {
+	n := 0
+	for _, l := range p.Layers {
+		n += l.ActBytes
+	}
+	return n
+}
+
+// V100MemoryBytes is the HBM capacity of Summit's V100s.
+const V100MemoryBytes = 16 << 30
+
+// modelStateFactor covers weights + gradients + optimiser momentum
+// (3× parameters) in fp32.
+const modelStateFactor = 3
+
+// activationLiveFactor scales raw layer-output bytes to what a TF1
+// run actually holds live: pre-activation copies, activation
+// gradients during backward, im2col/cuDNN workspaces and allocator
+// fragmentation. 3× matches observed V100 batch ceilings (DLv3+ at
+// 513² topping out around batch 8).
+const activationLiveFactor = 3
+
+// MaxBatchPerGPU returns the largest per-GPU batch that fits in V100
+// memory: model state + batch × activations (with a small framework
+// workspace reserve).
+func (p *Profile) MaxBatchPerGPU() int {
+	const workspace = 1 << 30 // cuDNN workspaces, fusion buffer, slack
+	free := V100MemoryBytes - workspace - modelStateFactor*4*p.TotalParams()
+	if free <= 0 {
+		return 0
+	}
+	return free / (activationLiveFactor * p.ActivationBytes())
+}
+
+// FitsInMemory reports whether a per-GPU batch fits on a V100.
+func (p *Profile) FitsInMemory(batch int) bool {
+	return batch >= 1 && batch <= p.MaxBatchPerGPU()
+}

@@ -1,0 +1,141 @@
+package mpiprofile
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuiltinsValidate(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("profile name %q != lookup name %q", p.Name, name)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("openmpi"); err == nil {
+		t.Fatal("expected error for unknown profile")
+	}
+}
+
+// The modelled relationships the reproduction depends on: MVAPICH2-GDR
+// must beat Spectrum on GPU-path latency and bandwidth everywhere.
+func TestMV2GDRBeatsSpectrum(t *testing.T) {
+	s, m := Spectrum(), MV2GDR()
+	if !m.GPUDirect || s.GPUDirect {
+		t.Fatal("GPUDirect flags wrong way round")
+	}
+	if m.LatInterGPU >= s.LatInterGPU {
+		t.Errorf("MV2-GDR inter-node latency %.2g not below Spectrum %.2g", m.LatInterGPU, s.LatInterGPU)
+	}
+	if m.BWInter <= s.BWInter {
+		t.Errorf("MV2-GDR inter-node bandwidth %.3g not above Spectrum %.3g", m.BWInter, s.BWInter)
+	}
+	if m.LatIntraNVLink >= s.LatIntraNVLink {
+		t.Errorf("MV2-GDR NVLink latency not below Spectrum")
+	}
+}
+
+func TestBandwidthsPhysical(t *testing.T) {
+	for _, name := range Names() {
+		p, _ := ByName(name)
+		if p.BWInter > 25e9 {
+			t.Errorf("%s: inter-node bandwidth %.3g exceeds dual-rail EDR line rate", name, p.BWInter)
+		}
+		if p.BWNVLink > 50e9 {
+			t.Errorf("%s: NVLink bandwidth %.3g exceeds NVLink2 pair rate", name, p.BWNVLink)
+		}
+		if p.BWStaged >= p.BWNVLink {
+			t.Errorf("%s: staged path should be slower than NVLink", name)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := MV2GDR()
+	q := p.Clone()
+	q.CUDABlockSize = 1
+	q.Name = "other"
+	if p.CUDABlockSize == 1 || p.Name == "other" {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestValidateCatchesBadValues(t *testing.T) {
+	cases := []func(*Profile){
+		func(p *Profile) { p.BWInter = 0 },
+		func(p *Profile) { p.LatInterGPU = -1 },
+		func(p *Profile) { p.CUDABlockSize = 0 },
+		func(p *Profile) { p.RndvOverhead = -1e-6 },
+		func(p *Profile) { p.EagerLimit = -1 },
+		func(p *Profile) { p.ReduceFlops = 0 },
+	}
+	for i, mutate := range cases {
+		p := MV2GDR()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: bad profile passed validation", i)
+		}
+	}
+}
+
+func TestEnvRoundTrip(t *testing.T) {
+	p := MV2GDR()
+	p.CUDABlockSize = 512 * KiB
+	p.GPUDirectLimit = 32 * KiB
+	env := p.Env()
+
+	q := MV2GDR()
+	if err := q.ApplyEnv(env); err != nil {
+		t.Fatal(err)
+	}
+	if q.CUDABlockSize != p.CUDABlockSize || q.GPUDirectLimit != p.GPUDirectLimit {
+		t.Fatalf("round trip lost knobs: %+v", q)
+	}
+}
+
+func TestEnvContainsRealVariableNames(t *testing.T) {
+	joined := strings.Join(MV2GDR().Env(), " ")
+	for _, want := range []string{"MV2_CUDA_BLOCK_SIZE", "MV2_GPUDIRECT_LIMIT", "MV2_USE_GPUDIRECT=1"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("env output missing %s: %s", want, joined)
+		}
+	}
+}
+
+func TestApplyEnvErrors(t *testing.T) {
+	p := MV2GDR()
+	if err := p.ApplyEnv([]string{"NOEQUALS"}); err == nil {
+		t.Error("malformed assignment accepted")
+	}
+	if err := p.ApplyEnv([]string{"MV2_CUDA_BLOCK_SIZE=abc"}); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+	if err := p.ApplyEnv([]string{"MV2_CUDA_BLOCK_SIZE=0"}); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if err := p.ApplyEnv([]string{"MV2_GPUDIRECT_LIMIT=-5"}); err == nil {
+		t.Error("negative limit accepted")
+	}
+	if err := p.ApplyEnv([]string{"SOME_OTHER_VAR=7"}); err != nil {
+		t.Errorf("unknown variable should be ignored: %v", err)
+	}
+}
+
+func TestApplyEnvTogglesGPUDirect(t *testing.T) {
+	p := MV2GDR()
+	if err := p.ApplyEnv([]string{"MV2_USE_GPUDIRECT=0"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.GPUDirect {
+		t.Fatal("MV2_USE_GPUDIRECT=0 did not disable GPU-direct")
+	}
+}

@@ -1,0 +1,94 @@
+package netmodel
+
+import "segscale/internal/topology"
+
+// Hierarchical allreduce variants. Horovod (0.16–0.19, the paper's
+// era) exposes HOROVOD_HIERARCHICAL_ALLREDUCE, which composes an
+// intra-node phase on the fast NVLink fabric with an inter-node phase
+// on InfiniBand. We model the two shapes found in practice.
+
+// AllreduceHierLeader is Horovod's classic hierarchical allreduce:
+//
+//  1. intra-node reduce of the full buffer to the node leader,
+//  2. allreduce of the full buffer among the node leaders over IB,
+//  3. intra-node broadcast of the result.
+//
+// Only one flow per NIC, but the inter-node phase carries the whole
+// buffer.
+func (m *Model) AllreduceHierLeader(ranks []int, n int) float64 {
+	groups, leaders := m.splitByNode(ranks)
+	if len(groups) <= 1 {
+		// Single node: plain intra-node ring.
+		return m.AllreduceRing(ranks, n)
+	}
+	var intraReduce, intraBcast float64
+	for _, g := range groups {
+		if t := m.ReduceScatterRing(g, n) + m.AllgatherRing(g, n); t > intraReduce {
+			// Reduce-to-leader costs about a reduce-scatter plus a
+			// gather of segments to the root; ring RS+AG is the
+			// standard NCCL-style estimate.
+			intraReduce = t
+		}
+		if t := m.Bcast(g, n); t > intraBcast {
+			intraBcast = t
+		}
+	}
+	inter := m.AllreduceRing(leaders, n)
+	return intraReduce + inter + intraBcast
+}
+
+// AllreduceHierTorus is the bandwidth-optimal two-level variant:
+//
+//  1. intra-node reduce-scatter (each local rank owns n/g),
+//  2. g concurrent inter-node ring allreduces, one per local rank,
+//     each over its shard — all g flows share the NIC,
+//  3. intra-node allgather.
+//
+// Inter-node volume per NIC drops to 2(nodes−1)/nodes · n instead of
+// the leader variant's same volume at 1/g of the latency exposure —
+// but the per-flow bandwidth is also 1/g, so the bandwidth terms
+// match and the win is in latency and overlap granularity.
+func (m *Model) AllreduceHierTorus(ranks []int, n int) float64 {
+	groups, _ := m.splitByNode(ranks)
+	if len(groups) <= 1 {
+		return m.AllreduceRing(ranks, n)
+	}
+	g := len(groups[0])
+	shard := (n + g - 1) / g
+	var intraRS, intraAG float64
+	for _, grp := range groups {
+		if t := m.ReduceScatterRing(grp, n); t > intraRS {
+			intraRS = t
+		}
+		if t := m.AllgatherRing(grp, n); t > intraAG {
+			intraAG = t
+		}
+	}
+	// One inter-node ring per local-rank index, concurrent, sharing
+	// the NIC g ways.
+	nodes := len(groups)
+	seg := (shard + nodes - 1) / nodes
+	step := m.xferShared(topology.LinkIB, seg, g)
+	inter := float64(nodes-1)*(step+m.reduceTime(seg)) + float64(nodes-1)*step
+	return intraRS + inter + intraAG
+}
+
+// splitByNode partitions the group into per-node sub-groups and
+// returns the node-leader ranks (lowest rank per node).
+func (m *Model) splitByNode(ranks []int) (groups [][]int, leaders []int) {
+	byNode := map[int][]int{}
+	var order []int
+	for _, r := range ranks {
+		n := m.Mach.Node(r)
+		if _, ok := byNode[n]; !ok {
+			order = append(order, n)
+		}
+		byNode[n] = append(byNode[n], r)
+	}
+	for _, n := range order {
+		g := byNode[n]
+		groups = append(groups, g)
+		leaders = append(leaders, g[0])
+	}
+	return groups, leaders
+}

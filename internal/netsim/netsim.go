@@ -1,0 +1,183 @@
+// Package netsim simulates collectives message-by-message on the
+// discrete-event engine: every send serialises on its sender's
+// injection resources (GPU link engine, node NIC), so bandwidth
+// sharing and congestion emerge from resource contention instead of
+// being assumed, and per-rank skew propagates through the dependency
+// chain of the algorithm.
+//
+// It is the cross-check for internal/netmodel's closed-form costs
+// (the "two-view" design decision in DESIGN.md): for uncongested
+// layouts the two must agree closely; for adversarial layouts
+// (cyclic placement) netsim exposes the contention the α–β model
+// approximates with flow counting.
+package netsim
+
+import (
+	"fmt"
+
+	"segscale/internal/des"
+	"segscale/internal/mpiprofile"
+	"segscale/internal/topology"
+)
+
+// Network owns the simulated fabric resources.
+type Network struct {
+	Sim  *des.Sim
+	Mach topology.Machine
+	Prof *mpiprofile.Profile
+
+	// gpuOut serialises each GPU's outgoing transfers (NVLink/X-Bus
+	// engines, and the staging DMA when the library is not
+	// GPU-direct).
+	gpuOut []*des.Resource
+	// nicOut serialises each node's outgoing InfiniBand traffic.
+	nicOut []*des.Resource
+}
+
+// New builds a network for the machine and MPI profile.
+func New(mach topology.Machine, prof *mpiprofile.Profile) (*Network, error) {
+	if err := mach.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	nw := &Network{Sim: des.New(), Mach: mach, Prof: prof}
+	nw.Sim.MaxEvents = 50_000_000
+	for g := 0; g < mach.Ranks(); g++ {
+		nw.gpuOut = append(nw.gpuOut, des.NewResource(nw.Sim, fmt.Sprintf("gpu%d.out", g), 1))
+	}
+	for n := 0; n < mach.Nodes; n++ {
+		// The node NIC serialises messages at the profile's aggregate
+		// rate (a single flow can stripe across both EDR rails, so
+		// the aggregate is the right per-message capacity; concurrent
+		// flows time-share it, which is how congestion emerges).
+		nw.nicOut = append(nw.nicOut, des.NewResource(nw.Sim, fmt.Sprintf("node%d.nic", n), 1))
+	}
+	return nw, nil
+}
+
+// linkParams mirrors netmodel's per-kind latency/bandwidth choice.
+func (nw *Network) linkParams(kind topology.LinkKind) (alpha, bw float64) {
+	p := nw.Prof
+	switch kind {
+	case topology.LinkNVLink:
+		return p.LatIntraNVLink, p.BWNVLink
+	case topology.LinkXBus:
+		return p.LatIntraXBus, p.BWXBus
+	case topology.LinkIB:
+		if p.GPUDirect {
+			return p.LatInterGPU, p.BWInter
+		}
+		return p.LatInterGPU + p.LatHostStage, p.BWStaged
+	default:
+		return 0, 1e18
+	}
+}
+
+// Send schedules n bytes from GPU slot a to GPU slot b, starting no
+// earlier than `after` (virtual seconds); done fires with the
+// delivery time. Zero-byte sends deliver after latency only.
+func (nw *Network) Send(a, b, n int, after float64, done func(float64)) {
+	if a == b {
+		nw.at(after, func() { done(nw.Sim.Now()) })
+		return
+	}
+	kind := nw.Mach.Link(a, b)
+	alpha, bw := nw.linkParams(kind)
+	if n > nw.Prof.EagerLimit {
+		alpha += nw.Prof.RndvOverhead
+	}
+	serialize := float64(n) / bw
+
+	if kind != topology.LinkIB {
+		// Intra-node: serialise on the sender GPU's link engine.
+		nw.at(after, func() {
+			nw.gpuOut[a].Use(serialize, func() {
+				nw.Sim.After(alpha, func() { done(nw.Sim.Now()) })
+			})
+		})
+		return
+	}
+
+	// Inter-node: large messages take the chunk-pipelined staging
+	// protocol (always for host-staged libraries; above
+	// MV2_GPUDIRECT_LIMIT for GDR ones). The pipeline fill — the
+	// first chunk's device→host copy — occupies the GPU's DMA
+	// engine; the per-chunk software overhead extends the NIC hold.
+	// This mirrors internal/netmodel's cost terms so the two views
+	// stay comparable.
+	const chunkOverhead = 0.5e-6
+	stage := 0.0
+	railTime := float64(n) / bw
+	pipelined := n > nw.Prof.EagerLimit && (!nw.Prof.GPUDirect || n > nw.Prof.GPUDirectLimit)
+	if pipelined {
+		stage = float64(min(nw.Prof.CUDABlockSize, n)) / nw.Prof.BWStaged
+		chunks := (n + nw.Prof.CUDABlockSize - 1) / nw.Prof.CUDABlockSize
+		railTime += float64(chunks-1) * chunkOverhead
+	}
+	node := nw.Mach.Node(a)
+	start := func() {
+		nw.nicOut[node].Use(railTime, func() {
+			nw.Sim.After(alpha, func() { done(nw.Sim.Now()) })
+		})
+	}
+	if stage > 0 {
+		nw.at(after, func() { nw.gpuOut[a].Use(stage, start) })
+	} else {
+		nw.at(after, start)
+	}
+}
+
+// at schedules fn at absolute time t (clamping to now for the
+// "already due" case).
+func (nw *Network) at(t float64, fn func()) {
+	if t < nw.Sim.Now() {
+		t = nw.Sim.Now()
+	}
+	nw.Sim.At(t, fn)
+}
+
+// RingAllreduceResult reports the message-level simulation outcome.
+type RingAllreduceResult struct {
+	// Finish is the completion time of the slowest rank.
+	Finish float64
+	// PerRank holds each rank's completion time.
+	PerRank []float64
+	// Messages is the total message count (2·p·(p−1) segments).
+	Messages int
+}
+
+// RingAllreduce simulates the bandwidth-optimal ring allreduce of n
+// bytes over the given GPU slots (in MPI rank order — pass a permuted
+// list to simulate placement effects). starts[i], when non-nil, skews
+// rank i's entry time (straggler injection).
+func (nw *Network) RingAllreduce(slots []int, n int, starts []float64) (*RingAllreduceResult, error) {
+	p := len(slots)
+	if p == 0 {
+		return nil, fmt.Errorf("netsim: empty group")
+	}
+	if starts != nil && len(starts) != p {
+		return nil, fmt.Errorf("netsim: %d starts for %d ranks", len(starts), p)
+	}
+	res := &RingAllreduceResult{PerRank: make([]float64, p)}
+	if p == 1 {
+		return res, nil
+	}
+	res.Messages = 2 * p * (p - 1)
+	done := false
+	nw.ringSchedule(slots, n, starts, func(finish []float64) {
+		done = true
+		copy(res.PerRank, finish)
+		for _, t := range finish {
+			if t > res.Finish {
+				res.Finish = t
+			}
+		}
+	})
+	nw.Sim.Run()
+	if !done {
+		return nil, fmt.Errorf("netsim: ring never completed (deadlock?)")
+	}
+	return res, nil
+}

@@ -1,0 +1,99 @@
+// Package nn provides the trainable-layer library for the real
+// (non-simulated) training path: convolution (including atrous and
+// depthwise), batch normalisation, activations, dropout, bilinear
+// upsampling, and channel concatenation, each with an explicit
+// backward pass; plus SGD with momentum and the poly learning-rate
+// schedule DeepLab trains with.
+//
+// Layers cache their forward inputs, so a layer instance serves one
+// (Forward, Backward) pair per step — the usual define-by-run
+// contract. Model graphs with skips (DeepLab's decoder, ASPP) call
+// layers directly and route gradients by hand in internal/deeplab.
+package nn
+
+import (
+	"fmt"
+
+	"segscale/internal/tensor"
+)
+
+// Param is one trainable tensor with its gradient accumulator. The
+// distributed trainer allreduces G.Data across ranks between backward
+// and the optimiser step — exactly where Horovod intercepts gradients.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	G    *tensor.Tensor
+	// Decay marks parameters subject to weight decay (convolution
+	// weights yes; batch-norm scale/shift and biases no, following
+	// DeepLab's training recipe).
+	Decay bool
+}
+
+func newParam(name string, w *tensor.Tensor, decay bool) *Param {
+	return &Param{Name: name, W: w, G: tensor.New(w.Shape...), Decay: decay}
+}
+
+// ZeroGrad clears the gradient.
+func (p *Param) ZeroGrad() { p.G.Zero() }
+
+// Layer is a differentiable module.
+type Layer interface {
+	// Forward computes the output for x. train toggles
+	// batch-statistics and dropout behaviour.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes d(loss)/d(output) and returns
+	// d(loss)/d(input), accumulating parameter gradients.
+	Backward(dout *tensor.Tensor) *tensor.Tensor
+	// Params lists trainable parameters (empty for stateless layers).
+	Params() []*Param
+}
+
+// ParamCount sums elements across a parameter list.
+func ParamCount(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.W.Len()
+	}
+	return n
+}
+
+// GradBytes is the wire size of all gradients in float32 bytes — the
+// number Horovod's fusion buffer sees.
+func GradBytes(params []*Param) int { return 4 * ParamCount(params) }
+
+// ZeroGrads clears all gradients.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// PackGrads copies all gradients into one flat buffer (allocating if
+// buf is nil or wrongly sized) in parameter order — the "fused
+// buffer" view of the model's gradients.
+func PackGrads(params []*Param, buf []float32) []float32 {
+	n := ParamCount(params)
+	if len(buf) != n {
+		buf = make([]float32, n)
+	}
+	off := 0
+	for _, p := range params {
+		copy(buf[off:], p.G.Data)
+		off += p.G.Len()
+	}
+	return buf
+}
+
+// UnpackGrads scatters a flat buffer back into per-parameter
+// gradients; the inverse of PackGrads.
+func UnpackGrads(params []*Param, buf []float32) {
+	if len(buf) != ParamCount(params) {
+		panic(fmt.Sprintf("nn: unpack %d floats into %d params", len(buf), ParamCount(params)))
+	}
+	off := 0
+	for _, p := range params {
+		copy(p.G.Data, buf[off:off+p.G.Len()])
+		off += p.G.Len()
+	}
+}

@@ -1,0 +1,21 @@
+package perfsim
+
+import (
+	"testing"
+
+	"segscale/internal/horovod"
+	"segscale/internal/model"
+	"segscale/internal/mpiprofile"
+)
+
+// BenchmarkSimulator measures the simulator itself: a full 132-GPU,
+// 20-step run completes in milliseconds, which is what makes the
+// tuning sweeps cheap.
+func BenchmarkSimulator(b *testing.B) {
+	cfg := Config{GPUs: 132, Model: model.DLv3Plus(), MPI: mpiprofile.MV2GDR(), Horovod: horovod.Default(), Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

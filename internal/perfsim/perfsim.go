@@ -1,0 +1,491 @@
+// Package perfsim is the discrete-event simulator of distributed
+// training on Summit: it reproduces the paper's scaling experiments
+// by simulating, in virtual time, the interplay of
+//
+//   - per-rank compute (calibrated V100 step times with straggler
+//     jitter, gradients becoming ready deepest-layer-first),
+//   - Horovod's background loop (cycle ticks, coordinator
+//     negotiation, response cache, tensor fusion), and
+//   - the MPI library's collectives (α–β costs from
+//     internal/netmodel, GPU-direct vs host-staged paths).
+//
+// The key behavioural asymmetry, taken from how Horovod's MPI path
+// worked in the paper's era: with a GPU-direct library (MVAPICH2-GDR)
+// communication proceeds on separate engines and overlaps the
+// backward pass; without it (Spectrum-style host staging) the fusion
+// buffer's device↔host copies and the staged transfers serialise
+// against compute, which is what destroys default scaling. The
+// BlockFraction knob exposes this mechanism for ablation.
+package perfsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"segscale/internal/des"
+	"segscale/internal/devsim"
+	"segscale/internal/horovod"
+	"segscale/internal/iosim"
+	"segscale/internal/metrics"
+	"segscale/internal/model"
+	"segscale/internal/mpiprofile"
+	"segscale/internal/netmodel"
+	"segscale/internal/timeline"
+	"segscale/internal/topology"
+)
+
+// Fixed framework constants (TF1-era session overhead and the
+// per-negotiation cycles the background thread steals from compute).
+const (
+	// stepOverhead is per-step framework time (session run, optimiser
+	// launch) outside both compute and communication.
+	stepOverhead = 10e-3
+	// rankInterrupt is compute time each rank loses per negotiation
+	// round to its background thread.
+	rankInterrupt = 12e-6
+	// negotiatePerTensorPerRank is coordinator work per pending
+	// tensor per rank without the response cache.
+	negotiatePerTensorPerRank = 40e-9
+	// cachedTensorFactor shrinks per-tensor negotiation work when the
+	// response cache recognises the tensor set.
+	cachedTensorFactor = 0.1
+)
+
+// Config describes one simulated run.
+type Config struct {
+	GPUs    int
+	Model   *model.Profile
+	MPI     *mpiprofile.Profile
+	Horovod horovod.Config
+	// Steps simulated; the first WarmupSteps are excluded from stats.
+	Steps       int
+	WarmupSteps int
+	Seed        int64
+	// Overlap controls whether communication hides behind compute.
+	// The default (OverlapAuto) derives it from the MPI library:
+	// GPU-direct overlaps, host-staged serialises. The explicit modes
+	// exist for the ablation benches.
+	Overlap OverlapMode
+	// Placement maps MPI ranks onto GPUs: packed (default, jsrun's
+	// block order — consecutive ranks share a node) or cyclic
+	// (round-robin across nodes, which makes every ring edge cross
+	// the NIC). A real jsrun-level knob with real consequences.
+	Placement Placement
+	// IO, when non-nil, models the input pipeline (GPFS reads,
+	// decode workers, prefetch); its per-step stall extends compute.
+	IO *iosim.Config
+	// BatchPerGPU overrides the profile's per-GPU batch (0 keeps the
+	// profile default). Batches that do not fit in V100 memory are
+	// rejected, the way a real job would OOM.
+	BatchPerGPU int
+	// SlowRanks injects persistent stragglers: this many ranks run
+	// their compute SlowFactor× slower every step (a thermally
+	// throttled or mis-clocked GPU — the failure mode that silently
+	// destroys synchronous data-parallel throughput).
+	SlowRanks int
+	// SlowFactor is the slowdown multiplier for SlowRanks (e.g. 1.2);
+	// values ≤ 1 are rejected when SlowRanks > 0.
+	SlowFactor float64
+	// Timeline, when non-nil, records the first post-warmup step.
+	Timeline *timeline.Recorder
+}
+
+// Placement selects the MPI-rank → GPU mapping.
+type Placement int
+
+const (
+	// PlacementPacked puts consecutive ranks on the same node
+	// (jsrun's default block order).
+	PlacementPacked Placement = iota
+	// PlacementCyclic round-robins ranks across nodes.
+	PlacementCyclic
+)
+
+// OverlapMode selects the comm/compute overlap model.
+type OverlapMode int
+
+const (
+	// OverlapAuto derives overlap from the MPI profile (the default).
+	OverlapAuto OverlapMode = iota
+	// OverlapFull forces communication off the compute stream.
+	OverlapFull
+	// OverlapNone forces communication to serialise with compute.
+	OverlapNone
+)
+
+// blockFraction is how much of comm time extends compute.
+func (c Config) blockFraction() float64 {
+	switch c.Overlap {
+	case OverlapFull:
+		return 0
+	case OverlapNone:
+		return 1
+	default:
+		if c.MPI.GPUDirect {
+			return 0
+		}
+		return 1
+	}
+}
+
+// DefaultSteps is enough for stable averages.
+const DefaultSteps = 20
+
+// Canon fills defaults.
+func (c Config) Canon() Config {
+	if c.Steps == 0 {
+		c.Steps = DefaultSteps
+	}
+	if c.WarmupSteps == 0 {
+		c.WarmupSteps = 2
+	}
+	return c
+}
+
+// Result summarises a run.
+type Result struct {
+	GPUs      int
+	BatchPer  int
+	StepTimes []float64 // post-warmup
+
+	AvgStep   float64
+	ImgPerSec float64
+
+	// Per-step averages of where time went.
+	ComputeSec     float64 // slowest rank's compute, incl. interrupts
+	NegotiateSec   float64
+	PackSec        float64
+	AllreduceSec   float64
+	ExposedSec     float64 // comm not hidden behind compute
+	DataStallSec   float64 // input-pipeline time not hidden by prefetch
+	CyclesPerStep  float64
+	BuffersPerStep float64
+}
+
+// EfficiencyVs returns throughput relative to perfect scaling from a
+// baseline run (normally the 1-GPU result), the paper's scaling
+// efficiency.
+func (r *Result) EfficiencyVs(base *Result) float64 {
+	return metrics.ScalingEfficiency(base.ImgPerSec/float64(base.GPUs), r.ImgPerSec, r.GPUs)
+}
+
+// Run simulates distributed training and returns aggregate results.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.Canon()
+	if cfg.GPUs <= 0 {
+		return nil, fmt.Errorf("perfsim: %d GPUs", cfg.GPUs)
+	}
+	if cfg.Model == nil || cfg.MPI == nil {
+		return nil, fmt.Errorf("perfsim: missing model or MPI profile")
+	}
+	if err := cfg.Horovod.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.IO != nil {
+		if err := cfg.IO.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.SlowRanks < 0 || cfg.SlowRanks > cfg.GPUs {
+		return nil, fmt.Errorf("perfsim: %d slow ranks of %d", cfg.SlowRanks, cfg.GPUs)
+	}
+	if cfg.SlowRanks > 0 && cfg.SlowFactor <= 1 {
+		return nil, fmt.Errorf("perfsim: slow factor %g must exceed 1", cfg.SlowFactor)
+	}
+
+	batch := cfg.Model.BatchPerGPU
+	if cfg.BatchPerGPU != 0 {
+		batch = cfg.BatchPerGPU
+	}
+	if !cfg.Model.FitsInMemory(batch) {
+		return nil, fmt.Errorf("perfsim: batch %d does not fit on a V100 for %s (max %d)",
+			batch, cfg.Model.Name, cfg.Model.MaxBatchPerGPU())
+	}
+
+	mach := topology.ForGPUs(cfg.GPUs)
+	net, err := netmodel.New(mach, cfg.MPI)
+	if err != nil {
+		return nil, err
+	}
+	gpu := devsim.New(cfg.Model)
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(cfg.GPUs)*7919))
+
+	// Calibrate the compute base so the *simulated* single-GPU
+	// throughput (which includes step overhead and mean jitter)
+	// reproduces the paper's measured rate.
+	rawStep := gpu.StepTime(batch)
+	meanJitter := 1 + gpu.JitterStd*math.Sqrt(2/math.Pi)
+	calib := (rawStep - stepOverhead) / (rawStep * meanJitter)
+	if calib <= 0 {
+		return nil, fmt.Errorf("perfsim: step time %.3gs too small for %.3gs overhead", rawStep, stepOverhead)
+	}
+
+	world, err := placeRanks(cfg.GPUs, mach, cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+	sim := &stepSim{
+		cfg:   cfg,
+		mach:  mach,
+		net:   net,
+		gpu:   gpu,
+		rng:   rng,
+		calib: calib,
+		batch: batch,
+		world: world,
+	}
+
+	res := &Result{GPUs: cfg.GPUs, BatchPer: batch}
+	now := 0.0
+	accum := cfg.Horovod.AccumPasses()
+	for step := 0; step < cfg.Steps; step++ {
+		recordTimeline := cfg.Timeline != nil && step == cfg.WarmupSteps
+		// With gradient accumulation only every accum-th backward
+		// pass communicates (hvd backward_passes_per_step).
+		doComm := (step+1)%accum == 0
+		st := sim.runStep(now, recordTimeline, doComm)
+		now = st.end
+		if step < cfg.WarmupSteps {
+			continue
+		}
+		d := st.end - st.start
+		res.StepTimes = append(res.StepTimes, d)
+		res.ComputeSec += st.compute
+		res.NegotiateSec += st.negotiate
+		res.PackSec += st.pack
+		res.AllreduceSec += st.allreduce
+		res.ExposedSec += st.exposed
+		res.DataStallSec += st.dataStall
+		res.CyclesPerStep += float64(st.cycles)
+		res.BuffersPerStep += float64(st.buffers)
+	}
+	n := float64(len(res.StepTimes))
+	res.AvgStep = metrics.Mean(res.StepTimes)
+	res.ImgPerSec = float64(batch*cfg.GPUs) / res.AvgStep
+	res.ComputeSec /= n
+	res.NegotiateSec /= n
+	res.PackSec /= n
+	res.AllreduceSec /= n
+	res.ExposedSec /= n
+	res.DataStallSec /= n
+	res.CyclesPerStep /= n
+	res.BuffersPerStep /= n
+	return res, nil
+}
+
+// placeRanks returns, for each MPI rank, the global GPU slot it runs
+// on under the chosen placement.
+func placeRanks(n int, mach topology.Machine, p Placement) ([]int, error) {
+	out := make([]int, n)
+	switch p {
+	case PlacementPacked:
+		for i := range out {
+			out[i] = i
+		}
+	case PlacementCyclic:
+		if n != mach.Ranks() {
+			return nil, fmt.Errorf("perfsim: cyclic placement needs full nodes (%d ranks on %s)", n, mach)
+		}
+		for i := range out {
+			out[i] = (i%mach.Nodes)*mach.GPUsPer + i/mach.Nodes
+		}
+	default:
+		return nil, fmt.Errorf("perfsim: unknown placement %d", p)
+	}
+	return out, nil
+}
+
+// stepSim holds cross-step state.
+type stepSim struct {
+	cfg   Config
+	mach  topology.Machine
+	net   *netmodel.Model
+	gpu   *devsim.GPU
+	rng   *rand.Rand
+	calib float64 // compute-time scale from throughput calibration
+	batch int
+	world []int
+	step  int
+}
+
+// stepStats is one step's outcome.
+type stepStats struct {
+	start, end float64
+	compute    float64
+	negotiate  float64
+	pack       float64
+	allreduce  float64
+	exposed    float64
+	dataStall  float64
+	cycles     int
+	buffers    int
+}
+
+// runStep simulates one synchronous data-parallel training step
+// starting at virtual time t0. doComm gates the allreduce (false for
+// the accumulate-only passes of gradient accumulation).
+func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
+	cfg := s.cfg
+	batch := s.batch
+	p := cfg.GPUs
+	cached := cfg.Horovod.ResponseCache && s.step > 0
+	s.step++
+
+	// Straggler model: the step is paced by the slowest rank; the
+	// max of p half-normal jitters grows ~√(2 ln p). Persistent slow
+	// ranks multiply their jitter by the configured factor.
+	jmax := 1.0
+	for r := 0; r < p; r++ {
+		j := s.gpu.Jitter(s.rng)
+		if r < cfg.SlowRanks {
+			j *= cfg.SlowFactor
+		}
+		if j > jmax {
+			jmax = j
+		}
+	}
+
+	fwd := s.gpu.ForwardTime(batch) * jmax * s.calib
+	bwdDur := s.gpu.BackwardTime(batch) * jmax * s.calib
+	tensors := s.gpu.TensorReadyTimes(batch)
+	st := stepStats{start: t0}
+
+	// Input-pipeline stall: the step cannot start until its batch is
+	// materialised; the stall is paced by the slowest rank's pipeline
+	// too, so it rides inside the jittered compute window.
+	if cfg.IO != nil {
+		stall := cfg.IO.StallPerStep(p, batch, fwd+bwdDur)
+		st.dataStall = stall
+		t0 += stall
+	}
+
+	if record {
+		s.recordCompute(t0, fwd, bwdDur)
+	}
+
+	if p == 1 || !doComm {
+		st.compute = fwd + bwdDur
+		st.end = t0 + st.compute + stepOverhead
+		return st
+	}
+
+	// ready[i]: virtual time gradient i is available on the slowest
+	// rank (scaled by jmax).
+	ready := make([]float64, len(tensors))
+	sizes := make([]int, len(tensors))
+	for i, tr := range tensors {
+		ready[i] = t0 + fwd + tr.Offset*jmax*s.calib
+		sizes[i] = tr.Bytes
+	}
+
+	cycle := cfg.Horovod.CycleTime.Seconds()
+	alg := cfg.Horovod.ResolveAlgorithm()
+
+	// computeDelay accumulates compute-side extensions: background-
+	// thread interrupts plus (for host-staged libraries) the comm
+	// activity that serialises against the compute stream.
+	var computeDelay float64
+	computeEnd := func() float64 { return t0 + fwd + bwdDur + computeDelay }
+
+	reduced := 0
+	next := 0 // tensors are ready in order; next unreduced index
+	var lastCommDone float64
+
+	dsim := des.New()
+	dsim.MaxEvents = 5_000_000
+	var tick func()
+	commFree := t0
+
+	tick = func() {
+		now := dsim.Now()
+		st.cycles++
+
+		// Coordinator negotiation round.
+		pending := 0
+		for i := next; i < len(ready); i++ {
+			if ready[i]+computeDelay <= now {
+				pending++
+			} else {
+				break
+			}
+		}
+		perTensor := negotiatePerTensorPerRank
+		if cached {
+			perTensor *= cachedTensorFactor
+		}
+		dNeg := netmodel.NegotiationTime(p) + float64(pending)*float64(p)*perTensor
+		st.negotiate += dNeg
+		if now < computeEnd() {
+			computeDelay += rankInterrupt
+		}
+		if record {
+			s.cfg.Timeline.Add("coordinator", timeline.PhaseNegotiate,
+				fmt.Sprintf("cycle%d", st.cycles), now, now+dNeg)
+		}
+		busyUntil := now + dNeg
+
+		if pending > 0 {
+			groups := horovod.PlanFusion(sizes[next:next+pending], cfg.Horovod.FusionThreshold)
+			for _, g := range groups {
+				bytes := 0
+				for range g {
+					bytes += sizes[next]
+					next++
+				}
+				reduced += len(g)
+				st.buffers++
+
+				packT := 2 * float64(bytes) / cfg.MPI.FusionPackBW // pack + unpack
+				wireBytes := bytes
+				if cfg.Horovod.FP16Compression {
+					// fp16 compression halves wire volume and adds a
+					// cast kernel each way on the same memory path.
+					wireBytes = bytes / 2
+					packT += 2 * float64(bytes) / cfg.MPI.FusionPackBW
+				}
+				arT := s.net.Allreduce(alg, s.world, wireBytes)
+				st.pack += packT
+				st.allreduce += arT
+				if record {
+					s.cfg.Timeline.Add("coordinator", timeline.PhaseMemcpy,
+						fmt.Sprintf("buf%d(%dB)", st.buffers, bytes), busyUntil, busyUntil+packT)
+					s.cfg.Timeline.Add("coordinator", timeline.PhaseAllreduce,
+						fmt.Sprintf("buf%d(%dB)", st.buffers, bytes), busyUntil+packT, busyUntil+packT+arT)
+				}
+				busyUntil += packT + arT
+				// Host-staged libraries steal the compute stream for
+				// the staging copies and progress engine.
+				if now < computeEnd() {
+					computeDelay += (packT + arT) * cfg.blockFraction()
+				}
+			}
+		}
+		commFree = busyUntil
+		lastCommDone = busyUntil
+
+		if reduced == len(ready) {
+			return // step's communication complete
+		}
+		nextTick := now + cycle
+		if commFree > nextTick {
+			nextTick = commFree
+		}
+		dsim.At(nextTick, tick)
+	}
+	dsim.At(t0+cycle, tick)
+	dsim.Run()
+
+	st.compute = fwd + bwdDur + computeDelay
+	ce := computeEnd()
+	st.exposed = computeDelay + math.Max(0, lastCommDone-ce)
+	end := math.Max(ce, lastCommDone) + stepOverhead
+	st.end = end
+	return st
+}
+
+// recordCompute writes the compute lanes of the timeline.
+func (s *stepSim) recordCompute(t0, fwd, bwd float64) {
+	s.cfg.Timeline.Add("rank-slowest", timeline.PhaseForward, "fwd", t0, t0+fwd)
+	s.cfg.Timeline.Add("rank-slowest", timeline.PhaseBackward, "bwd", t0+fwd, t0+fwd+bwd)
+}

@@ -1,0 +1,44 @@
+package perfsim
+
+import (
+	"fmt"
+	"math"
+
+	"segscale/internal/metrics"
+)
+
+// Aggregate summarises repeated runs of one configuration under
+// different seeds — the error bars of the scaling figures.
+type Aggregate struct {
+	Runs []*Result
+
+	MeanImgPerSec float64
+	StdImgPerSec  float64
+	// CI95 is the half-width of the 95% confidence interval on the
+	// mean throughput (normal approximation).
+	CI95 float64
+}
+
+// RunSeeds executes the configuration under n different seeds
+// (derived from cfg.Seed) and aggregates throughput statistics.
+func RunSeeds(cfg Config, n int) (*Aggregate, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("perfsim: %d seed runs", n)
+	}
+	agg := &Aggregate{}
+	vals := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*1_000_003
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		agg.Runs = append(agg.Runs, res)
+		vals = append(vals, res.ImgPerSec)
+	}
+	agg.MeanImgPerSec = metrics.Mean(vals)
+	agg.StdImgPerSec = metrics.StdDev(vals)
+	agg.CI95 = 1.96 * agg.StdImgPerSec / math.Sqrt(float64(n))
+	return agg, nil
+}

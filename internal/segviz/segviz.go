@@ -1,0 +1,126 @@
+// Package segviz renders synthetic-VOC images, label maps, and model
+// predictions as PNGs — the qualitative-results counterpart of the
+// paper's segmentation figures. It uses only image/png from the
+// standard library.
+package segviz
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"os"
+
+	"segscale/internal/segdata"
+	"segscale/internal/tensor"
+)
+
+// classColor returns the display colour of a class label (VOC-style
+// palette derived from segdata's class signatures; void is white).
+func classColor(label int32) color.RGBA {
+	if label == segdata.IgnoreLabel {
+		return color.RGBA{255, 255, 255, 255}
+	}
+	if label == 0 {
+		return color.RGBA{0, 0, 0, 255} // background
+	}
+	p := segdata.Palette(int(label))
+	conv := func(v float32) uint8 {
+		x := (float64(v) + 1) / 2 * 255
+		if x < 0 {
+			x = 0
+		}
+		if x > 255 {
+			x = 255
+		}
+		return uint8(x)
+	}
+	return color.RGBA{conv(p[0]), conv(p[1]), conv(p[2]), 255}
+}
+
+// RenderImage converts a [3,H,W] tensor in roughly [-1,1] to an RGB
+// image.
+func RenderImage(img *tensor.Tensor) *image.RGBA {
+	if len(img.Shape) != 3 || img.Dim(0) != 3 {
+		panic(fmt.Sprintf("segviz: want [3,H,W], got %v", img.Shape))
+	}
+	h, w := img.Dim(1), img.Dim(2)
+	out := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var rgb [3]uint8
+			for c := 0; c < 3; c++ {
+				v := (float64(img.At(c, y, x)) + 1) / 2 * 255
+				if v < 0 {
+					v = 0
+				}
+				if v > 255 {
+					v = 255
+				}
+				rgb[c] = uint8(v)
+			}
+			out.SetRGBA(x, y, color.RGBA{rgb[0], rgb[1], rgb[2], 255})
+		}
+	}
+	return out
+}
+
+// RenderLabels converts an H·W label map into a colour-coded image.
+func RenderLabels(labels []int32, h, w int) *image.RGBA {
+	if len(labels) != h*w {
+		panic(fmt.Sprintf("segviz: %d labels for %d×%d", len(labels), h, w))
+	}
+	out := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.SetRGBA(x, y, classColor(labels[y*w+x]))
+		}
+	}
+	return out
+}
+
+// SideBySide composes images left-to-right with a 2-pixel separator.
+func SideBySide(imgs ...image.Image) *image.RGBA {
+	const gap = 2
+	w, h := 0, 0
+	for _, im := range imgs {
+		b := im.Bounds()
+		w += b.Dx() + gap
+		if b.Dy() > h {
+			h = b.Dy()
+		}
+	}
+	w -= gap
+	out := image.NewRGBA(image.Rect(0, 0, w, h))
+	x := 0
+	for _, im := range imgs {
+		b := im.Bounds()
+		for yy := 0; yy < b.Dy(); yy++ {
+			for xx := 0; xx < b.Dx(); xx++ {
+				out.Set(x+xx, yy, im.At(b.Min.X+xx, b.Min.Y+yy))
+			}
+		}
+		x += b.Dx() + gap
+	}
+	return out
+}
+
+// WritePNG encodes an image to path.
+func WritePNG(path string, img image.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := png.Encode(f, img); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Triptych renders (input, ground truth, prediction) side by side for
+// one sample.
+func Triptych(img *tensor.Tensor, gt, pred []int32) *image.RGBA {
+	h, w := img.Dim(1), img.Dim(2)
+	return SideBySide(RenderImage(img), RenderLabels(gt, h, w), RenderLabels(pred, h, w))
+}

@@ -1,0 +1,91 @@
+package segviz
+
+import (
+	"bytes"
+	"image/png"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"segscale/internal/segdata"
+	"segscale/internal/tensor"
+)
+
+func TestRenderImageBoundsAndRange(t *testing.T) {
+	ds := segdata.New(2, 16, 16, 1)
+	img, _ := ds.Sample(0)
+	out := RenderImage(img)
+	if out.Bounds().Dx() != 16 || out.Bounds().Dy() != 16 {
+		t.Fatalf("bounds %v", out.Bounds())
+	}
+}
+
+func TestRenderImageValidatesShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad shape accepted")
+		}
+	}()
+	RenderImage(tensor.New(1, 4, 4))
+}
+
+func TestRenderLabelsColours(t *testing.T) {
+	labels := []int32{0, 1, segdata.IgnoreLabel, 2}
+	out := RenderLabels(labels, 2, 2)
+	// Background is black, void is white, classes are distinct.
+	if r, g, b, _ := out.At(0, 0).RGBA(); r|g|b != 0 {
+		t.Error("background not black")
+	}
+	if r, _, _, _ := out.At(0, 1).RGBA(); r>>8 != 255 {
+		t.Error("void not white")
+	}
+	c1 := out.At(1, 0)
+	c2 := out.At(1, 1)
+	if c1 == c2 {
+		t.Error("distinct classes share a colour")
+	}
+}
+
+func TestRenderLabelsValidatesLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad length accepted")
+		}
+	}()
+	RenderLabels([]int32{0}, 2, 2)
+}
+
+func TestSideBySideGeometry(t *testing.T) {
+	a := RenderLabels(make([]int32, 4*4), 4, 4)
+	b := RenderLabels(make([]int32, 4*4), 4, 4)
+	out := SideBySide(a, b)
+	if out.Bounds().Dx() != 4+2+4 || out.Bounds().Dy() != 4 {
+		t.Fatalf("composite bounds %v", out.Bounds())
+	}
+}
+
+func TestTriptychAndPNGRoundTrip(t *testing.T) {
+	ds := segdata.New(2, 16, 16, 5)
+	img, gt := ds.Sample(1)
+	pred := make([]int32, len(gt))
+	tri := Triptych(img, gt, pred)
+	if tri.Bounds().Dx() != 16*3+4 {
+		t.Fatalf("triptych width %d", tri.Bounds().Dx())
+	}
+
+	path := filepath.Join(t.TempDir(), "tri.png")
+	if err := WritePNG(path, tri); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds() != tri.Bounds() {
+		t.Fatal("PNG round trip changed bounds")
+	}
+}

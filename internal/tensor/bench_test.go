@@ -1,0 +1,85 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{32, 128} {
+		b.Run(itoa(n), func(b *testing.B) {
+			x := Randn(rng, 1, n, n)
+			y := Randn(rng, 1, n, n)
+			out := New(n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(out, x, y, false)
+			}
+			b.SetBytes(int64(8 * n * n))
+		})
+	}
+}
+
+func BenchmarkConv2DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := Randn(rng, 1, 4, 16, 24, 24)
+	w := Randn(rng, 0.5, 16, 16, 3, 3)
+	spec := ConvSpec{Pad: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2D(x, w, spec)
+	}
+}
+
+func BenchmarkAtrousConv2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := Randn(rng, 1, 4, 16, 24, 24)
+	w := Randn(rng, 0.5, 16, 16, 3, 3)
+	spec := ConvSpec{Pad: 6, Dilation: 6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2D(x, w, spec)
+	}
+}
+
+func BenchmarkConv2DBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := Randn(rng, 1, 4, 16, 24, 24)
+	w := Randn(rng, 0.5, 16, 16, 3, 3)
+	spec := ConvSpec{Pad: 1}
+	dout := Randn(rng, 1, 4, 16, 24, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DBackward(x, w, dout, spec)
+	}
+}
+
+func BenchmarkBilinearResize(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := Randn(rng, 1, 4, 16, 12, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BilinearResize(x, 24, 24)
+	}
+}
+
+func BenchmarkSoftmaxCrossEntropy(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	logits := Randn(rng, 1, 4, 21, 24, 24)
+	labels := make([]int32, 4*24*24)
+	for i := range labels {
+		labels[i] = int32(i % 21)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SoftmaxCrossEntropy(logits, labels, 255)
+	}
+}
+
+func itoa(n int) string {
+	if n == 32 {
+		return "32x32"
+	}
+	return "128x128"
+}

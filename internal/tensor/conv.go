@@ -1,0 +1,204 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ConvSpec parameterises a 2-D convolution. Dilation > 1 gives the
+// atrous convolutions DeepLab's ASPP is built from; Groups == C gives
+// the depthwise convolutions of Xception-style separable convs.
+type ConvSpec struct {
+	Stride   int
+	Pad      int
+	Dilation int
+	Groups   int
+}
+
+// Canon fills defaults (stride/dilation/groups of 1).
+func (s ConvSpec) Canon() ConvSpec {
+	if s.Stride == 0 {
+		s.Stride = 1
+	}
+	if s.Dilation == 0 {
+		s.Dilation = 1
+	}
+	if s.Groups == 0 {
+		s.Groups = 1
+	}
+	return s
+}
+
+// ConvOutSize returns the output spatial size for one axis.
+func ConvOutSize(in, k, stride, pad, dilation int) int {
+	eff := (k-1)*dilation + 1
+	out := (in+2*pad-eff)/stride + 1
+	if out <= 0 {
+		panic(fmt.Sprintf("tensor: conv output size %d (in=%d k=%d s=%d p=%d d=%d)", out, in, k, stride, pad, dilation))
+	}
+	return out
+}
+
+// SamePad returns the padding that preserves spatial size for odd
+// kernel k at stride 1 and the given dilation — DeepLab's atrous
+// convolutions use rate·(k−1)/2.
+func SamePad(k, dilation int) int {
+	if k%2 == 0 {
+		panic("tensor: SamePad needs odd kernel")
+	}
+	return dilation * (k - 1) / 2
+}
+
+func convCheck(x, w *Tensor, s ConvSpec) (n, c, h, wd, f, cg, kh, kw, oh, ow int) {
+	if len(x.Shape) != 4 || len(w.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: conv needs NCHW x and FCKK w, got %v, %v", x.Shape, w.Shape))
+	}
+	n, c, h, wd = x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	f, cg, kh, kw = w.Dim(0), w.Dim(1), w.Dim(2), w.Dim(3)
+	if c%s.Groups != 0 || f%s.Groups != 0 {
+		panic(fmt.Sprintf("tensor: groups=%d does not divide C=%d/F=%d", s.Groups, c, f))
+	}
+	if cg != c/s.Groups {
+		panic(fmt.Sprintf("tensor: weight channel dim %d, want C/groups=%d", cg, c/s.Groups))
+	}
+	oh = ConvOutSize(h, kh, s.Stride, s.Pad, s.Dilation)
+	ow = ConvOutSize(wd, kw, s.Stride, s.Pad, s.Dilation)
+	return
+}
+
+// im2col expands one sample's channel group into a [cg·kh·kw, oh·ow]
+// matrix held in col (which must be pre-sized).
+func im2col(x *Tensor, sample, chanLo, cg int, kh, kw, oh, ow int, s ConvSpec, col *Tensor) {
+	_, _, h, wd := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	spatial := oh * ow
+	xBase := (sample*x.Dim(1) + chanLo) * h * wd
+	for cc := 0; cc < cg; cc++ {
+		chOff := xBase + cc*h*wd
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := ((cc*kh+ky)*kw + kx) * spatial
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*s.Stride - s.Pad + ky*s.Dilation
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							col.Data[row+oy*ow+ox] = 0
+						}
+						continue
+					}
+					inRow := chOff + iy*wd
+					outRow := row + oy*ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*s.Stride - s.Pad + kx*s.Dilation
+						if ix < 0 || ix >= wd {
+							col.Data[outRow+ox] = 0
+						} else {
+							col.Data[outRow+ox] = x.Data[inRow+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2im scatters a [cg·kh·kw, oh·ow] gradient matrix back into dx,
+// accumulating overlaps.
+func col2im(dx *Tensor, sample, chanLo, cg int, kh, kw, oh, ow int, s ConvSpec, col *Tensor) {
+	h, wd := dx.Dim(2), dx.Dim(3)
+	spatial := oh * ow
+	dxBase := (sample*dx.Dim(1) + chanLo) * h * wd
+	for cc := 0; cc < cg; cc++ {
+		chOff := dxBase + cc*h*wd
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := ((cc*kh+ky)*kw + kx) * spatial
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*s.Stride - s.Pad + ky*s.Dilation
+					if iy < 0 || iy >= h {
+						continue
+					}
+					inRow := chOff + iy*wd
+					outRow := row + oy*ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*s.Stride - s.Pad + kx*s.Dilation
+						if ix >= 0 && ix < wd {
+							dx.Data[inRow+ix] += col.Data[outRow+ox]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Conv2D computes the grouped, dilated 2-D convolution of x [N,C,H,W]
+// with w [F, C/groups, KH, KW], returning [N,F,OH,OW].
+func Conv2D(x, w *Tensor, spec ConvSpec) *Tensor {
+	s := spec.Canon()
+	n, _, _, _, f, cg, kh, kw, oh, ow := convCheck(x, w, s)
+	out := New(n, f, oh, ow)
+	fg := f / s.Groups
+	spatial := oh * ow
+	Parallel(n, func(lo, hi int) {
+		col := New(cg*kh*kw, spatial)
+		outMat := &Tensor{Shape: []int{fg, spatial}}
+		wMat := &Tensor{Shape: []int{fg, cg * kh * kw}}
+		for i := lo; i < hi; i++ {
+			for g := 0; g < s.Groups; g++ {
+				im2col(x, i, g*cg, cg, kh, kw, oh, ow, s, col)
+				wMat.Data = w.Data[g*fg*cg*kh*kw : (g+1)*fg*cg*kh*kw]
+				outMat.Data = out.Data[(i*f+g*fg)*spatial : (i*f+(g+1)*fg)*spatial]
+				MatMulInto(outMat, wMat, col, false)
+			}
+		}
+	})
+	return out
+}
+
+// Conv2DBackward returns gradients (dx, dw) of the convolution given
+// upstream gradient dout [N,F,OH,OW].
+func Conv2DBackward(x, w, dout *Tensor, spec ConvSpec) (dx, dw *Tensor) {
+	s := spec.Canon()
+	n, c, h, wd, f, cg, kh, kw, oh, ow := convCheck(x, w, s)
+	if dout.Dim(0) != n || dout.Dim(1) != f || dout.Dim(2) != oh || dout.Dim(3) != ow {
+		panic(fmt.Sprintf("tensor: conv backward dout %v, want [%d %d %d %d]", dout.Shape, n, f, oh, ow))
+	}
+	dx = New(n, c, h, wd)
+	dw = New(f, cg, kh, kw)
+	fg := f / s.Groups
+	spatial := oh * ow
+	ckk := cg * kh * kw
+
+	// Weight gradients race across samples if accumulated in
+	// parallel; give each worker a private dw and merge.
+	var mu sync.Mutex
+	var partials []*Tensor
+	Parallel(n, func(lo, hi int) {
+		p := New(f, cg, kh, kw)
+		col := New(ckk, spatial)
+		dcol := New(ckk, spatial)
+		doutMat := &Tensor{Shape: []int{fg, spatial}}
+		wMat := &Tensor{Shape: []int{fg, ckk}}
+		dwMat := &Tensor{Shape: []int{fg, ckk}}
+		for i := lo; i < hi; i++ {
+			for g := 0; g < s.Groups; g++ {
+				im2col(x, i, g*cg, cg, kh, kw, oh, ow, s, col)
+				doutMat.Data = dout.Data[(i*f+g*fg)*spatial : (i*f+(g+1)*fg)*spatial]
+				wMat.Data = w.Data[g*fg*ckk : (g+1)*fg*ckk]
+				dwMat.Data = p.Data[g*fg*ckk : (g+1)*fg*ckk]
+				// dW += dout · colᵀ
+				MatMulBTInto(dwMat, doutMat, col, true)
+				// dcol = wᵀ · dout
+				MatMulATInto(dcol, wMat, doutMat, false)
+				col2im(dx, i, g*cg, cg, kh, kw, oh, ow, s, dcol)
+			}
+		}
+		mu.Lock()
+		partials = append(partials, p)
+		mu.Unlock()
+	})
+	for _, p := range partials {
+		dw.Add(p)
+	}
+	return dx, dw
+}

@@ -1,0 +1,117 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for A [m,k] and B [k,n], returning C [m,n].
+// Rows of C are computed in parallel; the inner loop is written
+// k-outer so B is streamed row-wise (cache-friendly without blocking).
+func MatMul(a, b *Tensor) *Tensor {
+	m, _, n := checkMatMul(a, b)
+	c := New(m, n)
+	MatMulInto(c, a, b, false)
+	return c
+}
+
+// MatMulInto computes C = A·B (or C += A·B when accumulate) into an
+// existing [m,n] tensor, avoiding allocation in hot loops.
+func MatMulInto(c, a, b *Tensor, accumulate bool) {
+	m, k, n := checkMatMul(a, b)
+	if c.Dim(0) != m || c.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: matmul out %v, want [%d %d]", c.Shape, m, n))
+	}
+	if !accumulate {
+		c.Zero()
+	}
+	Parallel(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := c.Data[i*n : (i+1)*n]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulATInto computes C = Aᵀ·B for A [k,m], B [k,n] into C [m,n]
+// (accumulating when requested) — the shape conv backward needs for
+// weight gradients.
+func MatMulATInto(c, a, b *Tensor, accumulate bool) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: matmulAT needs rank-2 inputs")
+	}
+	k, m := a.Dim(0), a.Dim(1)
+	if b.Dim(0) != k {
+		panic(fmt.Sprintf("tensor: matmulAT inner dims %v × %v", a.Shape, b.Shape))
+	}
+	n := b.Dim(1)
+	if c.Dim(0) != m || c.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: matmulAT out %v, want [%d %d]", c.Shape, m, n))
+	}
+	if !accumulate {
+		c.Zero()
+	}
+	Parallel(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			crow := c.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a.Data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulBTInto computes C = A·Bᵀ for A [m,k], B [n,k] into C [m,n].
+func MatMulBTInto(c, a, b *Tensor, accumulate bool) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: matmulBT needs rank-2 inputs")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(0)
+	if b.Dim(1) != k {
+		panic(fmt.Sprintf("tensor: matmulBT inner dims %v × %v", a.Shape, b.Shape))
+	}
+	if c.Dim(0) != m || c.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: matmulBT out %v, want [%d %d]", c.Shape, m, n))
+	}
+	if !accumulate {
+		c.Zero()
+	}
+	Parallel(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var s float32
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				crow[j] += s
+			}
+		}
+	})
+}
+
+func checkMatMul(a, b *Tensor) (m, k, n int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: matmul needs rank-2, got %v × %v", a.Shape, b.Shape))
+	}
+	if a.Dim(1) != b.Dim(0) {
+		panic(fmt.Sprintf("tensor: matmul inner dims %v × %v", a.Shape, b.Shape))
+	}
+	return a.Dim(0), a.Dim(1), b.Dim(1)
+}

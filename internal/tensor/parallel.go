@@ -1,0 +1,37 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel executes fn(lo, hi) over a partition of [0, n) using up to
+// GOMAXPROCS goroutines. With a single worker (or tiny n) it runs
+// inline, so the kernels have no goroutine overhead on one core.
+func Parallel(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,175 @@
+package tensor
+
+import "fmt"
+
+// GlobalAvgPool reduces [N,C,H,W] to [N,C,1,1] — ASPP's image-level
+// pooling branch.
+func GlobalAvgPool(x *Tensor) *Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := New(n, c, 1, 1)
+	inv := 1 / float32(h*w)
+	Parallel(n*c, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float32
+			for _, v := range x.Data[i*h*w : (i+1)*h*w] {
+				s += v
+			}
+			out.Data[i] = s * inv
+		}
+	})
+	return out
+}
+
+// GlobalAvgPoolBackward spreads dout [N,C,1,1] uniformly over the
+// input extent.
+func GlobalAvgPoolBackward(dout *Tensor, h, w int) *Tensor {
+	n, c := dout.Dim(0), dout.Dim(1)
+	dx := New(n, c, h, w)
+	inv := 1 / float32(h*w)
+	Parallel(n*c, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g := dout.Data[i] * inv
+			row := dx.Data[i*h*w : (i+1)*h*w]
+			for j := range row {
+				row[j] = g
+			}
+		}
+	})
+	return dx
+}
+
+// MaxPool2 performs 2×2/stride-2 max pooling (even H,W required) and
+// returns the pooled tensor plus argmax indices for the backward pass.
+func MaxPool2(x *Tensor) (*Tensor, []int32) {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("tensor: maxpool2 needs even spatial dims, got %dx%d", h, w))
+	}
+	oh, ow := h/2, w/2
+	out := New(n, c, oh, ow)
+	arg := make([]int32, n*c*oh*ow)
+	Parallel(n*c, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			in := x.Data[i*h*w : (i+1)*h*w]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(0)
+					bestIdx := -1
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							idx := (oy*2+dy)*w + ox*2 + dx
+							if bestIdx < 0 || in[idx] > best {
+								best, bestIdx = in[idx], idx
+							}
+						}
+					}
+					out.Data[i*oh*ow+oy*ow+ox] = best
+					arg[i*oh*ow+oy*ow+ox] = int32(bestIdx)
+				}
+			}
+		}
+	})
+	return out, arg
+}
+
+// MaxPool2Backward routes gradients to the argmax positions.
+func MaxPool2Backward(dout *Tensor, arg []int32, h, w int) *Tensor {
+	n, c, oh, ow := dout.Dim(0), dout.Dim(1), dout.Dim(2), dout.Dim(3)
+	dx := New(n, c, h, w)
+	Parallel(n*c, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < oh*ow; j++ {
+				dx.Data[i*h*w+int(arg[i*oh*ow+j])] += dout.Data[i*oh*ow+j]
+			}
+		}
+	})
+	return dx
+}
+
+// bilinearWeights returns the source indices and weights for resizing
+// axis length `in` to `out` with align_corners=true semantics (what
+// DeepLab's TensorFlow implementation uses).
+func bilinearWeights(in, out int) (lo, hi []int, w []float32) {
+	lo = make([]int, out)
+	hi = make([]int, out)
+	w = make([]float32, out)
+	if out == 1 {
+		return
+	}
+	scale := float64(in-1) / float64(out-1)
+	for i := 0; i < out; i++ {
+		src := float64(i) * scale
+		l := int(src)
+		if l >= in-1 {
+			l = in - 2
+			if l < 0 {
+				l = 0
+			}
+		}
+		h := l + 1
+		if h >= in {
+			h = in - 1
+		}
+		lo[i], hi[i] = l, h
+		w[i] = float32(src - float64(l))
+	}
+	return
+}
+
+// BilinearResize resamples [N,C,H,W] to [N,C,OH,OW].
+func BilinearResize(x *Tensor, oh, ow int) *Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: resize to %dx%d", oh, ow))
+	}
+	ylo, yhi, wy := bilinearWeights(h, oh)
+	xlo, xhi, wx := bilinearWeights(w, ow)
+	out := New(n, c, oh, ow)
+	Parallel(n*c, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			in := x.Data[i*h*w : (i+1)*h*w]
+			dst := out.Data[i*oh*ow : (i+1)*oh*ow]
+			for oy := 0; oy < oh; oy++ {
+				y0, y1, fy := ylo[oy], yhi[oy], wy[oy]
+				for ox := 0; ox < ow; ox++ {
+					x0, x1, fx := xlo[ox], xhi[ox], wx[ox]
+					v00 := in[y0*w+x0]
+					v01 := in[y0*w+x1]
+					v10 := in[y1*w+x0]
+					v11 := in[y1*w+x1]
+					top := v00 + fx*(v01-v00)
+					bot := v10 + fx*(v11-v10)
+					dst[oy*ow+ox] = top + fy*(bot-top)
+				}
+			}
+		}
+	})
+	return out
+}
+
+// BilinearResizeBackward is the adjoint of BilinearResize: it scatters
+// dout [N,C,OH,OW] back onto an [N,C,H,W] gradient.
+func BilinearResizeBackward(dout *Tensor, h, w int) *Tensor {
+	n, c, oh, ow := dout.Dim(0), dout.Dim(1), dout.Dim(2), dout.Dim(3)
+	ylo, yhi, wy := bilinearWeights(h, oh)
+	xlo, xhi, wx := bilinearWeights(w, ow)
+	dx := New(n, c, h, w)
+	Parallel(n*c, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := dout.Data[i*oh*ow : (i+1)*oh*ow]
+			dst := dx.Data[i*h*w : (i+1)*h*w]
+			for oy := 0; oy < oh; oy++ {
+				y0, y1, fy := ylo[oy], yhi[oy], wy[oy]
+				for ox := 0; ox < ow; ox++ {
+					x0, x1, fx := xlo[ox], xhi[ox], wx[ox]
+					g := src[oy*ow+ox]
+					dst[y0*w+x0] += g * (1 - fy) * (1 - fx)
+					dst[y0*w+x1] += g * (1 - fy) * fx
+					dst[y1*w+x0] += g * fy * (1 - fx)
+					dst[y1*w+x1] += g * fy * fx
+				}
+			}
+		}
+	})
+	return dx
+}

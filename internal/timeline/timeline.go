@@ -1,0 +1,159 @@
+// Package timeline records Horovod-style activity traces: named
+// phases (FORWARD, BACKWARD, NEGOTIATE_ALLREDUCE, MPI_ALLREDUCE,
+// MEMCPY_IN_FUSION_BUFFER, ...) with start/end times per lane, plus
+// aggregation into the per-phase breakdown the paper's timeline
+// figure shows, and export in Chrome trace-event JSON (the format
+// Horovod's own HOROVOD_TIMELINE produces and chrome://tracing
+// consumes).
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Phase names mirror Horovod's timeline vocabulary.
+const (
+	PhaseForward   = "FORWARD"
+	PhaseBackward  = "BACKWARD"
+	PhaseNegotiate = "NEGOTIATE_ALLREDUCE"
+	PhaseMemcpy    = "MEMCPY_IN_FUSION_BUFFER"
+	PhaseAllreduce = "MPI_ALLREDUCE"
+	PhaseWait      = "WAIT_FOR_DATA"
+)
+
+// Event is one traced interval.
+type Event struct {
+	Lane  string  // e.g. "rank0", "coordinator"
+	Phase string  // one of the Phase* constants
+	Name  string  // free-form detail (tensor/buffer name)
+	Start float64 // seconds
+	End   float64
+}
+
+// Recorder accumulates events.
+type Recorder struct {
+	Events []Event
+	// Enabled mirrors HOROVOD_TIMELINE: recording off costs nothing.
+	Enabled bool
+}
+
+// New returns an enabled recorder.
+func New() *Recorder { return &Recorder{Enabled: true} }
+
+// Add records one interval (no-op when disabled).
+func (r *Recorder) Add(lane, phase, name string, start, end float64) {
+	if r == nil || !r.Enabled {
+		return
+	}
+	if end < start {
+		panic(fmt.Sprintf("timeline: event %q ends (%g) before start (%g)", name, end, start))
+	}
+	r.Events = append(r.Events, Event{Lane: lane, Phase: phase, Name: name, Start: start, End: end})
+}
+
+// Breakdown sums durations per phase.
+func (r *Recorder) Breakdown() map[string]float64 {
+	out := map[string]float64{}
+	for _, e := range r.Events {
+		out[e.Phase] += e.End - e.Start
+	}
+	return out
+}
+
+// LaneBreakdown sums durations per phase for one lane.
+func (r *Recorder) LaneBreakdown(lane string) map[string]float64 {
+	out := map[string]float64{}
+	for _, e := range r.Events {
+		if e.Lane == lane {
+			out[e.Phase] += e.End - e.Start
+		}
+	}
+	return out
+}
+
+// Span returns the [min start, max end] of all events (zeros when
+// empty).
+func (r *Recorder) Span() (float64, float64) {
+	if len(r.Events) == 0 {
+		return 0, 0
+	}
+	lo, hi := r.Events[0].Start, r.Events[0].End
+	for _, e := range r.Events[1:] {
+		if e.Start < lo {
+			lo = e.Start
+		}
+		if e.End > hi {
+			hi = e.End
+		}
+	}
+	return lo, hi
+}
+
+// chromeEvent is the trace-event JSON schema ("X" complete events).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// ReadChromeTrace parses a Chrome trace-event JSON stream written by
+// WriteChromeTrace back into a Recorder (lane names become "tid<N>";
+// the original names are not stored in the trace format). It lets
+// tooling re-aggregate breakdowns from saved traces.
+func ReadChromeTrace(r io.Reader) (*Recorder, error) {
+	var events []chromeEvent
+	if err := json.NewDecoder(r).Decode(&events); err != nil {
+		return nil, fmt.Errorf("timeline: parsing trace: %w", err)
+	}
+	rec := New()
+	for _, e := range events {
+		if e.Ph != "X" {
+			continue // only complete events are ours
+		}
+		if e.Dur < 0 {
+			return nil, fmt.Errorf("timeline: negative duration in trace")
+		}
+		start := e.Ts / 1e6
+		rec.Add(fmt.Sprintf("tid%d", e.TID), e.Cat, e.Name, start, start+e.Dur/1e6)
+	}
+	return rec, nil
+}
+
+// WriteChromeTrace emits the events as a Chrome trace-event JSON
+// array, one thread id per lane, loadable in chrome://tracing or
+// Perfetto — the same workflow as inspecting a real Horovod timeline.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	lanes := map[string]int{}
+	var laneNames []string
+	for _, e := range r.Events {
+		if _, ok := lanes[e.Lane]; !ok {
+			lanes[e.Lane] = 0
+			laneNames = append(laneNames, e.Lane)
+		}
+	}
+	sort.Strings(laneNames)
+	for i, n := range laneNames {
+		lanes[n] = i
+	}
+	out := make([]chromeEvent, 0, len(r.Events))
+	for _, e := range r.Events {
+		out = append(out, chromeEvent{
+			Name: e.Phase + ":" + e.Name,
+			Cat:  e.Phase,
+			Ph:   "X",
+			Ts:   e.Start * 1e6,
+			Dur:  (e.End - e.Start) * 1e6,
+			PID:  0,
+			TID:  lanes[e.Lane],
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,111 @@
+package timeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBreakdown(t *testing.T) {
+	r := New()
+	r.Add("rank0", PhaseForward, "step0", 0, 1)
+	r.Add("rank0", PhaseBackward, "step0", 1, 3)
+	r.Add("coordinator", PhaseAllreduce, "buf0", 2, 2.5)
+	b := r.Breakdown()
+	if math.Abs(b[PhaseForward]-1) > 1e-12 || math.Abs(b[PhaseBackward]-2) > 1e-12 || math.Abs(b[PhaseAllreduce]-0.5) > 1e-12 {
+		t.Fatalf("breakdown %v", b)
+	}
+	lb := r.LaneBreakdown("rank0")
+	if _, ok := lb[PhaseAllreduce]; ok {
+		t.Fatal("lane breakdown leaked other lane")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := New()
+	if lo, hi := r.Span(); lo != 0 || hi != 0 {
+		t.Fatal("empty span not zero")
+	}
+	r.Add("a", PhaseForward, "x", 0.5, 1.5)
+	r.Add("b", PhaseBackward, "y", 0.2, 0.9)
+	lo, hi := r.Span()
+	if lo != 0.2 || hi != 1.5 {
+		t.Fatalf("span [%g,%g]", lo, hi)
+	}
+}
+
+func TestDisabledRecorderIsFree(t *testing.T) {
+	r := &Recorder{}
+	r.Add("a", PhaseForward, "x", 0, 1)
+	if len(r.Events) != 0 {
+		t.Fatal("disabled recorder stored events")
+	}
+	var nilRec *Recorder
+	nilRec.Add("a", PhaseForward, "x", 0, 1) // must not panic
+}
+
+func TestNegativeDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted interval accepted")
+		}
+	}()
+	New().Add("a", PhaseForward, "x", 2, 1)
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	r := New()
+	r.Add("rank0", PhaseForward, "s0", 0, 0.2)
+	r.Add("rank0", PhaseBackward, "s0", 0.2, 0.6)
+	r.Add("coordinator", PhaseAllreduce, "b0", 0.3, 0.5)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, got := r.Breakdown(), back.Breakdown()
+	for phase, d := range orig {
+		if math.Abs(got[phase]-d) > 1e-9 {
+			t.Fatalf("phase %s: %g vs %g", phase, got[phase], d)
+		}
+	}
+	if _, err := ReadChromeTrace(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+}
+
+func TestChromeTraceFormat(t *testing.T) {
+	r := New()
+	r.Add("rank0", PhaseForward, "s0", 0, 0.001)
+	r.Add("coordinator", PhaseNegotiate, "c0", 0.001, 0.002)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events", len(events))
+	}
+	e := events[0]
+	if e["ph"] != "X" {
+		t.Fatalf("phase type %v", e["ph"])
+	}
+	if e["dur"].(float64) != 1000 { // 1 ms → 1000 µs
+		t.Fatalf("dur %v", e["dur"])
+	}
+	if !strings.Contains(e["name"].(string), PhaseForward) {
+		t.Fatalf("name %v", e["name"])
+	}
+	// Distinct lanes get distinct tids.
+	if events[0]["tid"] == events[1]["tid"] {
+		t.Fatal("lanes share a tid")
+	}
+}

@@ -1,0 +1,178 @@
+// Package topology describes the machine the paper ran on: the Summit
+// supercomputer at Oak Ridge National Laboratory.
+//
+// A Summit node holds two POWER9 sockets and six NVIDIA V100 GPUs.
+// The GPUs are split into two triads of three; within a triad each
+// GPU pair (and the GPU-to-CPU path) is connected by dual NVLink2
+// bricks (2 × 25 GB/s per direction). The two sockets are joined by an
+// X-Bus, and each node has dual-rail EDR InfiniBand (2 × 100 Gb/s) to
+// a non-blocking fat tree.
+//
+// The topology package answers two questions for the rest of the
+// system: "what kind of link connects rank a to rank b" and "how many
+// ranks share each resource" — everything quantitative (latency,
+// bandwidth) lives in internal/netmodel.
+package topology
+
+import "fmt"
+
+// GPUsPerNode is fixed by the Summit node design.
+const GPUsPerNode = 6
+
+// GPUsPerTriad is the number of V100s sharing one POWER9 socket.
+const GPUsPerTriad = 3
+
+// LinkKind classifies the physical path between two endpoints.
+type LinkKind int
+
+const (
+	// LinkSelf means both endpoints are the same device.
+	LinkSelf LinkKind = iota
+	// LinkNVLink is a direct NVLink2 connection (same triad).
+	LinkNVLink
+	// LinkXBus crosses the POWER9 socket interconnect (other triad,
+	// same node).
+	LinkXBus
+	// LinkPCIeHost is a staged GPU→host→GPU path (used when the MPI
+	// library cannot do GPU-direct).
+	LinkPCIeHost
+	// LinkIB is inter-node dual-rail EDR InfiniBand.
+	LinkIB
+)
+
+func (k LinkKind) String() string {
+	switch k {
+	case LinkSelf:
+		return "self"
+	case LinkNVLink:
+		return "nvlink"
+	case LinkXBus:
+		return "xbus"
+	case LinkPCIeHost:
+		return "pcie-host"
+	case LinkIB:
+		return "ib-edr"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", int(k))
+	}
+}
+
+// Machine is a Summit-like cluster allocation.
+type Machine struct {
+	// Nodes is the number of allocated nodes.
+	Nodes int
+	// GPUsPer is GPUs used per node (the paper uses all 6; smaller
+	// allocations appear in single-node experiments).
+	GPUsPer int
+}
+
+// Summit returns a machine with n nodes using all six GPUs per node.
+func Summit(nodes int) Machine {
+	return Machine{Nodes: nodes, GPUsPer: GPUsPerNode}
+}
+
+// ForGPUs returns the smallest Summit allocation holding `gpus` ranks,
+// mirroring how jobs are placed (fill nodes, 6 ranks per node). The
+// paper's 132-GPU runs are 22 full nodes.
+func ForGPUs(gpus int) Machine {
+	if gpus <= 0 {
+		panic("topology: non-positive GPU count")
+	}
+	if gpus < GPUsPerNode {
+		return Machine{Nodes: 1, GPUsPer: gpus}
+	}
+	nodes := (gpus + GPUsPerNode - 1) / GPUsPerNode
+	return Machine{Nodes: nodes, GPUsPer: GPUsPerNode}
+}
+
+// ExactFor returns a machine with exactly `ranks` ranks: the node
+// count and GPUs-per-node multiply out to the rank count (unlike
+// ForGPUs, which rounds up to whole nodes the way the scheduler
+// does). In-process training worlds use this so communicators and
+// machine layouts agree. GPUsPer is the largest divisor ≤ 6.
+func ExactFor(ranks int) Machine {
+	if ranks <= 0 {
+		panic("topology: non-positive rank count")
+	}
+	for per := GPUsPerNode; per >= 1; per-- {
+		if ranks%per == 0 {
+			return Machine{Nodes: ranks / per, GPUsPer: per}
+		}
+	}
+	return Machine{Nodes: ranks, GPUsPer: 1} // unreachable: per=1 divides
+}
+
+// Ranks returns the total number of GPU ranks.
+func (m Machine) Ranks() int { return m.Nodes * m.GPUsPer }
+
+// Validate checks structural invariants.
+func (m Machine) Validate() error {
+	if m.Nodes <= 0 {
+		return fmt.Errorf("topology: %d nodes", m.Nodes)
+	}
+	if m.GPUsPer <= 0 || m.GPUsPer > GPUsPerNode {
+		return fmt.Errorf("topology: %d GPUs per node (max %d)", m.GPUsPer, GPUsPerNode)
+	}
+	return nil
+}
+
+// Node returns the node index hosting rank r.
+func (m Machine) Node(r int) int { return r / m.GPUsPer }
+
+// LocalRank returns r's index within its node (0..GPUsPer-1).
+func (m Machine) LocalRank(r int) int { return r % m.GPUsPer }
+
+// Triad returns which of the two NVLink triads local rank l belongs
+// to. With fewer than 4 GPUs per node everything fits in triad 0.
+func triad(local int) int { return local / GPUsPerTriad }
+
+// Link classifies the path between ranks a and b assuming GPU-direct
+// transfers (the MVAPICH2-GDR case). Host-staged classification is a
+// concern of the MPI profile, not the topology.
+func (m Machine) Link(a, b int) LinkKind {
+	if a == b {
+		return LinkSelf
+	}
+	if m.Node(a) != m.Node(b) {
+		return LinkIB
+	}
+	if triad(m.LocalRank(a)) == triad(m.LocalRank(b)) {
+		return LinkNVLink
+	}
+	return LinkXBus
+}
+
+// NodeLeader returns the lowest global rank on the same node as r —
+// the rank hierarchical collectives use as the node representative.
+func (m Machine) NodeLeader(r int) int { return m.Node(r) * m.GPUsPer }
+
+// IsLeader reports whether r is its node's leader rank.
+func (m Machine) IsLeader(r int) bool { return m.LocalRank(r) == 0 }
+
+// Leaders returns the global ranks of all node leaders.
+func (m Machine) Leaders() []int {
+	out := make([]int, m.Nodes)
+	for n := 0; n < m.Nodes; n++ {
+		out[n] = n * m.GPUsPer
+	}
+	return out
+}
+
+// NodeRanks returns the global ranks on node n.
+func (m Machine) NodeRanks(n int) []int {
+	out := make([]int, m.GPUsPer)
+	for i := range out {
+		out[i] = n*m.GPUsPer + i
+	}
+	return out
+}
+
+// PaperScales returns the GPU counts used in the paper's scaling
+// study: single GPU, then full nodes up to 22 nodes (132 GPUs).
+func PaperScales() []int {
+	return []int{1, 6, 12, 24, 48, 96, 132}
+}
+
+func (m Machine) String() string {
+	return fmt.Sprintf("%d node(s) × %d GPU(s) = %d ranks", m.Nodes, m.GPUsPer, m.Ranks())
+}

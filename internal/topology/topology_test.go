@@ -1,0 +1,212 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestForGPUs(t *testing.T) {
+	cases := []struct {
+		gpus, nodes, per int
+	}{
+		{1, 1, 1},
+		{3, 1, 3},
+		{6, 1, 6},
+		{7, 2, 6},
+		{12, 2, 6},
+		{24, 4, 6},
+		{132, 22, 6},
+	}
+	for _, c := range cases {
+		m := ForGPUs(c.gpus)
+		if m.Nodes != c.nodes || m.GPUsPer != c.per {
+			t.Errorf("ForGPUs(%d) = %v, want %d nodes × %d", c.gpus, m, c.nodes, c.per)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("ForGPUs(%d) invalid: %v", c.gpus, err)
+		}
+	}
+}
+
+func TestForGPUsPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ForGPUs(0) did not panic")
+		}
+	}()
+	ForGPUs(0)
+}
+
+func TestLinkClassification(t *testing.T) {
+	m := Summit(2) // ranks 0..11
+	cases := []struct {
+		a, b int
+		want LinkKind
+	}{
+		{0, 0, LinkSelf},
+		{0, 1, LinkNVLink}, // same triad
+		{0, 2, LinkNVLink}, // same triad
+		{0, 3, LinkXBus},   // other triad, same node
+		{2, 5, LinkXBus},   // triad 0 ↔ triad 1
+		{3, 5, LinkNVLink}, // both triad 1
+		{0, 6, LinkIB},     // different node
+		{5, 11, LinkIB},    // different node
+	}
+	for _, c := range cases {
+		if got := m.Link(c.a, c.b); got != c.want {
+			t.Errorf("Link(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLinkSymmetric(t *testing.T) {
+	m := Summit(3)
+	f := func(a, b uint8) bool {
+		ra, rb := int(a)%m.Ranks(), int(b)%m.Ranks()
+		return m.Link(ra, rb) == m.Link(rb, ra)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaders(t *testing.T) {
+	m := Summit(4)
+	leaders := m.Leaders()
+	want := []int{0, 6, 12, 18}
+	if len(leaders) != len(want) {
+		t.Fatalf("leaders = %v", leaders)
+	}
+	for i := range want {
+		if leaders[i] != want[i] {
+			t.Fatalf("leaders = %v, want %v", leaders, want)
+		}
+		if !m.IsLeader(want[i]) {
+			t.Errorf("rank %d should be a leader", want[i])
+		}
+	}
+	if m.IsLeader(1) {
+		t.Error("rank 1 is not a leader")
+	}
+	if m.NodeLeader(10) != 6 {
+		t.Errorf("NodeLeader(10) = %d, want 6", m.NodeLeader(10))
+	}
+}
+
+func TestNodeRanks(t *testing.T) {
+	m := Summit(3)
+	got := m.NodeRanks(1)
+	want := []int{6, 7, 8, 9, 10, 11}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NodeRanks(1) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPaperScalesEndAt132(t *testing.T) {
+	s := PaperScales()
+	if s[len(s)-1] != 132 {
+		t.Fatalf("paper scales should end at 132, got %v", s)
+	}
+	if s[0] != 1 {
+		t.Fatalf("paper scales should start at single GPU, got %v", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatalf("scales not increasing: %v", s)
+		}
+	}
+}
+
+func TestExactFor(t *testing.T) {
+	cases := []struct{ ranks, nodes, per int }{
+		{1, 1, 1},
+		{6, 1, 6},
+		{8, 2, 4},
+		{7, 7, 1}, // prime: one rank per node
+		{12, 2, 6},
+		{132, 22, 6},
+	}
+	for _, c := range cases {
+		m := ExactFor(c.ranks)
+		if m.Ranks() != c.ranks {
+			t.Errorf("ExactFor(%d) has %d ranks", c.ranks, m.Ranks())
+		}
+		if m.Nodes != c.nodes || m.GPUsPer != c.per {
+			t.Errorf("ExactFor(%d) = %v, want %d×%d", c.ranks, m, c.nodes, c.per)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("ExactFor(%d) invalid: %v", c.ranks, err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ExactFor(0) did not panic")
+		}
+	}()
+	ExactFor(0)
+}
+
+// Property: ExactFor always yields exactly the requested rank count
+// with the largest per-node packing ≤ 6.
+func TestPropertyExactFor(t *testing.T) {
+	f := func(r uint8) bool {
+		ranks := int(r) + 1
+		m := ExactFor(ranks)
+		if m.Ranks() != ranks || m.GPUsPer > GPUsPerNode {
+			return false
+		}
+		// No larger divisor ≤ 6 exists.
+		for per := m.GPUsPer + 1; per <= GPUsPerNode; per++ {
+			if ranks%per == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: node/local decomposition round-trips.
+func TestPropertyNodeLocalRoundTrip(t *testing.T) {
+	f := func(nodes, rank uint8) bool {
+		m := Summit(int(nodes%30) + 1)
+		r := int(rank) % m.Ranks()
+		return m.Node(r)*m.GPUsPer+m.LocalRank(r) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ranks on the same node never classify as IB; ranks on
+// different nodes always do.
+func TestPropertyLinkNodeConsistency(t *testing.T) {
+	m := Summit(5)
+	f := func(a, b uint8) bool {
+		ra, rb := int(a)%m.Ranks(), int(b)%m.Ranks()
+		k := m.Link(ra, rb)
+		sameNode := m.Node(ra) == m.Node(rb)
+		if sameNode {
+			return k != LinkIB
+		}
+		return k == LinkIB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkKindString(t *testing.T) {
+	for _, k := range []LinkKind{LinkSelf, LinkNVLink, LinkXBus, LinkPCIeHost, LinkIB} {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", int(k))
+		}
+	}
+	if LinkKind(99).String() != "LinkKind(99)" {
+		t.Errorf("unexpected fallback: %s", LinkKind(99))
+	}
+}

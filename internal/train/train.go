@@ -1,0 +1,310 @@
+// Package train runs real distributed data-parallel training of the
+// scaled-down DeepLab-v3+ on the synthetic VOC dataset: every rank is
+// a goroutine with its own model replica, gradients are averaged with
+// the real collectives through the Horovod runtime, the learning rate
+// follows DeepLab's poly schedule with the linear-scaling rule and
+// warmup, and evaluation merges per-rank confusion matrices into a
+// global mIOU — the paper's accuracy experiment, end to end.
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"segscale/internal/checkpoint"
+	"segscale/internal/deeplab"
+	"segscale/internal/horovod"
+	"segscale/internal/metrics"
+	"segscale/internal/nn"
+	"segscale/internal/segdata"
+	"segscale/internal/topology"
+	"segscale/internal/transport"
+)
+
+// Config describes one training run.
+type Config struct {
+	// World is the number of data-parallel ranks.
+	World int
+	// Arch selects "deeplab" or "fcn".
+	Arch string
+	// Model sizes the network.
+	Model deeplab.Config
+	// Epochs over the training shard.
+	Epochs int
+	// BatchPerRank images per rank per step.
+	BatchPerRank int
+	// TrainSize / EvalSize are synthetic dataset sizes.
+	TrainSize int
+	EvalSize  int
+	// DataStyle selects the scene generator (VOC-like or urban).
+	DataStyle segdata.Style
+	// BaseLR is the single-rank learning rate; the schedule scales it
+	// by World (linear-scaling rule) after warmup.
+	BaseLR float64
+	// ScaleLRByWorld applies the linear-scaling rule (Goyal et al.),
+	// the paper's weak-scaling recipe where the per-rank batch stays
+	// fixed as ranks grow. Disable for strong-scaling comparisons
+	// that hold the *effective* batch (World × BatchPerRank)
+	// constant — there the effective batch hasn't changed, so
+	// neither should the learning rate.
+	ScaleLRByWorld bool
+	// WarmupFrac is the fraction of total steps spent warming up.
+	WarmupFrac float64
+	// Augment enables random horizontal flips.
+	Augment bool
+	// SyncBN synchronises batch-norm statistics across ranks — the
+	// standard remedy when the per-rank batch is too small for stable
+	// statistics (exactly the situation strong scaling creates).
+	SyncBN bool
+	// Optimizer selects "sgd" (default) or "lars" — LARS being the
+	// large-batch stabiliser the weak-scaling regime calls for.
+	Optimizer string
+	// GradClip, when positive, caps the global gradient L2 norm.
+	GradClip float64
+	// CheckpointPath, when set, makes rank 0 write the model (weights
+	// + batch-norm statistics) there after every epoch — what a
+	// wall-clock-limited Summit job does between allocations.
+	CheckpointPath string
+	// ResumeFrom, when set, loads a checkpoint into every rank before
+	// training (after which ranks are trivially in sync).
+	ResumeFrom string
+	// Horovod configures gradient fusion/allreduce.
+	Horovod horovod.Config
+	// Seed controls data and augmentation randomness.
+	Seed int64
+}
+
+// DefaultConfig returns a configuration that converges in seconds on
+// a CPU.
+func DefaultConfig() Config {
+	return Config{
+		World:          1,
+		Arch:           "deeplab",
+		Model:          deeplab.DefaultConfig(),
+		Epochs:         6,
+		BatchPerRank:   4,
+		TrainSize:      48,
+		EvalSize:       16,
+		BaseLR:         0.05,
+		ScaleLRByWorld: true,
+		WarmupFrac:     0.1,
+		Augment:        true,
+		SyncBN:         true,
+		Optimizer:      "sgd",
+		Horovod:        horovod.Default(),
+		Seed:           1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.World <= 0 || c.Epochs <= 0 || c.BatchPerRank <= 0 {
+		return fmt.Errorf("train: degenerate config (world=%d epochs=%d batch=%d)", c.World, c.Epochs, c.BatchPerRank)
+	}
+	if c.TrainSize < c.World {
+		return fmt.Errorf("train: %d training images cannot shard over %d ranks", c.TrainSize, c.World)
+	}
+	if c.EvalSize <= 0 {
+		return fmt.Errorf("train: empty eval set")
+	}
+	if c.Arch != "deeplab" && c.Arch != "fcn" {
+		return fmt.Errorf("train: unknown arch %q", c.Arch)
+	}
+	if c.BaseLR <= 0 {
+		return fmt.Errorf("train: learning rate %g", c.BaseLR)
+	}
+	if c.Optimizer != "" && c.Optimizer != "sgd" && c.Optimizer != "lars" {
+		return fmt.Errorf("train: unknown optimizer %q", c.Optimizer)
+	}
+	if c.GradClip < 0 {
+		return fmt.Errorf("train: negative gradient clip %g", c.GradClip)
+	}
+	return nil
+}
+
+// EpochStats is one epoch's global metrics.
+type EpochStats struct {
+	Epoch    int
+	Loss     float64
+	MIOU     float64
+	PixelAcc float64
+	LR       float64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Config    Config
+	History   []EpochStats
+	FinalMIOU float64
+	FinalAcc  float64
+	// FinalPerClassIOU holds the last epoch's per-class IOU (NaN for
+	// classes absent from the eval set).
+	FinalPerClassIOU []float64
+	// BestMIOU / BestEpoch track the best evaluation seen (papers
+	// report best-checkpoint numbers).
+	BestMIOU  float64
+	BestEpoch int
+	// FinalFwIOU is the last epoch's frequency-weighted IOU.
+	FinalFwIOU float64
+}
+
+// Run trains and returns per-epoch metrics.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	mach := topology.ExactFor(cfg.World)
+	trainSet := segdata.New(cfg.TrainSize, cfg.Model.InputSize, cfg.Model.InputSize, cfg.Seed)
+	trainSet.Style = cfg.DataStyle
+	evalSet := segdata.New(cfg.EvalSize, cfg.Model.InputSize, cfg.Model.InputSize, cfg.Seed+1_000_000)
+	evalSet.Style = cfg.DataStyle
+
+	stepsPerEpoch := (len(segdata.ShardIDs(cfg.TrainSize, cfg.World, 0)) + cfg.BatchPerRank - 1) / cfg.BatchPerRank
+	totalSteps := stepsPerEpoch * cfg.Epochs
+	warmup := int(cfg.WarmupFrac * float64(totalSteps))
+	lrWorld := cfg.World
+	if !cfg.ScaleLRByWorld {
+		lrWorld = 1
+	}
+	sched := nn.NewPolySchedule(cfg.BaseLR, totalSteps, warmup, lrWorld)
+
+	history := make([]EpochStats, cfg.Epochs)
+	var finalPerClass []float64
+	var finalFw float64
+
+	transport.Run(cfg.World, func(c *transport.Comm) {
+		rank := c.Rank()
+		var net deeplab.Segmenter
+		if cfg.Arch == "fcn" {
+			net = deeplab.NewFCN(cfg.Model)
+		} else {
+			net = deeplab.New(cfg.Model)
+		}
+		params := net.Params()
+		rt := horovod.NewRuntime(c, mach, cfg.Horovod)
+		if cfg.ResumeFrom != "" {
+			if err := checkpoint.LoadFile(cfg.ResumeFrom, params, net.BatchNorms()); err != nil {
+				panic(fmt.Errorf("train: resume: %w", err))
+			}
+		}
+		rt.BroadcastParams(params)
+		if cfg.SyncBN && cfg.World > 1 {
+			for _, bn := range net.BatchNorms() {
+				bn.Sync = rt.AllreduceSumFloat64
+			}
+		}
+
+		var opt nn.Optimizer
+		if cfg.Optimizer == "lars" {
+			opt = nn.NewLARS(sched.LR(0))
+		} else {
+			opt = nn.NewSGD(sched.LR(0))
+		}
+		shard := segdata.ShardIDs(cfg.TrainSize, cfg.World, rank)
+		rng := rand.New(rand.NewSource(cfg.Seed*31 + int64(rank)))
+		accum := cfg.Horovod.AccumPasses()
+		step := 0
+
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			// Epoch-deterministic shuffle, distinct per rank. Every
+			// rank runs exactly stepsPerEpoch batches (wrapping when
+			// its shard is a sample short) so the collectives stay in
+			// lockstep.
+			perm := rand.New(rand.NewSource(cfg.Seed + int64(epoch)*101 + int64(rank))).Perm(len(shard))
+			epochLoss, batches := 0.0, 0
+			for s := 0; s < stepsPerEpoch; s++ {
+				ids := make([]int, 0, cfg.BatchPerRank)
+				for k := 0; k < cfg.BatchPerRank; k++ {
+					ids = append(ids, shard[perm[(s*cfg.BatchPerRank+k)%len(shard)]])
+				}
+				x, labels := trainSet.Batch(ids)
+				if cfg.Augment {
+					// DeepLab's recipe: random scale jitter + crop,
+					// then random horizontal flip.
+					segdata.RandomScaleCrop(rng, x, labels, 0.75, 1.25)
+					if rng.Intn(2) == 1 {
+						segdata.FlipHoriz(x, labels)
+					}
+				}
+				loss := net.Loss(x, labels, segdata.IgnoreLabel, true)
+				// Gradient accumulation (backward_passes_per_step):
+				// communicate and update only every accum-th pass.
+				if (s+1)%accum == 0 {
+					if accum > 1 {
+						for _, p := range params {
+							p.G.Scale(1 / float32(accum))
+						}
+					}
+					rt.AllreduceGrads(params)
+					if cfg.GradClip > 0 {
+						nn.GlobalGradClip(params, cfg.GradClip)
+					}
+					opt.SetLR(sched.LR(step))
+					opt.Step(params)
+					nn.ZeroGrads(params)
+				}
+				epochLoss += loss
+				batches++
+				step++
+			}
+
+			// Global metrics: average loss, merged confusion matrix.
+			avgLoss := rt.AllreduceScalar(epochLoss / float64(batches))
+			conf := evaluate(net, evalSet, cfg.World, rank)
+			rt.AllreduceCounts(conf.M)
+			if rank == 0 {
+				history[epoch] = EpochStats{
+					Epoch:    epoch,
+					Loss:     avgLoss,
+					MIOU:     conf.MeanIOU(),
+					PixelAcc: conf.PixelAccuracy(),
+					LR:       sched.LR(step - 1),
+				}
+				if cfg.CheckpointPath != "" {
+					if err := checkpoint.SaveFile(cfg.CheckpointPath, params, net.BatchNorms()); err != nil {
+						panic(fmt.Errorf("train: checkpoint: %w", err))
+					}
+				}
+				if epoch == cfg.Epochs-1 {
+					finalPerClass = make([]float64, segdata.NumClasses)
+					for k := range finalPerClass {
+						if iou, ok := conf.IOU(k); ok {
+							finalPerClass[k] = iou
+						} else {
+							finalPerClass[k] = math.NaN()
+						}
+					}
+					finalFw = conf.FreqWeightedIOU()
+				}
+			}
+			c.Barrier()
+		}
+	})
+	res := &Result{Config: cfg, History: history, FinalPerClassIOU: finalPerClass, FinalFwIOU: finalFw}
+	last := history[len(history)-1]
+	res.FinalMIOU = last.MIOU
+	res.FinalAcc = last.PixelAcc
+	res.BestEpoch = -1
+	for _, e := range history {
+		if e.MIOU > res.BestMIOU {
+			res.BestMIOU = e.MIOU
+			res.BestEpoch = e.Epoch
+		}
+	}
+	return res, nil
+}
+
+// evaluate runs this rank's slice of the eval set through the model
+// in eval mode and returns its partial confusion matrix.
+func evaluate(net deeplab.Segmenter, evalSet *segdata.Dataset, world, rank int) *metrics.Confusion {
+	conf := metrics.NewConfusion(segdata.NumClasses)
+	ids := segdata.ShardIDs(evalSet.Len(), world, rank)
+	const evalBatch = 4
+	for lo := 0; lo < len(ids); lo += evalBatch {
+		hi := min(lo+evalBatch, len(ids))
+		x, labels := evalSet.Batch(ids[lo:hi])
+		pred := net.Predict(x)
+		conf.Update(labels, pred, segdata.IgnoreLabel)
+	}
+	return conf
+}

@@ -1,0 +1,175 @@
+// Package transport is an in-memory point-to-point message layer with
+// MPI-like semantics: ranks, tags, blocking Send/Recv with per-pair
+// FIFO ordering. It carries real float32 payloads between in-process
+// ranks (goroutines), and is the substrate for internal/collective —
+// the *functional* half of the reproduction, where gradient averaging
+// actually happens. Timing is not modelled here; that is
+// internal/netmodel's job.
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one in-flight payload.
+type message struct {
+	tag  int
+	data []float32
+}
+
+// World owns the mailboxes for a fixed set of ranks.
+type World struct {
+	n int
+	// mail[dst][src] is the FIFO channel for src→dst traffic.
+	mail [][]chan message
+
+	barrierMu  sync.Mutex
+	barrierGen int
+	barrierCnt int
+	barrierCh  chan struct{}
+}
+
+// mailboxDepth bounds in-flight messages per (src,dst) pair. Eager
+// buffering this deep lets ring algorithms run without rendezvous.
+const mailboxDepth = 64
+
+// NewWorld creates a world with n ranks.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("transport: world size %d", n))
+	}
+	w := &World{n: n, barrierCh: make(chan struct{})}
+	w.mail = make([][]chan message, n)
+	for dst := range w.mail {
+		w.mail[dst] = make([]chan message, n)
+		for src := range w.mail[dst] {
+			w.mail[dst][src] = make(chan message, mailboxDepth)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Comm returns rank r's endpoint.
+func (w *World) Comm(r int) *Comm {
+	if r < 0 || r >= w.n {
+		panic(fmt.Sprintf("transport: rank %d outside world of %d", r, w.n))
+	}
+	return &Comm{w: w, rank: r, pending: make(map[int][]message)}
+}
+
+// Comm is one rank's communicator. A Comm is owned by a single
+// goroutine; Comms for different ranks may be used concurrently.
+type Comm struct {
+	w    *World
+	rank int
+	// pending holds messages received out of tag order, keyed by src.
+	pending map[int][]message
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.n }
+
+// Send delivers a copy of data to dst with the given tag. It blocks
+// only when the pair's mailbox is full (flow control).
+func (c *Comm) Send(dst, tag int, data []float32) {
+	if dst == c.rank {
+		panic("transport: send to self")
+	}
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	c.w.mail[dst][c.rank] <- message{tag: tag, data: cp}
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. Messages from src with other tags are held
+// aside and delivered to later matching Recvs.
+func (c *Comm) Recv(src, tag int) []float32 {
+	if src == c.rank {
+		panic("transport: recv from self")
+	}
+	// Check the hold-aside buffer first.
+	q := c.pending[src]
+	for i, m := range q {
+		if m.tag == tag {
+			c.pending[src] = append(q[:i:i], q[i+1:]...)
+			return m.data
+		}
+	}
+	for {
+		m := <-c.w.mail[c.rank][src]
+		if m.tag == tag {
+			return m.data
+		}
+		c.pending[src] = append(c.pending[src], m)
+	}
+}
+
+// RecvInto is Recv but copies the payload into dst, which must match
+// the message length.
+func (c *Comm) RecvInto(src, tag int, dst []float32) {
+	m := c.Recv(src, tag)
+	if len(m) != len(dst) {
+		panic(fmt.Sprintf("transport: recv length %d into buffer %d", len(m), len(dst)))
+	}
+	copy(dst, m)
+}
+
+// SendRecv posts a send to dst and then receives from src — the
+// classic ring-step primitive. The eager mailbox keeps this
+// deadlock-free for cycles shorter than mailboxDepth.
+func (c *Comm) SendRecv(dst, sendTag int, data []float32, src, recvTag int) []float32 {
+	c.Send(dst, sendTag, data)
+	return c.Recv(src, recvTag)
+}
+
+// Barrier blocks until all ranks in the world have called it.
+func (c *Comm) Barrier() {
+	w := c.w
+	w.barrierMu.Lock()
+	w.barrierCnt++
+	if w.barrierCnt == w.n {
+		w.barrierCnt = 0
+		w.barrierGen++
+		close(w.barrierCh)
+		w.barrierCh = make(chan struct{})
+		w.barrierMu.Unlock()
+		return
+	}
+	ch := w.barrierCh
+	w.barrierMu.Unlock()
+	<-ch
+}
+
+// Run spawns fn on every rank of a fresh world and waits for all to
+// return. Any rank panic is re-raised on the caller after all other
+// ranks finish or deadlock is avoided via buffered channels.
+func Run(n int, fn func(c *Comm)) {
+	w := NewWorld(n)
+	var wg sync.WaitGroup
+	panics := make(chan any, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- p
+				}
+			}()
+			fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}

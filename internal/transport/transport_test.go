@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c := w.Comm(0)
+		c.Send(1, 7, []float32{1, 2, 3})
+	}()
+	var got []float32
+	go func() {
+		defer wg.Done()
+		c := w.Comm(1)
+		got = c.Recv(0, 7)
+	}()
+	wg.Wait()
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	w := NewWorld(2)
+	src := []float32{1, 2, 3}
+	done := make(chan []float32)
+	go func() {
+		done <- w.Comm(1).Recv(0, 0)
+	}()
+	w.Comm(0).Send(1, 0, src)
+	src[0] = 99 // mutate after send; receiver must see the original
+	got := <-done
+	if got[0] != 1 {
+		t.Fatalf("send aliased caller buffer: got %v", got)
+	}
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	w := NewWorld(2)
+	c0, c1 := w.Comm(0), w.Comm(1)
+	c0.Send(1, 1, []float32{1})
+	c0.Send(1, 2, []float32{2})
+	// Receive tag 2 first: tag-1 message must be held aside.
+	if got := c1.Recv(0, 2); got[0] != 2 {
+		t.Fatalf("tag 2 recv got %v", got)
+	}
+	if got := c1.Recv(0, 1); got[0] != 1 {
+		t.Fatalf("tag 1 recv got %v", got)
+	}
+}
+
+func TestPendingPreservesFIFOWithinTag(t *testing.T) {
+	w := NewWorld(2)
+	c0, c1 := w.Comm(0), w.Comm(1)
+	c0.Send(1, 5, []float32{10})
+	c0.Send(1, 9, []float32{99})
+	c0.Send(1, 5, []float32{20})
+	if got := c1.Recv(0, 9); got[0] != 99 {
+		t.Fatalf("tag 9 got %v", got)
+	}
+	if got := c1.Recv(0, 5); got[0] != 10 {
+		t.Fatalf("first tag-5 got %v", got)
+	}
+	if got := c1.Recv(0, 5); got[0] != 20 {
+		t.Fatalf("second tag-5 got %v", got)
+	}
+}
+
+func TestRecvInto(t *testing.T) {
+	w := NewWorld(2)
+	go w.Comm(0).Send(1, 0, []float32{4, 5})
+	buf := make([]float32, 2)
+	w.Comm(1).RecvInto(0, 0, buf)
+	if buf[0] != 4 || buf[1] != 5 {
+		t.Fatalf("buf = %v", buf)
+	}
+}
+
+func TestRecvIntoLengthMismatchPanics(t *testing.T) {
+	w := NewWorld(2)
+	w.Comm(0).Send(1, 0, []float32{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	w.Comm(1).RecvInto(0, 0, make([]float32, 3))
+}
+
+func TestSelfSendRecvPanic(t *testing.T) {
+	w := NewWorld(2)
+	c := w.Comm(0)
+	for _, f := range []func(){
+		func() { c.Send(0, 0, nil) },
+		func() { c.Recv(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("self send/recv did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWorld(0) did not panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestCommRankBounds(t *testing.T) {
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range rank did not panic")
+		}
+	}()
+	w.Comm(2)
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 8
+	counter := 0
+	var mu sync.Mutex
+	Run(n, func(c *Comm) {
+		mu.Lock()
+		counter++
+		mu.Unlock()
+		c.Barrier()
+		mu.Lock()
+		if counter != n {
+			t.Errorf("rank %d passed barrier with counter %d", c.Rank(), counter)
+		}
+		mu.Unlock()
+		c.Barrier()
+	})
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("rank panic not propagated")
+		}
+	}()
+	Run(2, func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("rank 1 died")
+		}
+	})
+}
+
+func TestRingExchange(t *testing.T) {
+	const n = 6
+	results := make([]float32, n)
+	Run(n, func(c *Comm) {
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() - 1 + n) % n
+		got := c.SendRecv(next, 0, []float32{float32(c.Rank())}, prev, 0)
+		results[c.Rank()] = got[0]
+	})
+	for r := 0; r < n; r++ {
+		want := float32((r - 1 + n) % n)
+		if results[r] != want {
+			t.Errorf("rank %d got %v, want %v", r, results[r], want)
+		}
+	}
+}
+
+func TestManyMessagesDoNotDeadlock(t *testing.T) {
+	// More messages than one mailbox depth, consumed concurrently.
+	const msgs = 500
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				c.Send(1, i%3, []float32{float32(i)})
+			}
+		} else {
+			seen := 0
+			for i := 0; i < msgs; i++ {
+				c.Recv(0, i%3)
+				seen++
+			}
+			if seen != msgs {
+				t.Errorf("received %d of %d", seen, msgs)
+			}
+		}
+	})
+}

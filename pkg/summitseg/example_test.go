@@ -1,0 +1,84 @@
+package summitseg_test
+
+import (
+	"fmt"
+	"log"
+
+	"segscale/pkg/summitseg"
+)
+
+// ExampleSimulate reproduces the paper's headline: tuned
+// Horovod + MVAPICH2-GDR scales near-linearly at 132 GPUs.
+func ExampleSimulate() {
+	prof, _ := summitseg.ModelByName("dlv3plus")
+	mpi, _ := summitseg.MPIByName("mv2gdr")
+
+	base, err := summitseg.Simulate(summitseg.SimOptions{
+		GPUs: 1, Model: prof, MPI: mpi, Horovod: summitseg.TunedHorovod(), Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	at132, err := summitseg.Simulate(summitseg.SimOptions{
+		GPUs: 132, Model: prof, MPI: mpi, Horovod: summitseg.TunedHorovod(), Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eff := at132.EfficiencyVs(base)
+	fmt.Printf("single GPU ≈ 6.7 img/s: %v\n", base.ImgPerSec > 6.4 && base.ImgPerSec < 7.0)
+	fmt.Printf("near-linear at 132 GPUs (>88%% efficiency): %v\n", eff > 0.88)
+	// Output:
+	// single GPU ≈ 6.7 img/s: true
+	// near-linear at 132 GPUs (>88% efficiency): true
+}
+
+// ExampleTune runs the staged tuning methodology and shows that it
+// discovers the MVAPICH2-GDR configuration.
+func ExampleTune() {
+	prof, _ := summitseg.ModelByName("dlv3plus")
+	rep, err := summitseg.Tune(48, prof, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best MPI library: %s\n", rep.Best.Candidate.MPI.Name)
+	fmt.Printf("beats default Horovod: %v\n", rep.Speedup() > 1.1)
+	// Output:
+	// best MPI library: mv2gdr
+	// beats default Horovod: true
+}
+
+// ExampleAllreduceLatency prints the microbenchmark contrast between
+// the two MPI libraries.
+func ExampleAllreduceLatency() {
+	spectrum, _ := summitseg.MPIByName("spectrum")
+	mv2, _ := summitseg.MPIByName("mv2gdr")
+	sizes := []int{4, 64 << 20}
+	a, _ := summitseg.AllreduceLatency(spectrum, 2, sizes)
+	b, _ := summitseg.AllreduceLatency(mv2, 2, sizes)
+	for i := range sizes {
+		fmt.Printf("%d bytes: MVAPICH2-GDR faster: %v\n", sizes[i], b[i].LatencyUS < a[i].LatencyUS)
+	}
+	// Output:
+	// 4 bytes: MVAPICH2-GDR faster: true
+	// 67108864 bytes: MVAPICH2-GDR faster: true
+}
+
+// ExampleTrain really trains the scaled-down DeepLab-v3+ for two
+// epochs on two ranks.
+func ExampleTrain() {
+	cfg := summitseg.DefaultTraining()
+	cfg.World = 2
+	cfg.Epochs = 2
+	cfg.TrainSize = 16
+	cfg.EvalSize = 8
+	res, err := summitseg.Train(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("epochs recorded: %d\n", len(res.History))
+	fmt.Printf("loss decreased: %v\n", res.History[1].Loss < res.History[0].Loss)
+	// Output:
+	// epochs recorded: 2
+	// loss decreased: true
+}

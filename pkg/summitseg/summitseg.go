@@ -1,0 +1,237 @@
+// Package summitseg is the public API of segscale, a reproduction of
+// "Efficient Training of Semantic Image Segmentation on Summit using
+// Horovod and MVAPICH2-GDR" (Anthony et al., IPDPSW 2020).
+//
+// It exposes the four things the paper does:
+//
+//   - Simulate: distributed-training performance on a Summit-like
+//     machine for a model profile under a Horovod/MPI configuration
+//     (discrete-event simulation with calibrated compute times);
+//   - Tune: the paper's staged knob-tuning methodology, which finds
+//     near-linear-scaling configurations without modifying Horovod,
+//     MPI, or the model;
+//   - Train: real distributed data-parallel training of a scaled-down
+//     DeepLab-v3+ on a synthetic VOC-21 dataset with real collectives
+//     (the accuracy experiment);
+//   - Microbench: osu_allreduce-style latency tables for the modelled
+//     MPI libraries.
+//
+// See DESIGN.md for what is simulated versus real, and EXPERIMENTS.md
+// for the paper-vs-measured comparison of every figure and table.
+package summitseg
+
+import (
+	"fmt"
+	"time"
+
+	"segscale/internal/checkpoint"
+	"segscale/internal/core"
+	"segscale/internal/deeplab"
+	"segscale/internal/horovod"
+	"segscale/internal/iosim"
+	"segscale/internal/jobscript"
+	"segscale/internal/model"
+	"segscale/internal/mpiprofile"
+	"segscale/internal/netmodel"
+	"segscale/internal/perfsim"
+	"segscale/internal/timeline"
+	"segscale/internal/topology"
+	"segscale/internal/train"
+)
+
+// Re-exported configuration types. The underlying packages carry the
+// full documentation.
+type (
+	// HorovodConfig is the HOROVOD_* knob set.
+	HorovodConfig = horovod.Config
+	// MPIProfile is an MPI library behaviour model ("spectrum",
+	// "mv2gdr").
+	MPIProfile = mpiprofile.Profile
+	// ModelProfile is a full-size network description (DLv3+,
+	// ResNet-50).
+	ModelProfile = model.Profile
+	// SimResult is one simulated run's aggregate outcome.
+	SimResult = perfsim.Result
+	// TrainConfig configures real distributed training.
+	TrainConfig = train.Config
+	// TrainResult is the real-training outcome with per-epoch metrics.
+	TrainResult = train.Result
+	// TuneReport is the staged-tuning outcome.
+	TuneReport = core.TuneReport
+	// ScalingPoint is one (config, GPU count) scaling measurement.
+	ScalingPoint = core.ScalingPoint
+	// Timeline records Horovod-style phase traces.
+	Timeline = timeline.Recorder
+)
+
+// DefaultHorovod returns Horovod's out-of-the-box knobs.
+func DefaultHorovod() HorovodConfig { return horovod.Default() }
+
+// TunedHorovod returns the knobs the staged tuner converges to on the
+// DLv3+ workload.
+func TunedHorovod() HorovodConfig { return core.TunedCandidate().Candidate.Horovod }
+
+// MPIByName returns a built-in MPI profile ("spectrum" or "mv2gdr").
+func MPIByName(name string) (*MPIProfile, error) { return mpiprofile.ByName(name) }
+
+// ModelByName returns a built-in model profile ("dlv3plus" or
+// "resnet50").
+func ModelByName(name string) (*ModelProfile, error) { return model.ByName(name) }
+
+// PaperScales returns the paper's GPU counts: 1, 6, …, 132.
+func PaperScales() []int { return topology.PaperScales() }
+
+// IOConfig models the input pipeline (GPFS reads, decode workers,
+// prefetch depth).
+type IOConfig = iosim.Config
+
+// DefaultIO returns the Summit/Alpine input-pipeline model.
+func DefaultIO() IOConfig { return iosim.Default() }
+
+// SimOptions configures Simulate.
+type SimOptions struct {
+	GPUs    int
+	Model   *ModelProfile
+	MPI     *MPIProfile
+	Horovod HorovodConfig
+	Seed    int64
+	// Steps simulated (0 = default).
+	Steps int
+	// CyclicPlacement round-robins MPI ranks across nodes instead of
+	// jsrun's block order (an anti-pattern worth measuring).
+	CyclicPlacement bool
+	// IO, when non-nil, adds the input-pipeline model.
+	IO *IOConfig
+	// Timeline, when non-nil, captures one step's phase trace.
+	Timeline *Timeline
+}
+
+// Simulate runs the performance simulator for one configuration.
+func Simulate(opts SimOptions) (*SimResult, error) {
+	placement := perfsim.PlacementPacked
+	if opts.CyclicPlacement {
+		placement = perfsim.PlacementCyclic
+	}
+	return perfsim.Run(perfsim.Config{
+		GPUs: opts.GPUs, Model: opts.Model, MPI: opts.MPI,
+		Horovod: opts.Horovod, Seed: opts.Seed, Steps: opts.Steps,
+		Placement: placement, IO: opts.IO,
+		Timeline: opts.Timeline,
+	})
+}
+
+// JobScript renders an LSF/jsrun batch script for a configuration at
+// the given scale — ready to bsub on a Summit-like system.
+func JobScript(name string, gpus int, mpi *MPIProfile, hvd HorovodConfig) (string, error) {
+	return jobscript.FromConfig(name, gpus, mpi, hvd).LSF()
+}
+
+// SaveCheckpoint / LoadCheckpoint persist a trained model's weights
+// and batch-norm statistics.
+func SaveCheckpoint(path string, m Segmenter) error {
+	return checkpoint.SaveFile(path, m.Params(), m.BatchNorms())
+}
+
+// LoadCheckpoint restores weights saved by SaveCheckpoint into a
+// structurally identical model.
+func LoadCheckpoint(path string, m Segmenter) error {
+	return checkpoint.LoadFile(path, m.Params(), m.BatchNorms())
+}
+
+// Segmenter is a trainable segmentation model (DeepLab-v3+ or FCN).
+type Segmenter = deeplab.Segmenter
+
+// NewDeepLab builds the scaled-down trainable DeepLab-v3+.
+func NewDeepLab(cfg deeplab.Config) Segmenter { return deeplab.New(cfg) }
+
+// NewFCN builds the baseline model.
+func NewFCN(cfg deeplab.Config) Segmenter { return deeplab.NewFCN(cfg) }
+
+// DeepLabConfig sizes the trainable models.
+type DeepLabConfig = deeplab.Config
+
+// DefaultDeepLab returns the laptop-scale model configuration.
+func DefaultDeepLab() DeepLabConfig { return deeplab.DefaultConfig() }
+
+// Scaling runs the paper's scaling study: the default and tuned
+// configurations across the given GPU counts (PaperScales() if nil).
+func Scaling(scales []int, prof *ModelProfile, seed int64) ([]ScalingPoint, error) {
+	if scales == nil {
+		scales = PaperScales()
+	}
+	return core.ScalingStudy(scales, prof,
+		[]core.NamedCandidate{core.DefaultCandidate(), core.TunedCandidate()}, seed)
+}
+
+// Tune runs the staged tuning methodology at the given scale.
+func Tune(gpus int, prof *ModelProfile, seed int64) (*TuneReport, error) {
+	return core.NewTuner(gpus, prof, seed).StagedTune(core.DefaultSpace())
+}
+
+// Train runs real distributed training (see train.Config for knobs).
+func Train(cfg TrainConfig) (*TrainResult, error) { return train.Run(cfg) }
+
+// DefaultTraining returns a training configuration that converges on
+// a laptop in seconds.
+func DefaultTraining() TrainConfig { return train.DefaultConfig() }
+
+// LatencyRow is one osu_allreduce-style measurement.
+type LatencyRow struct {
+	Bytes     int
+	LatencyUS float64 // microseconds
+}
+
+// AllreduceLatency produces an osu_allreduce-style latency table for
+// the given MPI profile across message sizes on `nodes` full Summit
+// nodes, using the library's automatic algorithm selection.
+func AllreduceLatency(mpi *MPIProfile, nodes int, sizes []int) ([]LatencyRow, error) {
+	return CollectiveLatency("allreduce", mpi, nodes, sizes)
+}
+
+// CollectiveLatency generalises AllreduceLatency to the other
+// osu-benchmark operations: "allreduce", "bcast", "allgather",
+// "reduce-scatter".
+func CollectiveLatency(op string, mpi *MPIProfile, nodes int, sizes []int) ([]LatencyRow, error) {
+	mach := topology.Summit(nodes)
+	net, err := netmodel.New(mach, mpi)
+	if err != nil {
+		return nil, err
+	}
+	ranks := net.WorldRanks()
+	out := make([]LatencyRow, 0, len(sizes))
+	for _, n := range sizes {
+		if n < 0 {
+			return nil, fmt.Errorf("summitseg: negative message size %d", n)
+		}
+		var t float64
+		switch op {
+		case "allreduce":
+			t = net.Allreduce(netmodel.AlgAuto, ranks, n)
+		case "bcast":
+			t = net.Bcast(ranks, n)
+		case "allgather":
+			t = net.AllgatherRing(ranks, n)
+		case "reduce-scatter":
+			t = net.ReduceScatterRing(ranks, n)
+		default:
+			return nil, fmt.Errorf("summitseg: unknown collective %q", op)
+		}
+		out = append(out, LatencyRow{Bytes: n, LatencyUS: t * 1e6})
+	}
+	return out, nil
+}
+
+// OSUMessageSizes returns the power-of-four size ladder osu_allreduce
+// sweeps (4 B … 64 MiB).
+func OSUMessageSizes() []int {
+	var out []int
+	for n := 4; n <= 64<<20; n *= 4 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// FormatDuration renders seconds for tables.
+func FormatDuration(sec float64) string {
+	return time.Duration(float64(time.Second) * sec).Round(10 * time.Microsecond).String()
+}

@@ -1,0 +1,196 @@
+package summitseg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLookupHelpers(t *testing.T) {
+	for _, name := range []string{"spectrum", "mv2gdr"} {
+		if _, err := MPIByName(name); err != nil {
+			t.Errorf("MPIByName(%q): %v", name, err)
+		}
+	}
+	for _, name := range []string{"dlv3plus", "resnet50"} {
+		if _, err := ModelByName(name); err != nil {
+			t.Errorf("ModelByName(%q): %v", name, err)
+		}
+	}
+	if _, err := MPIByName("nope"); err == nil {
+		t.Error("unknown MPI accepted")
+	}
+	if s := PaperScales(); s[len(s)-1] != 132 {
+		t.Error("paper scales wrong")
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	mpi, _ := MPIByName("mv2gdr")
+	prof, _ := ModelByName("dlv3plus")
+	res, err := Simulate(SimOptions{GPUs: 12, Model: prof, MPI: mpi, Horovod: DefaultHorovod(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ImgPerSec <= 0 || res.GPUs != 12 {
+		t.Fatalf("bad result %+v", res)
+	}
+}
+
+func TestScalingFacade(t *testing.T) {
+	prof, _ := ModelByName("dlv3plus")
+	points, err := Scaling([]int{1, 6}, prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 { // 2 configs × 2 scales
+		t.Fatalf("%d points", len(points))
+	}
+}
+
+func TestTunedHorovodDiffersFromDefault(t *testing.T) {
+	d, tu := DefaultHorovod(), TunedHorovod()
+	if d == tu {
+		t.Fatal("tuned config identical to default")
+	}
+	if tu.FusionThreshold <= 0 || tu.CycleTime <= 0 {
+		t.Fatal("tuned config invalid")
+	}
+}
+
+func TestTrainFacade(t *testing.T) {
+	cfg := DefaultTraining()
+	cfg.Model.InputSize = 16
+	cfg.Model.Width = 6
+	cfg.Model.DeepBlocks = 1
+	cfg.Model.AtrousRates = [3]int{1, 2, 3}
+	cfg.Epochs = 2
+	cfg.TrainSize = 8
+	cfg.EvalSize = 4
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 2 {
+		t.Fatalf("history %d", len(res.History))
+	}
+}
+
+func TestAllreduceLatencyTable(t *testing.T) {
+	mv2, _ := MPIByName("mv2gdr")
+	spec, _ := MPIByName("spectrum")
+	sizes := OSUMessageSizes()
+	if sizes[0] != 4 || sizes[len(sizes)-1] != 64<<20 {
+		t.Fatalf("OSU sizes %v", sizes[:3])
+	}
+	rowsM, err := AllreduceLatency(mv2, 2, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsS, err := AllreduceLatency(spec, 2, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rowsM {
+		if rowsM[i].LatencyUS <= 0 || rowsM[i].LatencyUS >= rowsS[i].LatencyUS {
+			t.Errorf("size %d: MV2 %.2fµs vs Spectrum %.2fµs", rowsM[i].Bytes, rowsM[i].LatencyUS, rowsS[i].LatencyUS)
+		}
+	}
+	if _, err := AllreduceLatency(mv2, 2, []int{-1}); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestCollectiveLatencyOps(t *testing.T) {
+	mv2, _ := MPIByName("mv2gdr")
+	sizes := []int{1024, 1 << 20}
+	for _, op := range []string{"allreduce", "bcast", "allgather", "reduce-scatter"} {
+		rows, err := CollectiveLatency(op, mv2, 2, sizes)
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		for _, r := range rows {
+			if r.LatencyUS <= 0 {
+				t.Fatalf("%s: non-positive latency for %d bytes", op, r.Bytes)
+			}
+		}
+	}
+	if _, err := CollectiveLatency("alltoall", mv2, 2, sizes); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestSimulateWithExtensions(t *testing.T) {
+	mpi, _ := MPIByName("mv2gdr")
+	prof, _ := ModelByName("dlv3plus")
+	io := DefaultIO()
+	res, err := Simulate(SimOptions{GPUs: 12, Model: prof, MPI: mpi,
+		Horovod: DefaultHorovod(), Seed: 1, IO: &io})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataStallSec != 0 {
+		t.Fatal("prefetching pipeline should not stall")
+	}
+	cyc, err := Simulate(SimOptions{GPUs: 12, Model: prof, MPI: mpi,
+		Horovod: DefaultHorovod(), Seed: 1, CyclicPlacement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc.ImgPerSec <= 0 {
+		t.Fatal("cyclic run broken")
+	}
+}
+
+func TestJobScriptFacade(t *testing.T) {
+	mpi, _ := MPIByName("mv2gdr")
+	script, err := JobScript("test-job", 48, mpi, TunedHorovod())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"#BSUB -J test-job", "jsrun -n 48"} {
+		if !contains(script, want) {
+			t.Errorf("script missing %q", want)
+		}
+	}
+}
+
+func TestCheckpointFacade(t *testing.T) {
+	cfg := DefaultDeepLab()
+	cfg.InputSize = 16
+	cfg.Width = 6
+	cfg.DeepBlocks = 1
+	cfg.AtrousRates = [3]int{1, 2, 3}
+	m := NewDeepLab(cfg)
+	path := t.TempDir() + "/m.segc"
+	if err := SaveCheckpoint(path, m); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Seed = 77
+	m2 := NewDeepLab(cfg2)
+	if err := LoadCheckpoint(path, m2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Params()[0].W.Data[0] != m2.Params()[0].W.Data[0] {
+		t.Fatal("checkpoint facade round trip failed")
+	}
+	// FCN constructor works too.
+	if NewFCN(cfg) == nil {
+		t.Fatal("FCN constructor broken")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFormatDuration(t *testing.T) {
+	if s := FormatDuration(0.001234); s == "" || math.IsNaN(0) {
+		t.Fatalf("format: %q", s)
+	}
+}
