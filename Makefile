@@ -1,0 +1,28 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI agree.
+
+RACE_PKGS := ./internal/transport/ ./internal/tensor/ ./internal/nn/ ./internal/collective/
+FUZZTIME  ?= 10s
+
+.PHONY: build test race lint vet fuzz-smoke ci
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race $(RACE_PKGS)
+
+vet:
+	go vet ./...
+
+lint: vet
+	go run ./cmd/seglint ./...
+
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/fp16/
+	go test -run='^$$' -fuzz=FuzzHalfBits -fuzztime=$(FUZZTIME) ./internal/fp16/
+	go test -run='^$$' -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/checkpoint/
+
+ci: build lint test race fuzz-smoke

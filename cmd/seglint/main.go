@@ -1,0 +1,162 @@
+// Command seglint is the repository's multichecker: it runs every
+// custom analysis pass that guards simulator determinism and API
+// hygiene over the packages named on the command line.
+//
+// Usage:
+//
+//	go run ./cmd/seglint ./...            # lint the whole module
+//	go run ./cmd/seglint -json ./...      # machine-readable findings
+//	go run ./cmd/seglint -list            # describe the passes
+//
+// Exit status: 0 when clean, 1 when findings remain, 2 on internal
+// error. Findings can be suppressed in source with recorded
+// justifications — see docs/LINTING.md for the syntax.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"segscale/internal/analysis"
+	"segscale/internal/analysis/passes/nopanic"
+	"segscale/internal/analysis/passes/nowallclock"
+	"segscale/internal/analysis/passes/seededrand"
+	"segscale/internal/analysis/passes/unitsuffix"
+)
+
+// analyzers is the multichecker's pass registry; new passes register
+// here and in docs/LINTING.md.
+var analyzers = []*analysis.Analyzer{
+	nowallclock.Analyzer,
+	seededrand.Analyzer,
+	unitsuffix.Analyzer,
+	nopanic.Analyzer,
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: seglint [-json] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := lint(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seglint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "seglint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "seglint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+func lint(patterns []string) ([]analysis.Finding, error) {
+	root, err := findModuleRoot()
+	if err != nil {
+		return nil, err
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		cwd = root
+	}
+	paths, err := loader.Expand(rebase(patterns, root, cwd))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	var pkgs []*analysis.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return analysis.Run(pkgs, analyzers, cwd)
+}
+
+// rebase makes relative patterns cwd-relative, matching the go tool:
+// running seglint from a subdirectory with "." or "./..." lints that
+// directory's subtree, not the module root's.
+func rebase(patterns []string, root, cwd string) []string {
+	rel, err := filepath.Rel(root, cwd)
+	if err != nil || rel == "." || strings.HasPrefix(rel, "..") {
+		return patterns
+	}
+	out := make([]string, len(patterns))
+	for i, p := range patterns {
+		switch {
+		case p == "." || p == "./":
+			out[i] = "./" + filepath.ToSlash(rel)
+		default:
+			if rest, ok := strings.CutPrefix(p, "./"); ok {
+				out[i] = "./" + filepath.ToSlash(rel) + "/" + rest
+			} else {
+				out[i] = p
+			}
+		}
+	}
+	return out
+}
+
+// findModuleRoot walks upward from the working directory to the
+// nearest go.mod, so seglint works from any subdirectory.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -91,7 +91,7 @@ func main() {
 		}
 		fmt.Printf("%-6d %12.1f %9.1f%% %12s %12s\n",
 			g, res.ImgPerSec, 100*res.EfficiencyVs(base),
-			summitseg.FormatDuration(res.AvgStep), summitseg.FormatDuration(res.ExposedSec))
+			summitseg.FormatDuration(res.AvgStepSec), summitseg.FormatDuration(res.ExposedSec))
 		bars = append(bars, asciichart.Bar{Label: fmt.Sprintf("%d GPUs", g), Value: res.ImgPerSec})
 		all = append(all, res)
 		if opts.Timeline != nil {

@@ -1,0 +1,108 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"path/filepath"
+	"testing"
+
+	"segscale/internal/analysis"
+	"segscale/internal/analysis/analysistest"
+)
+
+// flagfuncs flags every function whose name starts with "Flag" — a
+// toy pass for exercising the framework itself.
+var flagfuncs = &analysis.Analyzer{
+	Name: "flagfuncs",
+	Doc:  "test analyzer flagging Flag* function declarations",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && len(fd.Name.Name) >= 4 && fd.Name.Name[:4] == "Flag" {
+					pass.Reportf(fd.Pos(), "flagged function %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestSuppressionForms(t *testing.T) {
+	analysistest.Run(t, "testdata", flagfuncs, "lineignore", "fileignore", "pkgignore")
+}
+
+func TestExpandSkipsTestdataAndFindsPackages(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		seen[p] = true
+		if filepath.Base(p) == "testdata" {
+			t.Errorf("Expand leaked a testdata dir: %s", p)
+		}
+	}
+	for _, want := range []string{
+		"segscale/internal/des",
+		"segscale/internal/collective",
+		"segscale/pkg/summitseg",
+		"segscale/cmd/seglint",
+	} {
+		if !seen[want] {
+			t.Errorf("Expand(./...) missing %s (got %d paths)", want, len(paths))
+		}
+	}
+}
+
+// TestExpandNormalizesTrailingSlash guards against shell-completion
+// patterns like "./internal/des/": the trailing slash must not leak
+// into the import path, or analyzers that dispatch on the package base
+// name silently skip the package.
+func TestExpandNormalizesTrailingSlash(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pat := range []string{"./internal/des", "./internal/des/"} {
+		paths, err := l.Expand([]string{pat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) != 1 || paths[0] != "segscale/internal/des" {
+			t.Errorf("Expand(%q) = %v, want [segscale/internal/des]", pat, paths)
+		}
+	}
+}
+
+func TestLoaderTypechecksRealPackage(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("segscale/internal/des")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types == nil || len(pkg.Files) == 0 {
+		t.Fatalf("loaded package incomplete: %+v", pkg)
+	}
+	if pkg.Types.Name() != "des" {
+		t.Errorf("package name = %q, want des", pkg.Types.Name())
+	}
+}

@@ -1,0 +1,146 @@
+// Package nopanic flags panic calls on exported API paths of the
+// packages other code builds on: internal/collective, internal/des,
+// and pkg/summitseg.
+//
+// A collective that panics on a length mismatch takes down all ranks
+// of an in-process world with a stack trace instead of an error a
+// caller could attribute and wrap; the public summitseg facade must
+// never panic at all. The pass flags panic() inside exported functions
+// and methods, and inside unexported package functions reachable from
+// them (transitively, by direct call), steering those paths toward
+// returned errors.
+//
+// Deliberate invariant guards — e.g. the DES scheduler rejecting
+// schedule-in-the-past, which indicates a modelling bug and must stop
+// the simulation — stay allowed via an inline suppression that records
+// the justification:
+//
+//	//seglint:ignore nopanic scheduling in the past is a modelling bug
+package nopanic
+
+import (
+	"go/ast"
+
+	"segscale/internal/analysis"
+)
+
+// targetPackages are the API packages whose exported paths must not
+// panic.
+var targetPackages = map[string]bool{
+	"collective": true,
+	"des":        true,
+	"summitseg":  true,
+}
+
+// Analyzer is the nopanic pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc: "flag panic() reachable from exported functions of internal/collective, " +
+		"internal/des, and pkg/summitseg; exported APIs should return wrapped " +
+		"errors (or carry a //seglint:ignore nopanic justification for true invariants)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !targetPackages[pass.PkgBase()] {
+		return nil
+	}
+
+	// Gather all top-level function declarations across the package.
+	funcs := map[string]*ast.FuncDecl{} // plain functions by name
+	var exported []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil {
+				funcs[fd.Name.Name] = fd
+			}
+			if fd.Name.IsExported() && (fd.Recv == nil || receiverExported(fd)) {
+				exported = append(exported, fd)
+			}
+		}
+	}
+
+	// Reachability: exported declarations seed a worklist; direct calls
+	// to unexported package functions extend it transitively.
+	reachable := map[*ast.FuncDecl]string{} // decl -> exported entry point
+	var work []*ast.FuncDecl
+	for _, fd := range exported {
+		reachable[fd] = fd.Name.Name
+		work = append(work, fd)
+	}
+	for len(work) > 0 {
+		fd := work[0]
+		work = work[1:]
+		entry := reachable[fd]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := funcs[id.Name]
+			if !ok || callee.Name.IsExported() {
+				return true
+			}
+			if _, seen := reachable[callee]; !seen {
+				reachable[callee] = entry
+				work = append(work, callee)
+			}
+			return true
+		})
+	}
+
+	for fd, entry := range reachable {
+		via := ""
+		if fd.Name.Name != entry {
+			via = " (reachable from exported " + entry + ")"
+		}
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || !pass.IsBuiltin(id, "panic") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"panic in %s%s is on an exported API path; return a wrapped error instead",
+				name, via)
+			return true
+		})
+	}
+	return nil
+}
+
+// receiverExported reports whether a method's receiver base type is
+// exported — methods on unexported types are not part of the package
+// API surface.
+func receiverExported(fd *ast.FuncDecl) bool {
+	if len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"segscale/internal/analysis/analysistest"
+	"segscale/internal/analysis/passes/nopanic"
+)
+
+func TestNoPanic(t *testing.T) {
+	analysistest.Run(t, "testdata", nopanic.Analyzer, "collective", "helperpkg")
+}

@@ -1,0 +1,75 @@
+// Package collective (fixture) exercises the exported-path panic ban,
+// including reachability through unexported helpers.
+package collective
+
+import "fmt"
+
+// indexIn is unexported but called from exported entry points, so its
+// panic is on the API path.
+func indexIn(group []int, rank int) int {
+	for i, r := range group {
+		if r == rank {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("rank %d not in group", rank)) // want "panic in indexIn \\(reachable from exported Allreduce\\)"
+}
+
+// deepHelper is reached only through another helper — transitive
+// reachability must still catch it.
+func deepHelper(n int) {
+	if n < 0 {
+		panic("negative") // want "panic in deepHelper \\(reachable from exported Allreduce\\)"
+	}
+}
+
+func midHelper(n int) { deepHelper(n) }
+
+// Allreduce is the exported entry point.
+func Allreduce(group []int, rank int, buf []float32) {
+	me := indexIn(group, rank)
+	midHelper(me)
+	if len(buf) == 0 {
+		panic("empty buffer") // want "panic in Allreduce is on an exported API path"
+	}
+}
+
+// Comm is an exported type; its exported methods are API surface.
+type Comm struct{ rank int }
+
+// Rank panics on an exported method.
+func (c *Comm) Rank() int {
+	if c == nil {
+		panic("nil comm") // want "panic in Rank is on an exported API path"
+	}
+	return c.rank
+}
+
+// orphan panics but is unreachable from any exported function, so it
+// is not flagged.
+func orphan() { panic("never on the API path") }
+
+// validate returns errors the way exported paths should.
+func validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("collective: %d ranks", n)
+	}
+	_ = orphan
+	return nil
+}
+
+// Validate wraps validate and stays clean.
+func Validate(n int) error {
+	if err := validate(n); err != nil {
+		return fmt.Errorf("validate: %w", err)
+	}
+	return nil
+}
+
+// Checked demonstrates the documented-invariant escape hatch.
+func Checked(step int) {
+	if step < 0 {
+		//seglint:ignore nopanic negative step indicates caller corruption, documented invariant
+		panic("corrupted step counter")
+	}
+}

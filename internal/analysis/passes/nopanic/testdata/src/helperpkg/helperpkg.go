@@ -1,0 +1,10 @@
+// Package helperpkg is outside the nopanic target set; panics here
+// are not flagged.
+package helperpkg
+
+// Must panics freely — this package is not part of the guarded API.
+func Must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

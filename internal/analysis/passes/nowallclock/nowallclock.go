@@ -1,0 +1,76 @@
+// Package nowallclock forbids wall-clock time in simulation packages.
+//
+// The reproduction's throughput and scaling numbers come from a
+// discrete-event simulation whose clock is des.Sim.Now — virtual
+// float64 seconds advanced only by the event queue. A single
+// time.Now() or time.Sleep() in a simulation package either leaks
+// nondeterminism into results or silently measures host speed instead
+// of modelled Summit speed, so the wall clock is banned there
+// outright. Command-line tools and examples may still time themselves.
+package nowallclock
+
+import (
+	"go/ast"
+
+	"segscale/internal/analysis"
+)
+
+// simPackages are the package base names that must run on virtual
+// time only.
+var simPackages = map[string]bool{
+	"des":      true,
+	"perfsim":  true,
+	"netsim":   true,
+	"iosim":    true,
+	"devsim":   true,
+	"timeline": true,
+}
+
+// banned are the time-package functions that read or wait on the wall
+// clock. Constants like time.Millisecond and pure formatting stay
+// allowed.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// Analyzer is the nowallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid time.Now/time.Since/time.Sleep and other wall-clock reads in " +
+		"simulation packages (des, perfsim, netsim, iosim, devsim, timeline); " +
+		"simulated components must use the DES virtual clock",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !simPackages[pass.PkgBase()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !banned[sel.Sel.Name] {
+				return true
+			}
+			if pass.PkgNameOf(id) == "time" {
+				pass.Reportf(sel.Pos(),
+					"wall-clock time.%s in simulation package %q; use the des.Sim virtual clock",
+					sel.Sel.Name, pass.PkgBase())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package des
+
+import "time"
+
+// Elapsed mixes wall-clock reads into what should be virtual time.
+func Elapsed() float64 {
+	start := time.Now()                // want "wall-clock time.Now in simulation package \"des\""
+	time.Sleep(time.Millisecond)       // want "wall-clock time.Sleep"
+	return time.Since(start).Seconds() // want "wall-clock time.Since"
+}
+
+// Timer arms wall-clock timers, which a DES must never do.
+func Timer(fn func()) {
+	time.AfterFunc(time.Second, fn) // want "wall-clock time.AfterFunc"
+	<-time.After(time.Second)       // want "wall-clock time.After"
+}
+
+// Blessed demonstrates a justified suppression: the constant-only use
+// below is fine anyway, and the suppressed read is invisible.
+func Blessed() float64 {
+	d := time.Millisecond // constants carry no clock and are allowed
+	//seglint:ignore nowallclock demonstration of a recorded justification
+	_ = time.Now()
+	return d.Seconds()
+}

@@ -1,0 +1,12 @@
+// Package tooling is not a simulation package, so wall-clock use is
+// allowed — CLIs legitimately time themselves.
+package tooling
+
+import "time"
+
+// Stopwatch times a function with the real clock.
+func Stopwatch(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

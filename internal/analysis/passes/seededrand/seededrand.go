@@ -1,0 +1,72 @@
+// Package seededrand forbids the global math/rand functions in
+// non-test code.
+//
+// Every stochastic element of the reproduction — straggler jitter,
+// bootstrap confidence intervals, synthetic dataset pixels — must draw
+// from an injected, explicitly seeded *rand.Rand so that two runs with
+// the same seed produce byte-identical results. The package-level
+// math/rand functions share hidden global state (and rand.Seed mutates
+// it for everyone), which is exactly the nondeterminism the repro band
+// cannot absorb. Constructors (rand.New, rand.NewSource, rand.NewZipf)
+// remain allowed: they are how the injected generators get built.
+package seededrand
+
+import (
+	"go/ast"
+
+	"segscale/internal/analysis"
+)
+
+// allowed are the math/rand names that construct or type injected
+// generators rather than touching the global one.
+var allowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+	"Rand":       true, // the *rand.Rand type in signatures
+	"Source":     true,
+	"Zipf":       true,
+	"PCG":        true,
+	"ChaCha8":    true,
+}
+
+// Analyzer is the seededrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand top-level functions and rand.Seed in non-test " +
+		"code; inject a seeded *rand.Rand so runs stay reproducible",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || allowed[sel.Sel.Name] {
+				return true
+			}
+			switch pass.PkgNameOf(id) {
+			case "math/rand", "math/rand/v2":
+			default:
+				return true
+			}
+			name := sel.Sel.Name
+			if name == "Seed" {
+				pass.Reportf(sel.Pos(),
+					"rand.Seed mutates the shared global generator; construct rand.New(rand.NewSource(seed)) instead")
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"global math/rand.%s uses hidden shared state and breaks run reproducibility; use an injected seeded *rand.Rand",
+				name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"segscale/internal/analysis/analysistest"
+	"segscale/internal/analysis/passes/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, "testdata", seededrand.Analyzer, "jitter")
+}

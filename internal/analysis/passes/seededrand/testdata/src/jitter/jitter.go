@@ -1,0 +1,29 @@
+// Package jitter exercises the global-rand ban in a package that
+// should inject a seeded generator.
+package jitter
+
+import "math/rand"
+
+// Bad draws from the shared global generator.
+func Bad() float64 {
+	rand.Seed(42)                      // want "rand.Seed mutates the shared global generator"
+	v := rand.Float64()                // want "global math/rand.Float64"
+	v += float64(rand.Intn(10))        // want "global math/rand.Intn"
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand.Shuffle"
+	return v
+}
+
+// BadRef passes a global-rand function value around.
+var BadRef = rand.NormFloat64 // want "global math/rand.NormFloat64"
+
+// Good injects a seeded generator — the pattern the pass demands.
+func Good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Justified shows a recorded suppression for a deliberate exception.
+func Justified() int {
+	//seglint:ignore seededrand demonstration fixture for the suppression syntax
+	return rand.Int()
+}

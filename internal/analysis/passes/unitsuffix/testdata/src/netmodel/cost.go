@@ -1,0 +1,39 @@
+// Package netmodel (fixture) exercises the unit-suffix contract on
+// the kind of α–β cost model the real package implements.
+package netmodel
+
+// latency is seconds but does not say so.
+const latency = 1.4e-6 // want "const latency is float-typed"
+
+// alphaSec and bwGBps carry their units and pass.
+const (
+	alphaSec = 1.4e-6
+	bwGBps   = 12.5
+)
+
+// eagerLimit is an int: counts and byte thresholds typed as integers
+// are exempt by design.
+const eagerLimit = 64 << 10
+
+// Link models one edge of the fabric.
+type Link struct {
+	Alpha      float64 // want "field Alpha is float-typed"
+	BWGBps     float64
+	RndvSec    float64
+	Util       float64 // want "field Util is float-typed"
+	LoadFactor float64
+	Hops       int // integer counts are exempt
+	StepsSec   []float64
+	History    []float64 // want "field History is float-typed"
+}
+
+// perStep rates and dimensionless suffixes are accepted.
+type stats struct {
+	CyclesPerStep float64
+	jitterStd     float64
+	DropFrac      float64
+	raw           float64 // want "field raw is float-typed"
+}
+
+//seglint:ignore unitsuffix calibration scalar, unit recorded in the doc comment
+var calibration = 0.97

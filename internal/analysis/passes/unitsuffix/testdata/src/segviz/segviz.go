@@ -1,0 +1,12 @@
+// Package segviz (fixture) is outside the target set: unlabelled
+// floats here are not the perf model's problem.
+package segviz
+
+// Gamma has no unit suffix and that is fine outside the model packages.
+const Gamma = 2.2
+
+// Palette is float-heavy and exempt.
+type Palette struct {
+	Hue        float64
+	Saturation float64
+}

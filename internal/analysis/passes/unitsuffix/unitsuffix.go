@@ -1,0 +1,133 @@
+// Package unitsuffix enforces unit-bearing names for floating-point
+// quantities in the performance-model packages.
+//
+// The latency/bandwidth models mix seconds, microseconds, bytes,
+// GB/s, and img/s in adjacent expressions; the classic failure mode is
+// an unlabelled float silently crossing units (a µs latency added to a
+// seconds total, a GB/s bandwidth divided into a byte count twice).
+// The pass therefore requires every float-typed struct field and
+// package-level const/var in perfsim, netmodel, and collective to end
+// in a recognised unit (Sec, US, Bytes, GBps, Imgs, ...) or rate/
+// dimensionless suffix (PerSec, PerStep, Factor, Frac, Ratio, ...).
+//
+// Integer declarations are exempt by design: ints are counts (ranks,
+// steps, indices), and counts are dimensionless. Locals and parameters
+// are also exempt — the contract matters at declarations that outlive
+// one function.
+package unitsuffix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"segscale/internal/analysis"
+)
+
+// targetPackages are the quantity-heavy model packages the pass
+// applies to.
+var targetPackages = map[string]bool{
+	"perfsim":    true,
+	"netmodel":   true,
+	"collective": true,
+}
+
+// suffixes are the accepted unit endings. Rate suffixes (PerSec,
+// PerStep, PerRank) count as unit-bearing; dimensionless suffixes
+// (Factor, Frac, Ratio, Pct, Prob, Std) mark deliberate unitless
+// quantities.
+var suffixes = []string{
+	"Sec", "Secs", "USec", "US", "MS", "NS", "Min", "Hz", "GHz", "MHz",
+	"Bytes", "KB", "MB", "GB", "KiB", "MiB", "GiB", "Bits",
+	"GBps", "MBps", "Gbps", "Mbps", "Bps",
+	"Flops", "Imgs", "Pixels",
+	"PerSec", "PerStep", "PerRank", "PerImg",
+	"Factor", "Frac", "Fraction", "Ratio", "Pct", "Percent", "Prob", "Std",
+}
+
+// Analyzer is the unitsuffix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsuffix",
+	Doc: "require unit suffixes (Sec, US, Bytes, GBps, Imgs, ...) on float-typed " +
+		"struct fields and package-level consts/vars in perfsim, netmodel, and " +
+		"collective, so latency/bandwidth units cannot silently mix",
+	Run: run,
+}
+
+func hasUnitSuffix(name string) bool {
+	for _, s := range suffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !targetPackages[pass.PkgBase()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Package-level consts and vars.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || (gd.Tok != token.CONST && gd.Tok != token.VAR) {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					check(pass, name, gd.Tok.String())
+				}
+			}
+		}
+		// Struct fields, wherever the struct type appears.
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					check(pass, name, "field")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// check reports the declaration when it is float-typed (scalar, or a
+// slice/array of floats) and its name lacks a unit suffix.
+func check(pass *analysis.Pass, id *ast.Ident, kind string) {
+	if id.Name == "_" || hasUnitSuffix(id.Name) {
+		return
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		return
+	}
+	if !isFloaty(obj.Type()) {
+		return
+	}
+	pass.Reportf(id.Pos(),
+		"%s %s is float-typed but its name carries no unit suffix (Sec, US, Bytes, GBps, Imgs, PerSec, Factor, ...); encode the unit in the name",
+		kind, id.Name)
+}
+
+func isFloaty(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Slice:
+		return isFloaty(u.Elem())
+	case *types.Array:
+		return isFloaty(u.Elem())
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package unitsuffix_test
+
+import (
+	"testing"
+
+	"segscale/internal/analysis/analysistest"
+	"segscale/internal/analysis/passes/unitsuffix"
+)
+
+func TestUnitSuffix(t *testing.T) {
+	analysistest.Run(t, "testdata", unitsuffix.Analyzer, "netmodel", "segviz")
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is one reported, unsuppressed diagnostic in a form ready for
+// text or JSON output.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // relative to the module root when possible
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String formats the finding the way go vet does.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Run executes every analyzer over every package, applies suppression
+// comments, and returns the surviving findings sorted by position.
+// relTo, when non-empty, makes file paths relative to that directory.
+func Run(pkgs []*Package, analyzers []*Analyzer, relTo string) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup := newSuppressions(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Path:      pkg.Path,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.suppressed(name, pos) {
+					return
+				}
+				file := pos.Filename
+				if relTo != "" {
+					if rel, err := filepath.Rel(relTo, file); err == nil {
+						file = rel
+					}
+				}
+				out = append(out, Finding{
+					Analyzer: name,
+					File:     file,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

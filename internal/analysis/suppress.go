@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression-comment syntax (documented in docs/LINTING.md):
+//
+//	//seglint:ignore <analyzer>[,<analyzer>...] [reason]
+//	//seglint:file-ignore <analyzer>[,...] [reason]
+//	//seglint:package-ignore <analyzer>[,...] [reason]
+//
+// An ignore comment suppresses findings on its own line (trailing
+// comment) and on the line directly below it (comment-above style).
+// file-ignore covers its whole file, package-ignore the whole package.
+// The analyzer list may be "all". Reasons are free text; write one —
+// a suppression without a recorded justification is a review smell.
+
+const suppressPrefix = "//seglint:"
+
+// suppressions indexes a package's seglint ignore comments.
+type suppressions struct {
+	pkg   map[string]bool            // analyzer -> whole package
+	files map[string]map[string]bool // filename -> analyzer set
+	lines map[string]map[int]map[string]bool
+}
+
+func newSuppressions(p *Package) *suppressions {
+	s := &suppressions{
+		pkg:   map[string]bool{},
+		files: map[string]map[string]bool{},
+		lines: map[string]map[int]map[string]bool{},
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, suppressPrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue
+				}
+				kind := fields[0]
+				names := strings.Split(fields[1], ",")
+				pos := p.Fset.Position(c.Pos())
+				for _, name := range names {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					switch kind {
+					case "ignore":
+						byLine := s.lines[pos.Filename]
+						if byLine == nil {
+							byLine = map[int]map[string]bool{}
+							s.lines[pos.Filename] = byLine
+						}
+						for _, ln := range []int{pos.Line, pos.Line + 1} {
+							if byLine[ln] == nil {
+								byLine[ln] = map[string]bool{}
+							}
+							byLine[ln][name] = true
+						}
+					case "file-ignore":
+						if s.files[pos.Filename] == nil {
+							s.files[pos.Filename] = map[string]bool{}
+						}
+						s.files[pos.Filename][name] = true
+					case "package-ignore":
+						s.pkg[name] = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// suppressed reports whether a finding by the named analyzer at pos is
+// covered by an ignore comment.
+func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	match := func(set map[string]bool) bool {
+		return set != nil && (set[analyzer] || set["all"])
+	}
+	if match(s.pkg) {
+		return true
+	}
+	if match(s.files[pos.Filename]) {
+		return true
+	}
+	if byLine := s.lines[pos.Filename]; byLine != nil {
+		return match(byLine[pos.Line])
+	}
+	return false
+}

@@ -1,0 +1,8 @@
+// Package fileignore exercises file-scoped suppression.
+package fileignore
+
+//seglint:file-ignore flagfuncs this whole file is generated-style and exempt
+
+func FlagHidden() {}
+
+func FlagAlsoHidden() {}

@@ -1,0 +1,5 @@
+package fileignore
+
+// FlagVisible is in a sibling file without the file-ignore, so the
+// suppression must not bleed across files.
+func FlagVisible() {} // want "flagged function FlagVisible"

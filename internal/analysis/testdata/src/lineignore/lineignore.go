@@ -1,0 +1,14 @@
+// Package lineignore exercises line-scoped suppression.
+package lineignore
+
+// FlagOne is caught.
+func FlagOne() {} // want "flagged function FlagOne"
+
+//seglint:ignore flagfuncs justified exception recorded here
+func FlagTwo() {}
+
+// FlagThree is caught again — the ignore above did not leak.
+func FlagThree() {} // want "flagged function FlagThree"
+
+//seglint:ignore all the wildcard form also works
+func FlagFour() {}

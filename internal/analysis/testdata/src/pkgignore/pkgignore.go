@@ -1,0 +1,8 @@
+// Package pkgignore exercises package-scoped suppression.
+//
+//seglint:package-ignore flagfuncs fixture package opting out wholesale
+package pkgignore
+
+func FlagSuppressed() {}
+
+func FlagSuppressedToo() {}

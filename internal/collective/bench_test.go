@@ -26,7 +26,9 @@ func benchAllreduce(b *testing.B, fn allreduceFn, p, n int) {
 		transport.Run(p, func(c *transport.Comm) {
 			buf := make([]float32, n)
 			copy(buf, data[c.Rank()])
-			fn(c, group, buf)
+			if err := fn(c, group, buf); err != nil {
+				b.Error(err)
+			}
 		})
 	}
 }

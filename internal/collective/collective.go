@@ -9,6 +9,12 @@
 // All collectives operate over an explicit group of global ranks
 // (which enables the hierarchical compositions) and reduce with
 // summation — Horovod divides by world size afterwards to average.
+//
+// Misuse — a rank outside its group, mismatched buffer lengths, a
+// machine/world mismatch — is reported as a returned error with
+// context, never a panic: a panicking collective tears down every
+// in-process rank at once, where an error lets the caller attribute
+// the failure to one rank and unwind cleanly.
 package collective
 
 import (
@@ -29,15 +35,15 @@ const (
 	tagGather = 6 << 16
 )
 
-// indexIn returns the caller's index within group, panicking if the
-// rank is not a member — always a caller bug.
-func indexIn(group []int, rank int) int {
+// indexIn returns the caller's index within group; a rank outside the
+// group is always a caller bug, reported as an error.
+func indexIn(group []int, rank int) (int, error) {
 	for i, r := range group {
 		if r == rank {
-			return i
+			return i, nil
 		}
 	}
-	panic(fmt.Sprintf("collective: rank %d not in group %v", rank, group))
+	return 0, fmt.Errorf("collective: rank %d not in group %v", rank, group)
 }
 
 // segment splits length n into p nearly-equal pieces; returns the
@@ -54,42 +60,52 @@ func segment(n, p, i int) (lo, hi int) {
 	return lo, lo + size
 }
 
-func addInto(dst, src []float32) {
+func addInto(dst, src []float32) error {
 	if len(dst) != len(src) {
-		panic(fmt.Sprintf("collective: reduce length mismatch %d vs %d", len(dst), len(src)))
+		return fmt.Errorf("collective: reduce length mismatch %d vs %d", len(dst), len(src))
 	}
 	for i, v := range src {
 		dst[i] += v
 	}
+	return nil
 }
 
 // AllreduceNaive gathers every contribution to group[0], reduces, and
 // broadcasts the result linearly. O(p) time and the reference other
 // algorithms are verified against.
-func AllreduceNaive(c *transport.Comm, group []int, buf []float32) {
-	me := indexIn(group, c.Rank())
+func AllreduceNaive(c *transport.Comm, group []int, buf []float32) error {
+	me, err := indexIn(group, c.Rank())
+	if err != nil {
+		return fmt.Errorf("allreduce naive: %w", err)
+	}
 	root := group[0]
 	if me == 0 {
 		for _, r := range group[1:] {
-			addInto(buf, c.Recv(r, tagNaive))
+			if err := addInto(buf, c.Recv(r, tagNaive)); err != nil {
+				return fmt.Errorf("allreduce naive: rank %d contribution: %w", r, err)
+			}
 		}
 		for _, r := range group[1:] {
 			c.Send(r, tagNaive+1, buf)
 		}
-		return
+		return nil
 	}
 	c.Send(root, tagNaive, buf)
 	c.RecvInto(root, tagNaive+1, buf)
+	return nil
 }
 
 // AllreduceRing is the bandwidth-optimal ring: p−1 reduce-scatter
 // steps followed by p−1 allgather steps over ceil(n/p) segments.
-func AllreduceRing(c *transport.Comm, group []int, buf []float32) {
+func AllreduceRing(c *transport.Comm, group []int, buf []float32) error {
 	p := len(group)
 	if p <= 1 {
-		return
+		return nil
 	}
-	me := indexIn(group, c.Rank())
+	me, err := indexIn(group, c.Rank())
+	if err != nil {
+		return fmt.Errorf("allreduce ring: %w", err)
+	}
 	next := group[(me+1)%p]
 	prev := group[(me-1+p)%p]
 	n := len(buf)
@@ -102,7 +118,9 @@ func AllreduceRing(c *transport.Comm, group []int, buf []float32) {
 		slo, shi := segment(n, p, sendSeg)
 		c.Send(next, tagRing+s, buf[slo:shi])
 		rlo, rhi := segment(n, p, recvSeg)
-		addInto(buf[rlo:rhi], c.Recv(prev, tagRing+s))
+		if err := addInto(buf[rlo:rhi], c.Recv(prev, tagRing+s)); err != nil {
+			return fmt.Errorf("allreduce ring: reduce-scatter step %d: %w", s, err)
+		}
 	}
 	// Allgather: circulate the completed segments.
 	for s := 0; s < p-1; s++ {
@@ -114,16 +132,20 @@ func AllreduceRing(c *transport.Comm, group []int, buf []float32) {
 		got := c.Recv(prev, tagRing+p+s)
 		copy(buf[rlo:rhi], got)
 	}
+	return nil
 }
 
 // AllreduceRecursiveDoubling is the latency-optimal log₂(p)-step
 // exchange, with the MPICH-style fold for non-power-of-two groups.
-func AllreduceRecursiveDoubling(c *transport.Comm, group []int, buf []float32) {
+func AllreduceRecursiveDoubling(c *transport.Comm, group []int, buf []float32) error {
 	p := len(group)
 	if p <= 1 {
-		return
+		return nil
 	}
-	me := indexIn(group, c.Rank())
+	me, err := indexIn(group, c.Rank())
+	if err != nil {
+		return fmt.Errorf("allreduce recursive-doubling: %w", err)
+	}
 	pow := 1
 	for pow*2 <= p {
 		pow *= 2
@@ -136,7 +158,9 @@ func AllreduceRecursiveDoubling(c *transport.Comm, group []int, buf []float32) {
 	case me < 2*rem && me%2 == 0:
 		c.Send(group[me+1], tagRD, buf)
 	case me < 2*rem: // odd
-		addInto(buf, c.Recv(group[me-1], tagRD))
+		if err := addInto(buf, c.Recv(group[me-1], tagRD)); err != nil {
+			return fmt.Errorf("allreduce recursive-doubling: fold: %w", err)
+		}
 		newrank = me / 2
 	default:
 		newrank = me - rem
@@ -152,7 +176,9 @@ func AllreduceRecursiveDoubling(c *transport.Comm, group []int, buf []float32) {
 		for dist := 1; dist < pow; dist *= 2 {
 			partner := group[old(newrank^dist)]
 			got := c.SendRecv(partner, tagRD+1+dist, buf, partner, tagRD+1+dist)
-			addInto(buf, got)
+			if err := addInto(buf, got); err != nil {
+				return fmt.Errorf("allreduce recursive-doubling: distance %d: %w", dist, err)
+			}
 		}
 	}
 
@@ -164,30 +190,40 @@ func AllreduceRecursiveDoubling(c *transport.Comm, group []int, buf []float32) {
 			c.Send(group[me-1], tagRD+2*pow, buf)
 		}
 	}
+	return nil
 }
 
 // ReduceTree reduces every rank's buf into group[0] using a binomial
 // tree (non-roots' buffers are left with partial sums).
-func ReduceTree(c *transport.Comm, group []int, buf []float32) {
+func ReduceTree(c *transport.Comm, group []int, buf []float32) error {
 	p := len(group)
-	me := indexIn(group, c.Rank())
+	me, err := indexIn(group, c.Rank())
+	if err != nil {
+		return fmt.Errorf("reduce tree: %w", err)
+	}
 	for dist := 1; dist < p; dist *= 2 {
 		if me%(2*dist) == 0 {
 			src := me + dist
 			if src < p {
-				addInto(buf, c.Recv(group[src], tagReduce+dist))
+				if err := addInto(buf, c.Recv(group[src], tagReduce+dist)); err != nil {
+					return fmt.Errorf("reduce tree: from rank %d: %w", group[src], err)
+				}
 			}
 		} else if me%dist == 0 {
 			c.Send(group[me-dist], tagReduce+dist, buf)
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 // BcastTree broadcasts group[0]'s buf to the group via binomial tree.
-func BcastTree(c *transport.Comm, group []int, buf []float32) {
+func BcastTree(c *transport.Comm, group []int, buf []float32) error {
 	p := len(group)
-	me := indexIn(group, c.Rank())
+	me, err := indexIn(group, c.Rank())
+	if err != nil {
+		return fmt.Errorf("bcast tree: %w", err)
+	}
 	// Highest power of two ≥ p.
 	top := 1
 	for top < p {
@@ -203,17 +239,24 @@ func BcastTree(c *transport.Comm, group []int, buf []float32) {
 			c.RecvInto(group[me-dist], tagBcast+dist, buf)
 		}
 	}
+	return nil
 }
 
 // AllgatherRing circulates per-rank shards around the ring. shards[i]
 // must be the shard contributed by group index i; only shards[me] need
 // be filled on entry, and all are filled on return.
-func AllgatherRing(c *transport.Comm, group []int, shards [][]float32) {
+func AllgatherRing(c *transport.Comm, group []int, shards [][]float32) error {
 	p := len(group)
 	if p <= 1 {
-		return
+		return nil
 	}
-	me := indexIn(group, c.Rank())
+	me, err := indexIn(group, c.Rank())
+	if err != nil {
+		return fmt.Errorf("allgather ring: %w", err)
+	}
+	if len(shards) != p {
+		return fmt.Errorf("allgather ring: %d shards for %d ranks", len(shards), p)
+	}
 	next := group[(me+1)%p]
 	prev := group[(me-1+p)%p]
 	for s := 0; s < p-1; s++ {
@@ -222,6 +265,7 @@ func AllgatherRing(c *transport.Comm, group []int, shards [][]float32) {
 		c.Send(next, tagGather+s, shards[sendIdx])
 		shards[recvIdx] = c.Recv(prev, tagGather+s)
 	}
+	return nil
 }
 
 // AllreduceHierLeader composes the node-leader hierarchy Horovod uses
@@ -229,17 +273,24 @@ func AllgatherRing(c *transport.Comm, group []int, shards [][]float32) {
 // leader, recursive-doubling allreduce among the leaders, binomial
 // broadcast back down. The machine layout decides the groups; the
 // world must equal mach.Ranks() ranks.
-func AllreduceHierLeader(c *transport.Comm, mach topology.Machine, buf []float32) {
+func AllreduceHierLeader(c *transport.Comm, mach topology.Machine, buf []float32) error {
 	if c.Size() != mach.Ranks() {
-		panic(fmt.Sprintf("collective: world %d != machine ranks %d", c.Size(), mach.Ranks()))
+		return fmt.Errorf("collective: world %d != machine ranks %d", c.Size(), mach.Ranks())
 	}
 	node := mach.Node(c.Rank())
 	local := mach.NodeRanks(node)
-	ReduceTree(c, local, buf)
-	if mach.IsLeader(c.Rank()) {
-		AllreduceRecursiveDoubling(c, mach.Leaders(), buf)
+	if err := ReduceTree(c, local, buf); err != nil {
+		return fmt.Errorf("hierarchical allreduce: node %d: %w", node, err)
 	}
-	BcastTree(c, local, buf)
+	if mach.IsLeader(c.Rank()) {
+		if err := AllreduceRecursiveDoubling(c, mach.Leaders(), buf); err != nil {
+			return fmt.Errorf("hierarchical allreduce: leaders: %w", err)
+		}
+	}
+	if err := BcastTree(c, local, buf); err != nil {
+		return fmt.Errorf("hierarchical allreduce: node %d: %w", node, err)
+	}
+	return nil
 }
 
 // Scale multiplies buf by 1/worldSize — the averaging step Horovod

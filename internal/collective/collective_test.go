@@ -45,18 +45,24 @@ func maxAbsDiff(a, b []float32) float64 {
 	return m
 }
 
-type allreduceFn func(c *transport.Comm, group []int, buf []float32)
+type allreduceFn func(c *transport.Comm, group []int, buf []float32) error
 
 func checkAllreduce(t *testing.T, name string, fn allreduceFn, p, n int, seed int64) {
 	t.Helper()
 	ins, want := makeInputs(p, n, seed)
 	outs := make([][]float32, p)
+	errs := make([]error, p)
 	runGroup(p, func(c *transport.Comm, group []int) {
 		buf := make([]float32, n)
 		copy(buf, ins[c.Rank()])
-		fn(c, group, buf)
+		errs[c.Rank()] = fn(c, group, buf)
 		outs[c.Rank()] = buf
 	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("%s p=%d n=%d rank %d: %v", name, p, n, r, err)
+		}
+	}
 	for r := 0; r < p; r++ {
 		if d := maxAbsDiff(outs[r], want); d > 1e-4*float64(p) {
 			t.Errorf("%s p=%d n=%d rank %d: max diff %g", name, p, n, r, d)
@@ -85,8 +91,12 @@ func TestAllreduceAlgorithmsMatchSerialSum(t *testing.T) {
 func TestAllreduceSingleRankNoop(t *testing.T) {
 	buf := []float32{1, 2, 3}
 	runGroup(1, func(c *transport.Comm, group []int) {
-		AllreduceRing(c, group, buf)
-		AllreduceRecursiveDoubling(c, group, buf)
+		if err := AllreduceRing(c, group, buf); err != nil {
+			t.Errorf("ring: %v", err)
+		}
+		if err := AllreduceRecursiveDoubling(c, group, buf); err != nil {
+			t.Errorf("rd: %v", err)
+		}
 	})
 	if buf[0] != 1 || buf[2] != 3 {
 		t.Fatalf("single-rank allreduce mutated buffer: %v", buf)
@@ -117,12 +127,18 @@ func TestAllreduceHierLeaderMatchesNaive(t *testing.T) {
 		n := 257
 		ins, want := makeInputs(p, n, int64(p))
 		outs := make([][]float32, p)
+		errs := make([]error, p)
 		transport.Run(p, func(c *transport.Comm) {
 			buf := make([]float32, n)
 			copy(buf, ins[c.Rank()])
-			AllreduceHierLeader(c, mach, buf)
+			errs[c.Rank()] = AllreduceHierLeader(c, mach, buf)
 			outs[c.Rank()] = buf
 		})
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("hier %d×%d rank %d: %v", cfg.nodes, cfg.per, r, err)
+			}
+		}
 		for r := 0; r < p; r++ {
 			if d := maxAbsDiff(outs[r], want); d > 1e-4*float64(p) {
 				t.Errorf("hier %d×%d rank %d: max diff %g", cfg.nodes, cfg.per, r, d)
@@ -131,16 +147,17 @@ func TestAllreduceHierLeaderMatchesNaive(t *testing.T) {
 	}
 }
 
-func TestAllreduceHierLeaderWorldMismatchPanics(t *testing.T) {
+func TestAllreduceHierLeaderWorldMismatchErrors(t *testing.T) {
 	mach := topology.Summit(2) // 12 ranks
+	errs := make([]error, 2)
 	transport.Run(2, func(c *transport.Comm) {
-		defer func() {
-			if recover() == nil {
-				t.Error("world/machine mismatch did not panic")
-			}
-		}()
-		AllreduceHierLeader(c, mach, make([]float32, 4))
+		errs[c.Rank()] = AllreduceHierLeader(c, mach, make([]float32, 4))
 	})
+	for r, err := range errs {
+		if err == nil {
+			t.Errorf("rank %d: world/machine mismatch did not error", r)
+		}
+	}
 }
 
 func TestReduceTreeAndBcastTree(t *testing.T) {
@@ -151,8 +168,12 @@ func TestReduceTreeAndBcastTree(t *testing.T) {
 		runGroup(p, func(c *transport.Comm, group []int) {
 			buf := make([]float32, n)
 			copy(buf, ins[c.Rank()])
-			ReduceTree(c, group, buf)
-			BcastTree(c, group, buf)
+			if err := ReduceTree(c, group, buf); err != nil {
+				t.Errorf("reduce p=%d rank %d: %v", p, c.Rank(), err)
+			}
+			if err := BcastTree(c, group, buf); err != nil {
+				t.Errorf("bcast p=%d rank %d: %v", p, c.Rank(), err)
+			}
 			outs[c.Rank()] = buf
 		})
 		for r := 0; r < p; r++ {
@@ -169,7 +190,9 @@ func TestAllgatherRing(t *testing.T) {
 		runGroup(p, func(c *transport.Comm, group []int) {
 			shards := make([][]float32, p)
 			shards[c.Rank()] = []float32{float32(c.Rank()) * 10, float32(c.Rank())}
-			AllgatherRing(c, group, shards)
+			if err := AllgatherRing(c, group, shards); err != nil {
+				t.Errorf("allgather p=%d rank %d: %v", p, c.Rank(), err)
+			}
 			results[c.Rank()] = shards
 		})
 		for r := 0; r < p; r++ {
@@ -191,17 +214,14 @@ func TestScale(t *testing.T) {
 	}
 }
 
-func TestIndexInPanicsForStranger(t *testing.T) {
+func TestStrangerRankErrors(t *testing.T) {
 	runGroup(2, func(c *transport.Comm, group []int) {
 		if c.Rank() != 0 {
 			return
 		}
-		defer func() {
-			if recover() == nil {
-				t.Error("stranger rank did not panic")
-			}
-		}()
-		AllreduceRing(c, []int{5, 6}, make([]float32, 4))
+		if err := AllreduceRing(c, []int{5, 6}, make([]float32, 4)); err == nil {
+			t.Error("stranger rank did not error")
+		}
 	})
 }
 
@@ -247,7 +267,9 @@ func TestPropertyAllreduceEquivalence(t *testing.T) {
 			runGroup(p, func(c *transport.Comm, group []int) {
 				buf := make([]float32, n)
 				copy(buf, ins[c.Rank()])
-				fn(c, group, buf)
+				if err := fn(c, group, buf); err != nil {
+					t.Errorf("p=%d n=%d rank %d: %v", p, n, c.Rank(), err)
+				}
 				outs[c.Rank()] = buf
 			})
 			return outs

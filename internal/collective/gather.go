@@ -16,45 +16,54 @@ const (
 // Gather collects every rank's buf at group[0] and returns the
 // per-rank slices there (indexed by group position); other ranks get
 // nil. Linear receive at the root, like small-communicator MPI_Gather.
-func Gather(c *transport.Comm, group []int, buf []float32) [][]float32 {
-	me := indexIn(group, c.Rank())
+func Gather(c *transport.Comm, group []int, buf []float32) ([][]float32, error) {
+	me, err := indexIn(group, c.Rank())
+	if err != nil {
+		return nil, fmt.Errorf("gather: %w", err)
+	}
 	if me != 0 {
 		c.Send(group[0], tagGatherOp+me, buf)
-		return nil
+		return nil, nil
 	}
 	out := make([][]float32, len(group))
 	out[0] = append([]float32(nil), buf...)
 	for i := 1; i < len(group); i++ {
 		out[i] = c.Recv(group[i], tagGatherOp+i)
 	}
-	return out
+	return out, nil
 }
 
 // Scatter distributes group[0]'s shards (one per rank, in group
 // order) and returns this rank's shard. Non-roots pass nil shards.
-func Scatter(c *transport.Comm, group []int, shards [][]float32) []float32 {
-	me := indexIn(group, c.Rank())
+func Scatter(c *transport.Comm, group []int, shards [][]float32) ([]float32, error) {
+	me, err := indexIn(group, c.Rank())
+	if err != nil {
+		return nil, fmt.Errorf("scatter: %w", err)
+	}
 	if me == 0 {
 		if len(shards) != len(group) {
-			panic(fmt.Sprintf("collective: scatter %d shards to %d ranks", len(shards), len(group)))
+			return nil, fmt.Errorf("scatter: %d shards for %d ranks", len(shards), len(group))
 		}
 		for i := 1; i < len(group); i++ {
 			c.Send(group[i], tagScatter+i, shards[i])
 		}
-		return append([]float32(nil), shards[0]...)
+		return append([]float32(nil), shards[0]...), nil
 	}
-	return c.Recv(group[0], tagScatter+me)
+	return c.Recv(group[0], tagScatter+me), nil
 }
 
 // ReduceScatter sums all ranks' equal-length buffers and leaves each
 // rank holding its segment of the sum (the standard MPI segment
 // layout; returns the [lo,hi) bounds too). Implemented as the ring
 // reduce-scatter half of the ring allreduce.
-func ReduceScatter(c *transport.Comm, group []int, buf []float32) (lo, hi int) {
+func ReduceScatter(c *transport.Comm, group []int, buf []float32) (lo, hi int, err error) {
 	p := len(group)
-	me := indexIn(group, c.Rank())
+	me, err := indexIn(group, c.Rank())
+	if err != nil {
+		return 0, 0, fmt.Errorf("reduce-scatter: %w", err)
+	}
 	if p == 1 {
-		return 0, len(buf)
+		return 0, len(buf), nil
 	}
 	next := group[(me+1)%p]
 	prev := group[(me-1+p)%p]
@@ -65,8 +74,11 @@ func ReduceScatter(c *transport.Comm, group []int, buf []float32) (lo, hi int) {
 		slo, shi := segment(n, p, sendSeg)
 		c.Send(next, tagRS+s, buf[slo:shi])
 		rlo, rhi := segment(n, p, recvSeg)
-		addInto(buf[rlo:rhi], c.Recv(prev, tagRS+s))
+		if err := addInto(buf[rlo:rhi], c.Recv(prev, tagRS+s)); err != nil {
+			return 0, 0, fmt.Errorf("reduce-scatter: step %d: %w", s, err)
+		}
 	}
 	// After p−1 steps this rank holds the full sum of segment (me+1).
-	return segment(n, p, (me+1)%p)
+	lo, hi = segment(n, p, (me+1)%p)
+	return lo, hi, nil
 }

@@ -12,7 +12,10 @@ func TestGather(t *testing.T) {
 	var rootView [][]float32
 	runGroup(p, func(c *transport.Comm, group []int) {
 		buf := []float32{float32(c.Rank()), float32(c.Rank() * 2)}
-		out := Gather(c, group, buf)
+		out, err := Gather(c, group, buf)
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+		}
 		if c.Rank() == 0 {
 			rootView = out
 		} else if out != nil {
@@ -39,7 +42,11 @@ func TestScatter(t *testing.T) {
 				shards = append(shards, []float32{float32(i * 100)})
 			}
 		}
-		got[c.Rank()] = Scatter(c, group, shards)
+		shard, err := Scatter(c, group, shards)
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+		}
+		got[c.Rank()] = shard
 	})
 	for i := 0; i < p; i++ {
 		if len(got[i]) != 1 || got[i][0] != float32(i*100) {
@@ -52,12 +59,9 @@ func TestScatterValidatesShardCount(t *testing.T) {
 	// Single-rank world: the root's shard-count check fires before
 	// any communication, so no peer can be left blocked.
 	runGroup(1, func(c *transport.Comm, group []int) {
-		defer func() {
-			if recover() == nil {
-				t.Error("wrong shard count accepted")
-			}
-		}()
-		Scatter(c, group, [][]float32{{1}, {2}})
+		if _, err := Scatter(c, group, [][]float32{{1}, {2}}); err == nil {
+			t.Error("wrong shard count accepted")
+		}
 	})
 }
 
@@ -73,7 +77,10 @@ func TestReduceScatter(t *testing.T) {
 		runGroup(p, func(c *transport.Comm, group []int) {
 			buf := make([]float32, n)
 			copy(buf, ins[c.Rank()])
-			lo, hi := ReduceScatter(c, group, buf)
+			lo, hi, err := ReduceScatter(c, group, buf)
+			if err != nil {
+				t.Errorf("p=%d rank %d: %v", p, c.Rank(), err)
+			}
 			results[c.Rank()] = res{lo, hi, append([]float32(nil), buf[lo:hi]...)}
 		})
 		covered := make([]bool, n)
@@ -100,18 +107,18 @@ func TestReduceScatter(t *testing.T) {
 func TestScatterValidation(t *testing.T) {
 	// Single-rank round trips.
 	runGroup(1, func(c *transport.Comm, group []int) {
-		out := Scatter(c, group, [][]float32{{7}})
-		if out[0] != 7 {
-			t.Error("single-rank scatter broken")
+		out, err := Scatter(c, group, [][]float32{{7}})
+		if err != nil || out[0] != 7 {
+			t.Errorf("single-rank scatter broken: %v %v", out, err)
 		}
-		g := Gather(c, group, []float32{3})
-		if g[0][0] != 3 {
-			t.Error("single-rank gather broken")
+		g, err := Gather(c, group, []float32{3})
+		if err != nil || g[0][0] != 3 {
+			t.Errorf("single-rank gather broken: %v %v", g, err)
 		}
 		buf := []float32{1, 2}
-		lo, hi := ReduceScatter(c, group, buf)
-		if lo != 0 || hi != 2 {
-			t.Error("single-rank reduce-scatter bounds wrong")
+		lo, hi, err := ReduceScatter(c, group, buf)
+		if err != nil || lo != 0 || hi != 2 {
+			t.Errorf("single-rank reduce-scatter bounds wrong: %d %d %v", lo, hi, err)
 		}
 	})
 }

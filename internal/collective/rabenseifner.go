@@ -1,6 +1,10 @@
 package collective
 
-import "segscale/internal/transport"
+import (
+	"fmt"
+
+	"segscale/internal/transport"
+)
 
 const tagRab = 7 << 16
 
@@ -10,12 +14,15 @@ const tagRab = 7 << 16
 // 2·log₂(p) latency steps — the shape MPI libraries pick for large
 // messages on small-to-medium communicators. Non-power-of-two groups
 // use the MPICH fold (evens donate to odds, then unfold).
-func AllreduceRabenseifner(c *transport.Comm, group []int, buf []float32) {
+func AllreduceRabenseifner(c *transport.Comm, group []int, buf []float32) error {
 	p := len(group)
 	if p <= 1 {
-		return
+		return nil
 	}
-	me := indexIn(group, c.Rank())
+	me, err := indexIn(group, c.Rank())
+	if err != nil {
+		return fmt.Errorf("allreduce rabenseifner: %w", err)
+	}
 	n := len(buf)
 
 	pow := 1
@@ -30,7 +37,9 @@ func AllreduceRabenseifner(c *transport.Comm, group []int, buf []float32) {
 	case me < 2*rem && me%2 == 0:
 		c.Send(group[me+1], tagRab, buf)
 	case me < 2*rem:
-		addInto(buf, c.Recv(group[me-1], tagRab))
+		if err := addInto(buf, c.Recv(group[me-1], tagRab)); err != nil {
+			return fmt.Errorf("allreduce rabenseifner: fold: %w", err)
+		}
 		newrank = me / 2
 	default:
 		newrank = me - rem
@@ -59,7 +68,9 @@ func AllreduceRabenseifner(c *transport.Comm, group []int, buf []float32) {
 				sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 			}
 			got := c.SendRecv(partner, tagRab+1+step, buf[sendLo:sendHi], partner, tagRab+1+step)
-			addInto(buf[keepLo:keepHi], got)
+			if err := addInto(buf[keepLo:keepHi], got); err != nil {
+				return fmt.Errorf("allreduce rabenseifner: halving step %d: %w", step, err)
+			}
 			lo, hi = keepLo, keepHi
 			step++
 		}
@@ -106,4 +117,5 @@ func AllreduceRabenseifner(c *transport.Comm, group []int, buf []float32) {
 			c.Send(group[me-1], tagRab+2048, buf)
 		}
 	}
+	return nil
 }

@@ -130,8 +130,8 @@ func (r *TuneReport) Speedup() float64 {
 func (r *TuneReport) CostGPUHours() float64 {
 	total := 0.0
 	for _, ev := range r.Trace {
-		steps := float64(len(ev.Result.StepTimes))
-		total += ev.Result.AvgStep * steps * float64(ev.Result.GPUs) / 3600
+		steps := float64(len(ev.Result.StepTimesSec))
+		total += ev.Result.AvgStepSec * steps * float64(ev.Result.GPUs) / 3600
 	}
 	return total
 }

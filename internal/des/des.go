@@ -87,9 +87,11 @@ func (s *Sim) Events() uint64 { return s.steps }
 // panics: it always indicates a modelling bug.
 func (s *Sim) At(t float64, fn func()) *Event {
 	if t < s.now {
+		//seglint:ignore nopanic scheduling in the past is a modelling bug; callers cannot recover mid-simulation
 		panic(fmt.Sprintf("des: schedule at %.9fs before now %.9fs", t, s.now))
 	}
 	if math.IsNaN(t) || math.IsInf(t, 0) {
+		//seglint:ignore nopanic a non-finite timestamp corrupts the event heap; fail loudly at the source
 		panic(fmt.Sprintf("des: schedule at non-finite time %v", t))
 	}
 	e := &Event{Time: t, Fn: fn, seq: s.nextSeq}
@@ -101,6 +103,7 @@ func (s *Sim) At(t float64, fn func()) *Event {
 // After schedules fn d seconds from now. Negative delays panic.
 func (s *Sim) After(d float64, fn func()) *Event {
 	if d < 0 {
+		//seglint:ignore nopanic negative delay is a modelling bug, same contract as At
 		panic(fmt.Sprintf("des: negative delay %.9fs", d))
 	}
 	return s.At(s.now+d, fn)
@@ -134,6 +137,7 @@ func (s *Sim) RunUntil(deadline float64) float64 {
 		s.now = e.Time
 		s.steps++
 		if s.MaxEvents > 0 && s.steps > s.MaxEvents {
+			//seglint:ignore nopanic the runaway guard fires inside event callbacks, which have no error channel
 			panic(fmt.Sprintf("des: exceeded MaxEvents=%d (runaway simulation?)", s.MaxEvents))
 		}
 		e.Fn()

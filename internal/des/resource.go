@@ -15,6 +15,7 @@ type Resource struct {
 // NewResource creates a resource with the given concurrency capacity.
 func NewResource(sim *Sim, name string, capacity int) *Resource {
 	if capacity <= 0 {
+		//seglint:ignore nopanic a non-positive capacity is a construction-time modelling bug
 		panic("des: resource capacity must be positive")
 	}
 	return &Resource{sim: sim, capacity: capacity, Name: name}
@@ -36,6 +37,7 @@ func (r *Resource) Acquire(fn func()) {
 // the current virtual time.
 func (r *Resource) Release() {
 	if r.inUse <= 0 {
+		//seglint:ignore nopanic double-release happens inside event callbacks, which have no error channel
 		panic("des: release of idle resource " + r.Name)
 	}
 	if len(r.waiters) > 0 {

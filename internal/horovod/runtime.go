@@ -47,11 +47,22 @@ func (r *Runtime) Rank() int { return r.Comm.Rank() }
 // Size returns the world size.
 func (r *Runtime) Size() int { return r.Comm.Size() }
 
+// must converts a collective error into a rank panic. Runtime methods
+// run inside per-rank goroutines under transport.Run, whose contract
+// re-raises a rank panic on the caller after the world drains — that
+// is the failure channel here, and the Runtime always passes groups it
+// constructed itself, so an error is a bug in this package, not input.
+func must(err error) {
+	if err != nil {
+		panic(fmt.Errorf("horovod: %w", err))
+	}
+}
+
 // BroadcastParams overwrites every rank's parameters with rank 0's —
 // the initial weight synchronisation of distributed training.
 func (r *Runtime) BroadcastParams(params []*nn.Param) {
 	for _, p := range params {
-		collective.BcastTree(r.Comm, r.world, p.W.Data)
+		must(collective.BcastTree(r.Comm, r.world, p.W.Data))
 	}
 }
 
@@ -100,13 +111,13 @@ func (r *Runtime) AllreduceGrads(params []*nn.Param) {
 func (r *Runtime) allreduce(buf []float32) {
 	switch r.Cfg.ResolveAlgorithm() {
 	case netmodel.AlgHierLeader:
-		collective.AllreduceHierLeader(r.Comm, r.Mach, buf)
+		must(collective.AllreduceHierLeader(r.Comm, r.Mach, buf))
 	case netmodel.AlgRecursiveDoubling:
-		collective.AllreduceRecursiveDoubling(r.Comm, r.world, buf)
+		must(collective.AllreduceRecursiveDoubling(r.Comm, r.world, buf))
 	case netmodel.AlgRabenseifner:
-		collective.AllreduceRabenseifner(r.Comm, r.world, buf)
+		must(collective.AllreduceRabenseifner(r.Comm, r.world, buf))
 	default:
-		collective.AllreduceRing(r.Comm, r.world, buf)
+		must(collective.AllreduceRing(r.Comm, r.world, buf))
 	}
 }
 
@@ -121,7 +132,7 @@ func (r *Runtime) AllreduceSumFloat64(buf []float64) {
 	for i, v := range buf {
 		f[i] = float32(v)
 	}
-	collective.AllreduceRing(r.Comm, r.world, f)
+	must(collective.AllreduceRing(r.Comm, r.world, f))
 	for i := range buf {
 		buf[i] = float64(f[i])
 	}
@@ -132,21 +143,21 @@ func (r *Runtime) AllreduceSumFloat64(buf []float64) {
 func (r *Runtime) Allgather(local []float32) [][]float32 {
 	shards := make([][]float32, r.Size())
 	shards[r.Rank()] = local
-	collective.AllgatherRing(r.Comm, r.world, shards)
+	must(collective.AllgatherRing(r.Comm, r.world, shards))
 	return shards
 }
 
 // Broadcast overwrites buf on every rank with rank 0's contents —
 // hvd.broadcast for a single tensor.
 func (r *Runtime) Broadcast(buf []float32) {
-	collective.BcastTree(r.Comm, r.world, buf)
+	must(collective.BcastTree(r.Comm, r.world, buf))
 }
 
 // AllreduceScalar averages one float64 across ranks (used for loss
 // and metric reporting).
 func (r *Runtime) AllreduceScalar(v float64) float64 {
 	buf := []float32{float32(v)}
-	collective.AllreduceRing(r.Comm, r.world, buf)
+	must(collective.AllreduceRing(r.Comm, r.world, buf))
 	return float64(buf[0]) / float64(r.Size())
 }
 
@@ -159,7 +170,7 @@ func (r *Runtime) AllreduceCounts(counts []int64) {
 	for i, c := range counts {
 		buf[i] = float32(c)
 	}
-	collective.AllreduceRing(r.Comm, r.world, buf)
+	must(collective.AllreduceRing(r.Comm, r.world, buf))
 	for i := range counts {
 		counts[i] = int64(buf[i] + 0.5)
 	}

@@ -24,11 +24,11 @@ import (
 // (descriptor post + completion handling). This is what makes
 // MV2_CUDA_BLOCK_SIZE have an interior optimum: small chunks pay this
 // many times; big chunks pay pipeline-fill latency instead.
-const chunkOverhead = 0.5e-6
+const chunkOverheadSec = 0.5e-6
 
 // Host-path latency used by tiny coordination messages (Horovod
 // negotiation), which travel CPU-to-CPU regardless of MPI library.
-const hostAlpha = 1.4e-6
+const hostAlphaSec = 1.4e-6
 
 // Coordinator per-rank processing cost during a negotiation round.
 const negotiatePerRank = 120e-9
@@ -120,7 +120,7 @@ func (m *Model) xferShared(kind topology.LinkKind, n int, flows int) float64 {
 	if pipelined {
 		chunks := (n + p.CUDABlockSize - 1) / p.CUDABlockSize
 		fill := float64(min(p.CUDABlockSize, n)) / p.BWStaged
-		t += fill + float64(n)/bw + float64(chunks-1)*chunkOverhead
+		t += fill + float64(n)/bw + float64(chunks-1)*chunkOverheadSec
 		return t
 	}
 	return t + float64(n)/bw
@@ -363,5 +363,5 @@ func NegotiationTime(p int) float64 {
 		return 0
 	}
 	steps := math.Ceil(math.Log2(float64(p)))
-	return 2*steps*hostAlpha + float64(p)*negotiatePerRank
+	return 2*steps*hostAlphaSec + float64(p)*negotiatePerRank
 }

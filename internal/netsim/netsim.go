@@ -107,14 +107,14 @@ func (nw *Network) Send(a, b, n int, after float64, done func(float64)) {
 	// engine; the per-chunk software overhead extends the NIC hold.
 	// This mirrors internal/netmodel's cost terms so the two views
 	// stay comparable.
-	const chunkOverhead = 0.5e-6
+	const chunkOverheadSec = 0.5e-6
 	stage := 0.0
 	railTime := float64(n) / bw
 	pipelined := n > nw.Prof.EagerLimit && (!nw.Prof.GPUDirect || n > nw.Prof.GPUDirectLimit)
 	if pipelined {
 		stage = float64(min(nw.Prof.CUDABlockSize, n)) / nw.Prof.BWStaged
 		chunks := (n + nw.Prof.CUDABlockSize - 1) / nw.Prof.CUDABlockSize
-		railTime += float64(chunks-1) * chunkOverhead
+		railTime += float64(chunks-1) * chunkOverheadSec
 	}
 	node := nw.Mach.Node(a)
 	start := func() {

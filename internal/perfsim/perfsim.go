@@ -38,12 +38,12 @@ import (
 // Fixed framework constants (TF1-era session overhead and the
 // per-negotiation cycles the background thread steals from compute).
 const (
-	// stepOverhead is per-step framework time (session run, optimiser
+	// stepOverheadSec is per-step framework time (session run, optimiser
 	// launch) outside both compute and communication.
-	stepOverhead = 10e-3
-	// rankInterrupt is compute time each rank loses per negotiation
+	stepOverheadSec = 10e-3
+	// rankInterruptSec is compute time each rank loses per negotiation
 	// round to its background thread.
-	rankInterrupt = 12e-6
+	rankInterruptSec = 12e-6
 	// negotiatePerTensorPerRank is coordinator work per pending
 	// tensor per rank without the response cache.
 	negotiatePerTensorPerRank = 40e-9
@@ -145,12 +145,12 @@ func (c Config) Canon() Config {
 
 // Result summarises a run.
 type Result struct {
-	GPUs      int
-	BatchPer  int
-	StepTimes []float64 // post-warmup
+	GPUs         int
+	BatchPer     int
+	StepTimesSec []float64 // post-warmup
 
-	AvgStep   float64
-	ImgPerSec float64
+	AvgStepSec float64
+	ImgPerSec  float64
 
 	// Per-step averages of where time went.
 	ComputeSec     float64 // slowest rank's compute, incl. interrupts
@@ -216,9 +216,9 @@ func Run(cfg Config) (*Result, error) {
 	// reproduces the paper's measured rate.
 	rawStep := gpu.StepTime(batch)
 	meanJitter := 1 + gpu.JitterStd*math.Sqrt(2/math.Pi)
-	calib := (rawStep - stepOverhead) / (rawStep * meanJitter)
+	calib := (rawStep - stepOverheadSec) / (rawStep * meanJitter)
 	if calib <= 0 {
-		return nil, fmt.Errorf("perfsim: step time %.3gs too small for %.3gs overhead", rawStep, stepOverhead)
+		return nil, fmt.Errorf("perfsim: step time %.3gs too small for %.3gs overhead", rawStep, stepOverheadSec)
 	}
 
 	world, err := placeRanks(cfg.GPUs, mach, cfg.Placement)
@@ -226,14 +226,14 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	sim := &stepSim{
-		cfg:   cfg,
-		mach:  mach,
-		net:   net,
-		gpu:   gpu,
-		rng:   rng,
-		calib: calib,
-		batch: batch,
-		world: world,
+		cfg:         cfg,
+		mach:        mach,
+		net:         net,
+		gpu:         gpu,
+		rng:         rng,
+		calibFactor: calib,
+		batch:       batch,
+		world:       world,
 	}
 
 	res := &Result{GPUs: cfg.GPUs, BatchPer: batch}
@@ -245,24 +245,24 @@ func Run(cfg Config) (*Result, error) {
 		// pass communicates (hvd backward_passes_per_step).
 		doComm := (step+1)%accum == 0
 		st := sim.runStep(now, recordTimeline, doComm)
-		now = st.end
+		now = st.endSec
 		if step < cfg.WarmupSteps {
 			continue
 		}
-		d := st.end - st.start
-		res.StepTimes = append(res.StepTimes, d)
-		res.ComputeSec += st.compute
-		res.NegotiateSec += st.negotiate
-		res.PackSec += st.pack
-		res.AllreduceSec += st.allreduce
-		res.ExposedSec += st.exposed
-		res.DataStallSec += st.dataStall
+		d := st.endSec - st.startSec
+		res.StepTimesSec = append(res.StepTimesSec, d)
+		res.ComputeSec += st.computeSec
+		res.NegotiateSec += st.negotiateSec
+		res.PackSec += st.packSec
+		res.AllreduceSec += st.allreduceSec
+		res.ExposedSec += st.exposedSec
+		res.DataStallSec += st.dataStallSec
 		res.CyclesPerStep += float64(st.cycles)
 		res.BuffersPerStep += float64(st.buffers)
 	}
-	n := float64(len(res.StepTimes))
-	res.AvgStep = metrics.Mean(res.StepTimes)
-	res.ImgPerSec = float64(batch*cfg.GPUs) / res.AvgStep
+	n := float64(len(res.StepTimesSec))
+	res.AvgStepSec = metrics.Mean(res.StepTimesSec)
+	res.ImgPerSec = float64(batch*cfg.GPUs) / res.AvgStepSec
 	res.ComputeSec /= n
 	res.NegotiateSec /= n
 	res.PackSec /= n
@@ -298,28 +298,28 @@ func placeRanks(n int, mach topology.Machine, p Placement) ([]int, error) {
 
 // stepSim holds cross-step state.
 type stepSim struct {
-	cfg   Config
-	mach  topology.Machine
-	net   *netmodel.Model
-	gpu   *devsim.GPU
-	rng   *rand.Rand
-	calib float64 // compute-time scale from throughput calibration
-	batch int
-	world []int
-	step  int
+	cfg         Config
+	mach        topology.Machine
+	net         *netmodel.Model
+	gpu         *devsim.GPU
+	rng         *rand.Rand
+	calibFactor float64 // compute-time scale from throughput calibration
+	batch       int
+	world       []int
+	step        int
 }
 
-// stepStats is one step's outcome.
+// stepStats is one step's outcome. All durations are virtual seconds.
 type stepStats struct {
-	start, end float64
-	compute    float64
-	negotiate  float64
-	pack       float64
-	allreduce  float64
-	exposed    float64
-	dataStall  float64
-	cycles     int
-	buffers    int
+	startSec, endSec float64
+	computeSec       float64
+	negotiateSec     float64
+	packSec          float64
+	allreduceSec     float64
+	exposedSec       float64
+	dataStallSec     float64
+	cycles           int
+	buffers          int
 }
 
 // runStep simulates one synchronous data-parallel training step
@@ -346,17 +346,17 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 		}
 	}
 
-	fwd := s.gpu.ForwardTime(batch) * jmax * s.calib
-	bwdDur := s.gpu.BackwardTime(batch) * jmax * s.calib
+	fwd := s.gpu.ForwardTime(batch) * jmax * s.calibFactor
+	bwdDur := s.gpu.BackwardTime(batch) * jmax * s.calibFactor
 	tensors := s.gpu.TensorReadyTimes(batch)
-	st := stepStats{start: t0}
+	st := stepStats{startSec: t0}
 
 	// Input-pipeline stall: the step cannot start until its batch is
 	// materialised; the stall is paced by the slowest rank's pipeline
 	// too, so it rides inside the jittered compute window.
 	if cfg.IO != nil {
 		stall := cfg.IO.StallPerStep(p, batch, fwd+bwdDur)
-		st.dataStall = stall
+		st.dataStallSec = stall
 		t0 += stall
 	}
 
@@ -365,8 +365,8 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 	}
 
 	if p == 1 || !doComm {
-		st.compute = fwd + bwdDur
-		st.end = t0 + st.compute + stepOverhead
+		st.computeSec = fwd + bwdDur
+		st.endSec = t0 + st.computeSec + stepOverheadSec
 		return st
 	}
 
@@ -375,7 +375,7 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 	ready := make([]float64, len(tensors))
 	sizes := make([]int, len(tensors))
 	for i, tr := range tensors {
-		ready[i] = t0 + fwd + tr.Offset*jmax*s.calib
+		ready[i] = t0 + fwd + tr.Offset*jmax*s.calibFactor
 		sizes[i] = tr.Bytes
 	}
 
@@ -415,9 +415,9 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 			perTensor *= cachedTensorFactor
 		}
 		dNeg := netmodel.NegotiationTime(p) + float64(pending)*float64(p)*perTensor
-		st.negotiate += dNeg
+		st.negotiateSec += dNeg
 		if now < computeEnd() {
-			computeDelay += rankInterrupt
+			computeDelay += rankInterruptSec
 		}
 		if record {
 			s.cfg.Timeline.Add("coordinator", timeline.PhaseNegotiate,
@@ -445,8 +445,8 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 					packT += 2 * float64(bytes) / cfg.MPI.FusionPackBW
 				}
 				arT := s.net.Allreduce(alg, s.world, wireBytes)
-				st.pack += packT
-				st.allreduce += arT
+				st.packSec += packT
+				st.allreduceSec += arT
 				if record {
 					s.cfg.Timeline.Add("coordinator", timeline.PhaseMemcpy,
 						fmt.Sprintf("buf%d(%dB)", st.buffers, bytes), busyUntil, busyUntil+packT)
@@ -476,11 +476,11 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 	dsim.At(t0+cycle, tick)
 	dsim.Run()
 
-	st.compute = fwd + bwdDur + computeDelay
+	st.computeSec = fwd + bwdDur + computeDelay
 	ce := computeEnd()
-	st.exposed = computeDelay + math.Max(0, lastCommDone-ce)
-	end := math.Max(ce, lastCommDone) + stepOverhead
-	st.end = end
+	st.exposedSec = computeDelay + math.Max(0, lastCommDone-ce)
+	end := math.Max(ce, lastCommDone) + stepOverheadSec
+	st.endSec = end
 	return st
 }
 

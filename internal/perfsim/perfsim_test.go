@@ -66,7 +66,7 @@ func TestSingleGPUReproducesPaperThroughput(t *testing.T) {
 func TestDeterministicForSeed(t *testing.T) {
 	a := run(t, tunedMV2(24))
 	b := run(t, tunedMV2(24))
-	if a.ImgPerSec != b.ImgPerSec || a.AvgStep != b.AvgStep {
+	if a.ImgPerSec != b.ImgPerSec || a.AvgStepSec != b.AvgStepSec {
 		t.Fatal("same seed produced different results")
 	}
 	c := tunedMV2(24)
@@ -224,7 +224,7 @@ func TestRunSeedsAggregates(t *testing.T) {
 	if len(agg.Runs) != 5 {
 		t.Fatalf("%d runs", len(agg.Runs))
 	}
-	if agg.MeanImgPerSec <= 0 || agg.StdImgPerSec < 0 || agg.CI95 < 0 {
+	if agg.MeanImgPerSec <= 0 || agg.StdImgPerSec < 0 || agg.CI95ImgPerSec < 0 {
 		t.Fatalf("bad aggregate %+v", agg)
 	}
 	// Seed noise should be small relative to the mean (stable sim).
@@ -321,12 +321,12 @@ func TestResponseCacheReducesNegotiation(t *testing.T) {
 
 func TestExposedCommSmallWhenOverlapped(t *testing.T) {
 	r := run(t, tunedMV2(132))
-	if r.ExposedSec > 0.1*r.AvgStep {
-		t.Fatalf("tuned MV2 exposes %.1f%% of the step", 100*r.ExposedSec/r.AvgStep)
+	if r.ExposedSec > 0.1*r.AvgStepSec {
+		t.Fatalf("tuned MV2 exposes %.1f%% of the step", 100*r.ExposedSec/r.AvgStepSec)
 	}
 	d := run(t, defaultSpectrum(132))
-	if d.ExposedSec < 0.1*d.AvgStep {
-		t.Fatalf("default Spectrum exposes only %.1f%%", 100*d.ExposedSec/d.AvgStep)
+	if d.ExposedSec < 0.1*d.AvgStepSec {
+		t.Fatalf("default Spectrum exposes only %.1f%%", 100*d.ExposedSec/d.AvgStepSec)
 	}
 }
 
@@ -449,8 +449,8 @@ func TestPropertySimulatorInvariants(t *testing.T) {
 			}
 		}
 		// The average step can never be shorter than pure compute.
-		if r.AvgStep < r.ComputeSec*0.99 {
-			t.Logf("step %.4f below compute %.4f", r.AvgStep, r.ComputeSec)
+		if r.AvgStepSec < r.ComputeSec*0.99 {
+			t.Logf("step %.4f below compute %.4f", r.AvgStepSec, r.ComputeSec)
 			return false
 		}
 		return true
@@ -462,15 +462,15 @@ func TestPropertySimulatorInvariants(t *testing.T) {
 
 func TestStepTimesPositiveAndStable(t *testing.T) {
 	r := run(t, tunedMV2(48))
-	if len(r.StepTimes) != DefaultSteps-2 {
-		t.Fatalf("%d post-warmup steps", len(r.StepTimes))
+	if len(r.StepTimesSec) != DefaultSteps-2 {
+		t.Fatalf("%d post-warmup steps", len(r.StepTimesSec))
 	}
-	for _, s := range r.StepTimes {
+	for _, s := range r.StepTimesSec {
 		if s <= 0 || math.IsNaN(s) {
 			t.Fatalf("bad step time %g", s)
 		}
-		if math.Abs(s-r.AvgStep) > 0.3*r.AvgStep {
-			t.Fatalf("step time %g far from mean %g", s, r.AvgStep)
+		if math.Abs(s-r.AvgStepSec) > 0.3*r.AvgStepSec {
+			t.Fatalf("step time %g far from mean %g", s, r.AvgStepSec)
 		}
 	}
 }

@@ -14,9 +14,9 @@ type Aggregate struct {
 
 	MeanImgPerSec float64
 	StdImgPerSec  float64
-	// CI95 is the half-width of the 95% confidence interval on the
+	// CI95ImgPerSec is the half-width of the 95% confidence interval on the
 	// mean throughput (normal approximation).
-	CI95 float64
+	CI95ImgPerSec float64
 }
 
 // RunSeeds executes the configuration under n different seeds
@@ -39,6 +39,6 @@ func RunSeeds(cfg Config, n int) (*Aggregate, error) {
 	}
 	agg.MeanImgPerSec = metrics.Mean(vals)
 	agg.StdImgPerSec = metrics.StdDev(vals)
-	agg.CI95 = 1.96 * agg.StdImgPerSec / math.Sqrt(float64(n))
+	agg.CI95ImgPerSec = 1.96 * agg.StdImgPerSec / math.Sqrt(float64(n))
 	return agg, nil
 }

@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBarrierHappensBefore checks the memory-ordering contract: writes
+// a rank makes before Barrier must be visible to every rank after it.
+// Each iteration every rank publishes into its own slot, crosses the
+// barrier, and reads all slots without further synchronisation — under
+// -race this fails if the barrier's generation handoff is broken. The
+// second barrier keeps the next iteration's writes from racing with
+// this iteration's reads.
+func TestBarrierHappensBefore(t *testing.T) {
+	const n = 8
+	const iters = 200
+	shared := make([]int, n)
+	Run(n, func(c *Comm) {
+		for it := 1; it <= iters; it++ {
+			shared[c.Rank()] = it
+			c.Barrier()
+			for r := 0; r < n; r++ {
+				if shared[r] != it {
+					t.Errorf("iter %d rank %d saw slot %d = %d", it, c.Rank(), r, shared[r])
+				}
+			}
+			c.Barrier()
+		}
+	})
+}
+
+// TestBarrierManyRanksLooping stresses the generation counter with a
+// wide world and tight loop, where a stale barrierCh read would wake a
+// rank in the wrong generation.
+func TestBarrierManyRanksLooping(t *testing.T) {
+	const n = 32
+	const iters = 500
+	Run(n, func(c *Comm) {
+		for it := 0; it < iters; it++ {
+			c.Barrier()
+		}
+	})
+}
+
+// TestBarrierInterleavedWithTraffic mixes barrier crossings with ring
+// Send/Recv traffic so barrier state and mailbox channels are exercised
+// together, the way collective compositions use them.
+func TestBarrierInterleavedWithTraffic(t *testing.T) {
+	const n = 6
+	const iters = 100
+	Run(n, func(c *Comm) {
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() - 1 + n) % n
+		for it := 0; it < iters; it++ {
+			c.Send(next, it, []float32{float32(c.Rank()), float32(it)})
+			got := c.Recv(prev, it)
+			if int(got[0]) != prev || int(got[1]) != it {
+				t.Errorf("rank %d iter %d got %v", c.Rank(), it, got)
+			}
+			c.Barrier()
+		}
+	})
+}
+
+// TestSendSnapshotUnderRace mutates the send buffer immediately after
+// every Send in a tight loop; if Send aliased instead of copying, the
+// writer would race with the receiver's read and -race would flag it.
+func TestSendSnapshotUnderRace(t *testing.T) {
+	const iters = 300
+	Run(2, func(c *Comm) {
+		buf := []float32{0}
+		for it := 0; it < iters; it++ {
+			if c.Rank() == 0 {
+				buf[0] = float32(it)
+				c.Send(1, it, buf)
+				buf[0] = -1 // would race with rank 1's read if Send aliased
+			} else {
+				got := c.Recv(0, it)
+				if got[0] != float32(it) {
+					t.Errorf("iter %d got %g", it, got[0])
+				}
+			}
+		}
+	})
+}
+
+// TestConcurrentWorlds runs several independent worlds at once; their
+// barrier and mailbox state must be fully isolated.
+func TestConcurrentWorlds(t *testing.T) {
+	const worlds = 4
+	var wg sync.WaitGroup
+	for wi := 0; wi < worlds; wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Run(4, func(c *Comm) {
+				for it := 0; it < 50; it++ {
+					c.Barrier()
+				}
+			})
+		}()
+	}
+	wg.Wait()
+}
