@@ -1,9 +1,9 @@
 # Mirrors .github/workflows/ci.yml so local runs and CI agree.
 
-RACE_PKGS := ./internal/transport/ ./internal/tensor/ ./internal/nn/ ./internal/collective/
+RACE_PKGS := ./internal/transport/ ./internal/tensor/ ./internal/nn/ ./internal/collective/ ./internal/telemetry/
 FUZZTIME  ?= 10s
 
-.PHONY: build test race lint vet fuzz-smoke ci
+.PHONY: build test race lint vet fuzz-smoke trace-smoke ci
 
 build:
 	go build ./...
@@ -24,5 +24,13 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/fp16/
 	go test -run='^$$' -fuzz=FuzzHalfBits -fuzztime=$(FUZZTIME) ./internal/fp16/
 	go test -run='^$$' -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/checkpoint/
+	go test -run='^$$' -fuzz=FuzzReadChromeTrace -fuzztime=$(FUZZTIME) ./internal/timeline/
 
-ci: build lint test race fuzz-smoke
+# trace-smoke runs the simulator end-to-end into the trace tooling:
+# summit-sim writes a Chrome trace and a Prometheus dump, trace-stats
+# must analyse the trace.
+trace-smoke:
+	go run ./cmd/summit-sim -gpus 6,132 -timeline /tmp/segscale-trace.json -prom /tmp/segscale-metrics.prom
+	go run ./cmd/trace-stats /tmp/segscale-trace.json
+
+ci: build lint test race fuzz-smoke trace-smoke

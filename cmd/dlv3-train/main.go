@@ -7,13 +7,16 @@
 //
 //	dlv3-train [-world 4] [-epochs 20] [-batch 4] [-arch deeplab]
 //	           [-train 64] [-eval 16] [-lr 0.05] [-strong] [-seed 1]
+//	           [-trace trace.json] [-prom metrics.prom]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 	"time"
 
 	"segscale/internal/segdata"
@@ -39,6 +42,8 @@ func main() {
 	flag.StringVar(&cfg.ResumeFrom, "resume", "", "checkpoint file to resume from")
 	strong := flag.Bool("strong", false, "strong scaling: keep effective batch fixed (disables LR scaling)")
 	noSync := flag.Bool("no-syncbn", false, "disable synchronized batch norm")
+	traceOut := flag.String("trace", "", "write a per-rank Chrome trace (step-counter time base) to this file")
+	promOut := flag.String("prom", "", "write per-rank training metrics to this file in Prometheus text format")
 	flag.Parse()
 
 	if *strong {
@@ -46,6 +51,9 @@ func main() {
 	}
 	if *noSync {
 		cfg.SyncBN = false
+	}
+	if *traceOut != "" || *promOut != "" {
+		cfg.Telemetry = summitseg.NewTelemetry()
 	}
 
 	fmt.Printf("training %s: world=%d batch/rank=%d effective=%d syncbn=%v lr-scaling=%v\n",
@@ -72,4 +80,30 @@ func main() {
 		}
 		fmt.Printf("  %-14s %6.2f%%\n", segdata.ClassNames[k], 100*iou)
 	}
+
+	if *traceOut != "" {
+		if err := writeTo(*traceOut, cfg.Telemetry.WriteChromeTrace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
+	if *promOut != "" {
+		if err := writeTo(*promOut, cfg.Telemetry.WritePrometheus); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *promOut)
+	}
+}
+
+// writeTo creates path and streams one exporter into it.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

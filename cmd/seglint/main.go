@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"segscale/internal/analysis"
+	"segscale/internal/analysis/passes/metricname"
 	"segscale/internal/analysis/passes/nopanic"
 	"segscale/internal/analysis/passes/nowallclock"
 	"segscale/internal/analysis/passes/seededrand"
@@ -35,6 +36,7 @@ var analyzers = []*analysis.Analyzer{
 	seededrand.Analyzer,
 	unitsuffix.Analyzer,
 	nopanic.Analyzer,
+	metricname.Analyzer,
 }
 
 func main() {

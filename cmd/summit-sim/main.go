@@ -6,7 +6,7 @@
 // Usage:
 //
 //	summit-sim [-model dlv3plus] [-mpi mv2gdr] [-tuned] [-gpus 1,6,12,...]
-//	           [-seed 1] [-timeline trace.json]
+//	           [-seed 1] [-timeline trace.json] [-prom metrics.prom]
 package main
 
 import (
@@ -32,6 +32,7 @@ func main() {
 	gpuList := flag.String("gpus", "", "comma-separated GPU counts (default: the paper's 1,6,...,132)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	timelineOut := flag.String("timeline", "", "write a Chrome trace of one step to this file (largest scale)")
+	promOut := flag.String("prom", "", "write simulator metrics (all scales) to this file in Prometheus text format")
 	fp16 := flag.Bool("fp16", false, "enable fp16 gradient compression")
 	cyclic := flag.Bool("cyclic", false, "cyclic (round-robin) rank placement instead of packed")
 	withIO := flag.Bool("io", false, "model the input pipeline (GPFS + decode + prefetch)")
@@ -73,12 +74,17 @@ func main() {
 	fmt.Printf("model=%s mpi=%s tuned=%v\n", prof.Name, mpi.Name, *tuned)
 	fmt.Printf("%-6s %12s %10s %12s %12s\n", "GPUs", "img/s", "eff", "step", "exposed")
 
+	var col *summitseg.Telemetry
+	if *promOut != "" {
+		col = summitseg.NewTelemetry()
+	}
+
 	var base *summitseg.SimResult
 	var bars []asciichart.Bar
 	var all []*summitseg.SimResult
 	for i, g := range scales {
 		opts := summitseg.SimOptions{GPUs: g, Model: prof, MPI: mpi, Horovod: hvd, Seed: *seed,
-			CyclicPlacement: *cyclic, IO: io}
+			CyclicPlacement: *cyclic, IO: io, Telemetry: col}
 		if *timelineOut != "" && i == len(scales)-1 {
 			opts.Timeline = &summitseg.Timeline{Enabled: true}
 		}
@@ -111,6 +117,19 @@ func main() {
 	if *plot {
 		fmt.Println()
 		fmt.Print(asciichart.HBar(bars, 48, "%.1f img/s"))
+	}
+	if col != nil {
+		f, err := os.Create(*promOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := col.WritePrometheus(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *promOut)
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(all, "", "  ")

@@ -1,58 +1,142 @@
-// Command trace-stats aggregates a Chrome trace (as written by
-// summit-sim -timeline or real Horovod's HOROVOD_TIMELINE) into a
-// per-phase time breakdown — the quick way to see where a step went.
+// Command trace-stats analyses a Chrome trace (as written by
+// summit-sim -timeline, dlv3-train -trace, or real Horovod's
+// HOROVOD_TIMELINE): per-phase time breakdown and duration
+// histograms, the critical path through the step, and a straggler
+// report over lanes.
 //
 // Usage:
 //
-//	trace-stats trace.json
+//	trace-stats [-straggler-factor 1.2] [-path 12] trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
-	"sort"
+	"strings"
 
 	"segscale/internal/asciichart"
 	"segscale/internal/timeline"
+	"segscale/internal/traceanalysis"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("trace-stats: ")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		log.Fatal("usage: trace-stats <trace.json>")
-	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// run is the whole tool behind a testable seam: args are the
+// command-line arguments (without the program name), output goes to
+// stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("trace-stats", flag.ContinueOnError)
+	factor := fs.Float64("straggler-factor", 1.2,
+		"flag lanes busier than this multiple of the median lane")
+	pathMax := fs.Int("path", 12, "critical-path steps to print (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: trace-stats [flags] <trace.json>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
 	}
 	defer f.Close()
 
 	rec, err := timeline.ReadChromeTrace(f)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	br := rec.Breakdown()
-	lo, hi := rec.Span()
-	span := hi - lo
-	if span <= 0 {
-		log.Fatal("trace is empty")
+	rep, err := traceanalysis.Analyze(rec, traceanalysis.Options{StragglerFactor: *factor})
+	if err != nil {
+		return err
 	}
+	render(stdout, rep, *pathMax)
+	return nil
+}
 
-	phases := make([]string, 0, len(br))
-	for ph := range br {
-		phases = append(phases, ph)
-	}
-	sort.Slice(phases, func(i, j int) bool { return br[phases[i]] > br[phases[j]] })
+func render(w io.Writer, rep *traceanalysis.Report, pathMax int) {
+	fmt.Fprintf(w, "%d events, %d lanes, %.3f ms span\n\n",
+		rep.Events, len(rep.Lanes), rep.SpanSec*1e3)
 
-	fmt.Printf("%d events over %.3f ms\n\n", len(rec.Events), span*1e3)
+	fmt.Fprintln(w, "== phase breakdown ==")
 	var bars []asciichart.Bar
-	for _, ph := range phases {
-		bars = append(bars, asciichart.Bar{Label: ph, Value: br[ph] * 1e3})
+	for _, ph := range rep.Phases {
+		bars = append(bars, asciichart.Bar{Label: ph.Phase, Value: ph.Total * 1e3})
 	}
-	fmt.Print(asciichart.HBar(bars, 40, "%.2f ms"))
-	fmt.Printf("\n(lane-concurrent phases can sum past the %.3f ms span)\n", span*1e3)
+	fmt.Fprint(w, asciichart.HBar(bars, 40, "%.2f ms"))
+	fmt.Fprintf(w, "(lane-concurrent phases can sum past the %.3f ms span)\n\n", rep.SpanSec*1e3)
+
+	fmt.Fprintln(w, "== phase durations ==")
+	fmt.Fprintf(w, "%-24s %6s %10s %10s %10s %10s  %s\n",
+		"phase", "count", "mean", "p50", "p90", "max", "histogram")
+	for _, ph := range rep.Phases {
+		fmt.Fprintf(w, "%-24s %6d %10s %10s %10s %10s  %s\n",
+			ph.Phase, ph.Count,
+			ms(ph.Mean), ms(ph.P50), ms(ph.P90), ms(ph.Max), spark(ph.Hist))
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "== critical path (%.3f ms busy, %.1f%% of span) ==\n",
+		rep.CriticalSec*1e3, 100*rep.CriticalSec/rep.SpanSec)
+	steps := rep.CriticalPath
+	elided := 0
+	if pathMax > 0 && len(steps) > pathMax {
+		elided = len(steps) - pathMax
+		steps = steps[len(steps)-pathMax:]
+	}
+	if elided > 0 {
+		fmt.Fprintf(w, "  ... %d earlier steps elided (-path 0 for all)\n", elided)
+	}
+	for _, st := range steps {
+		e := st.Event
+		if st.GapSec > 0 {
+			fmt.Fprintf(w, "  (idle %s)\n", ms(st.GapSec))
+		}
+		fmt.Fprintf(w, "  %-10s %-24s %-20s %s\n", e.Lane, e.Phase, e.Name, ms(e.End-e.Start))
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "== stragglers ==")
+	if len(rep.Stragglers) == 0 {
+		fmt.Fprintf(w, "none (no lane over %.3f ms median busy time by the threshold)\n",
+			rep.MedianBusySec*1e3)
+		return
+	}
+	for _, s := range rep.Stragglers {
+		fmt.Fprintf(w, "%-10s busy %s = %.2fx the median lane\n", s.Lane, ms(s.BusySec), s.Ratio)
+	}
+}
+
+// ms renders seconds as fixed-point milliseconds.
+func ms(sec float64) string { return fmt.Sprintf("%.3fms", sec*1e3) }
+
+// spark renders bucket counts as a unicode bar row.
+func spark(hist []int) string {
+	levels := []rune(" ▁▂▃▄▅▆▇█")
+	max := 0
+	for _, c := range hist {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, c := range hist {
+		i := c * (len(levels) - 1) / max
+		if c > 0 && i == 0 {
+			i = 1
+		}
+		sb.WriteRune(levels[i])
+	}
+	return strings.TrimRight(sb.String(), " ")
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"segscale/internal/timeline"
+)
+
+// writeTrace saves a recorder to a temp file and returns the path.
+func writeTrace(t *testing.T, rec *timeline.Recorder) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunGolden(t *testing.T) {
+	// Two ranks: rank1 computes 3x slower, then both allreduce.
+	// Lane names round-trip as tid0/tid1 through the Chrome format.
+	rec := timeline.New()
+	rec.Add("rank0", timeline.PhaseForward, "fwd", 0, 0.001)
+	rec.Add("rank1", timeline.PhaseForward, "fwd", 0, 0.003)
+	rec.Add("rank0", timeline.PhaseAllreduce, "buf0", 0.003, 0.004)
+	rec.Add("rank1", timeline.PhaseAllreduce, "buf0", 0.003, 0.004)
+	path := writeTrace(t, rec)
+
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+
+	want := `4 events, 2 lanes, 4.000 ms span
+
+== phase breakdown ==
+FORWARD       |████████████████████████████████████████ 4.00 ms
+MPI_ALLREDUCE |████████████████████                     2.00 ms
+(lane-concurrent phases can sum past the 4.000 ms span)
+
+== phase durations ==
+phase                     count       mean        p50        p90        max  histogram
+FORWARD                       2    2.000ms    2.000ms    2.800ms    3.000ms  █      █
+MPI_ALLREDUCE                 2    1.000ms    1.000ms    1.000ms    1.000ms  █
+
+== critical path (4.000 ms busy, 100.0% of span) ==
+  tid1       FORWARD                  fwd                  3.000ms
+  tid1       MPI_ALLREDUCE            buf0                 1.000ms
+
+== stragglers ==
+tid1       busy 4.000ms = 1.33x the median lane
+`
+	if got != want {
+		t.Errorf("output mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	path := writeTrace(t, timeline.New())
+	var out strings.Builder
+	err := run([]string{path}, &out)
+	if err == nil {
+		t.Fatal("empty trace: want error")
+	}
+	if !strings.Contains(err.Error(), "no events") {
+		t.Errorf("error = %v, want mention of no events", err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{filepath.Join(t.TempDir(), "nope.json")}, &out); err == nil {
+		t.Fatal("missing file: want error")
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no args: want usage error")
+	}
+}
+
+func TestRunPathElision(t *testing.T) {
+	rec := timeline.New()
+	for i := 0; i < 6; i++ {
+		lo := float64(i) * 0.001
+		rec.Add("rank0", timeline.PhaseForward, "fwd", lo, lo+0.001)
+	}
+	path := writeTrace(t, rec)
+	var out strings.Builder
+	if err := run([]string{"-path", "2", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "4 earlier steps elided") {
+		t.Errorf("output missing elision note:\n%s", out.String())
+	}
+}

@@ -1,0 +1,116 @@
+// Package metricname enforces the telemetry metric naming convention
+// at registration call sites.
+//
+// Every metric registered through telemetry's Probe or Registry
+// (Counter, Gauge, Histogram) must be named in snake_case and end in
+// a unit suffix (_seconds, _bytes, _total, _ratio, _ops, _events).
+// The registry already panics on a bad name at runtime, but an
+// instrumented path that only fires under an optional collector can
+// hide a bad name until production; this pass moves the failure to
+// lint time. It also requires the name to be a compile-time constant:
+// dynamic names defeat static auditing of the metric namespace and
+// allocate in hot paths.
+//
+// The telemetry package itself is exempt — its internals forward
+// caller-supplied names through helper layers.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"segscale/internal/analysis"
+	"segscale/internal/telemetry"
+)
+
+// registrars are the metric-creating method names on telemetry.Probe
+// and telemetry.Registry whose first argument is the metric name.
+var registrars = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+// Analyzer is the metricname pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "require metric names at telemetry Counter/Gauge/Histogram registration " +
+		"sites to be compile-time constants in snake_case with a unit suffix " +
+		"(_seconds, _bytes, _total, _ratio, _ops, _events)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.PkgBase() == "telemetry" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registrars[sel.Sel.Name] || len(call.Args) == 0 {
+				return true
+			}
+			if !isTelemetryRegistrar(pass, sel) {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(),
+					"metric name passed to %s must be a compile-time string constant so the metric namespace stays statically auditable",
+					sel.Sel.Name)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !telemetry.ValidMetricName(name) {
+				pass.Reportf(arg.Pos(),
+					"metric name %q violates the naming convention: snake_case with a unit suffix from %v",
+					name, telemetry.MetricSuffixes)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTelemetryRegistrar reports whether the selector resolves to a
+// method on telemetry's Probe or Registry (directly or through a
+// pointer). Matching is by package base name so the analysistest
+// fixture's bare "telemetry" package qualifies like the real import
+// path does.
+func isTelemetryRegistrar(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false // qualified call like pkg.Func, not a method
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if base(named.Obj().Pkg().Path()) != "telemetry" {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Probe", "Registry":
+		return true
+	}
+	return false
+}
+
+func base(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

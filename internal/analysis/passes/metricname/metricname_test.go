@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"segscale/internal/analysis/analysistest"
+	"segscale/internal/analysis/passes/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, "testdata", metricname.Analyzer, "trainpkg", "telemetry")
+}

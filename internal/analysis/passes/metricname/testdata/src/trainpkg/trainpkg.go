@@ -1,0 +1,50 @@
+// Package trainpkg (fixture) exercises the metric-name contract the
+// way instrumented training code registers metrics.
+package trainpkg
+
+import "telemetry"
+
+// bucket ladder for the histogram sites.
+var buckets = []float64{0.001, 0.01, 0.1}
+
+func instrument(p *telemetry.Probe, r *telemetry.Registry, dynamic string) {
+	// Well-formed names pass.
+	p.Counter("train_steps_total").Inc()
+	p.Gauge("fusion_fill_ratio")
+	p.Histogram("step_seconds", buckets)
+	r.Counter("wire_bytes")
+
+	// A named constant is still statically auditable.
+	const queued = "queue_depth_events"
+	r.Gauge(queued)
+
+	p.Counter("TrainSteps")       // want "violates the naming convention"
+	p.Counter("train_step")       // want "violates the naming convention"
+	p.Gauge("train__fill_ratio")  // want "violates the naming convention"
+	p.Histogram("_seconds", nil)  // want "violates the naming convention"
+	r.Counter("1st_rank_total")   // want "violates the naming convention"
+	p.Counter("step-seconds")     // want "violates the naming convention"
+	p.Counter(dynamic)            // want "compile-time string constant"
+	p.Counter("steps_" + dynamic) // want "compile-time string constant"
+	p.Gauge(pick(true))           // want "compile-time string constant"
+	//seglint:ignore metricname legacy dashboard consumes this exact name
+	p.Counter("legacySpelling")
+}
+
+func pick(a bool) string {
+	if a {
+		return "a_total"
+	}
+	return "b_total"
+}
+
+// decoy has the same method names on an unrelated type; the pass must
+// not flag it.
+type decoy struct{}
+
+func (decoy) Counter(name string) int { return 0 }
+
+func unrelated() {
+	var d decoy
+	d.Counter("NotAMetric")
+}

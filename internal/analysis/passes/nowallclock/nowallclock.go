@@ -18,12 +18,13 @@ import (
 // simPackages are the package base names that must run on virtual
 // time only.
 var simPackages = map[string]bool{
-	"des":      true,
-	"perfsim":  true,
-	"netsim":   true,
-	"iosim":    true,
-	"devsim":   true,
-	"timeline": true,
+	"des":       true,
+	"perfsim":   true,
+	"netsim":    true,
+	"iosim":     true,
+	"devsim":    true,
+	"timeline":  true,
+	"telemetry": true,
 }
 
 // banned are the time-package functions that read or wait on the wall
@@ -45,8 +46,8 @@ var banned = map[string]bool{
 var Analyzer = &analysis.Analyzer{
 	Name: "nowallclock",
 	Doc: "forbid time.Now/time.Since/time.Sleep and other wall-clock reads in " +
-		"simulation packages (des, perfsim, netsim, iosim, devsim, timeline); " +
-		"simulated components must use the DES virtual clock",
+		"simulation packages (des, perfsim, netsim, iosim, devsim, timeline, " +
+		"telemetry); simulated components must use the DES virtual clock",
 	Run: run,
 }
 

@@ -20,6 +20,8 @@ package collective
 import (
 	"fmt"
 
+	"segscale/internal/telemetry"
+	"segscale/internal/timeline"
 	"segscale/internal/topology"
 	"segscale/internal/transport"
 )
@@ -34,6 +36,19 @@ const (
 	tagBcast  = 5 << 16
 	tagGather = 6 << 16
 )
+
+// instrument opens a span and bumps the per-algorithm op/byte
+// counters on the caller's probe. Uninstrumented communicators (nil
+// probe, the default) pay one branch per nil-safe telemetry call.
+func instrument(c *transport.Comm, phase, alg string, bytes int) telemetry.Span {
+	p := c.Probe()
+	if p == nil {
+		return telemetry.Span{}
+	}
+	p.Counter("collective_ops_total").Inc()
+	p.Counter("collective_payload_bytes").Add(float64(bytes))
+	return p.Span(phase, alg)
+}
 
 // indexIn returns the caller's index within group; a rank outside the
 // group is always a caller bug, reported as an error.
@@ -74,6 +89,8 @@ func addInto(dst, src []float32) error {
 // broadcasts the result linearly. O(p) time and the reference other
 // algorithms are verified against.
 func AllreduceNaive(c *transport.Comm, group []int, buf []float32) error {
+	sp := instrument(c, timeline.PhaseAllreduce, "naive", 4*len(buf))
+	defer sp.End()
 	me, err := indexIn(group, c.Rank())
 	if err != nil {
 		return fmt.Errorf("allreduce naive: %w", err)
@@ -102,6 +119,8 @@ func AllreduceRing(c *transport.Comm, group []int, buf []float32) error {
 	if p <= 1 {
 		return nil
 	}
+	sp := instrument(c, timeline.PhaseAllreduce, "ring", 4*len(buf))
+	defer sp.End()
 	me, err := indexIn(group, c.Rank())
 	if err != nil {
 		return fmt.Errorf("allreduce ring: %w", err)
@@ -142,6 +161,8 @@ func AllreduceRecursiveDoubling(c *transport.Comm, group []int, buf []float32) e
 	if p <= 1 {
 		return nil
 	}
+	sp := instrument(c, timeline.PhaseAllreduce, "recursive-doubling", 4*len(buf))
+	defer sp.End()
 	me, err := indexIn(group, c.Rank())
 	if err != nil {
 		return fmt.Errorf("allreduce recursive-doubling: %w", err)
@@ -219,6 +240,8 @@ func ReduceTree(c *transport.Comm, group []int, buf []float32) error {
 
 // BcastTree broadcasts group[0]'s buf to the group via binomial tree.
 func BcastTree(c *transport.Comm, group []int, buf []float32) error {
+	sp := instrument(c, timeline.PhaseBcast, "binomial-tree", 4*len(buf))
+	defer sp.End()
 	p := len(group)
 	me, err := indexIn(group, c.Rank())
 	if err != nil {
@@ -257,6 +280,8 @@ func AllgatherRing(c *transport.Comm, group []int, shards [][]float32) error {
 	if len(shards) != p {
 		return fmt.Errorf("allgather ring: %d shards for %d ranks", len(shards), p)
 	}
+	sp := instrument(c, timeline.PhaseAllgather, "ring", 4*len(shards[me]))
+	defer sp.End()
 	next := group[(me+1)%p]
 	prev := group[(me-1+p)%p]
 	for s := 0; s < p-1; s++ {

@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 
+	"segscale/internal/timeline"
 	"segscale/internal/transport"
 )
 
@@ -19,6 +20,8 @@ func AllreduceRabenseifner(c *transport.Comm, group []int, buf []float32) error 
 	if p <= 1 {
 		return nil
 	}
+	sp := instrument(c, timeline.PhaseAllreduce, "rabenseifner", 4*len(buf))
+	defer sp.End()
 	me, err := indexIn(group, c.Rank())
 	if err != nil {
 		return fmt.Errorf("allreduce rabenseifner: %w", err)

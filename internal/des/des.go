@@ -16,6 +16,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"segscale/internal/telemetry"
 )
 
 // Event is a scheduled callback in virtual time.
@@ -70,6 +72,20 @@ type Sim struct {
 	// MaxEvents bounds the event count as a runaway-loop guard;
 	// zero means no bound.
 	MaxEvents uint64
+
+	// Cached telemetry instruments, nil until SetProbe; the nil-safe
+	// no-op methods keep the uninstrumented event loop at one branch
+	// per instrument.
+	eventsCtr *telemetry.Counter
+	depth     *telemetry.Gauge
+}
+
+// SetProbe attaches telemetry to the event loop: an executed-event
+// counter and a queue-depth gauge, the two signals that expose a
+// runaway or starved simulation. A nil probe detaches.
+func (s *Sim) SetProbe(p *telemetry.Probe) {
+	s.eventsCtr = p.Counter("des_events_total")
+	s.depth = p.Gauge("des_queue_depth_events")
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -136,6 +152,8 @@ func (s *Sim) RunUntil(deadline float64) float64 {
 		e := heap.Pop(&s.queue).(*Event)
 		s.now = e.Time
 		s.steps++
+		s.eventsCtr.Inc()
+		s.depth.Set(float64(len(s.queue)))
 		if s.MaxEvents > 0 && s.steps > s.MaxEvents {
 			//seglint:ignore nopanic the runaway guard fires inside event callbacks, which have no error channel
 			panic(fmt.Sprintf("des: exceeded MaxEvents=%d (runaway simulation?)", s.MaxEvents))

@@ -14,6 +14,17 @@ import (
 	"segscale/internal/transport"
 )
 
+// newRuntime is the test-side shorthand for the error-returning
+// constructor: inside transport.Run rank goroutines a panic is the
+// failure channel (re-raised on the test goroutine by Run's contract).
+func newRuntime(c *transport.Comm, mach topology.Machine, cfg Config) *Runtime {
+	rt, err := NewRuntime(c, mach, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
 func TestDefaultConfig(t *testing.T) {
 	c := Default()
 	if c.FusionThreshold != 64<<20 {
@@ -183,7 +194,7 @@ func testAllreduceGradsWithConfig(t *testing.T, cfg Config, world int) {
 	mach := topology.ForGPUs(world)
 	results := make([][][]float32, world)
 	transport.Run(world, func(c *transport.Comm) {
-		rt := NewRuntime(c, mach, cfg)
+		rt := newRuntime(c, mach, cfg)
 		ps := makeParams(c.Rank(), shapes)
 		rt.AllreduceGrads(ps)
 		grads := make([][]float32, len(ps))
@@ -254,7 +265,7 @@ func TestAllreduceGradsFP16Compression(t *testing.T) {
 	mach := topology.ForGPUs(world)
 	results := make([][][]float32, world)
 	transport.Run(world, func(c *transport.Comm) {
-		rt := NewRuntime(c, mach, cfg)
+		rt := newRuntime(c, mach, cfg)
 		ps := makeParams(c.Rank(), shapes)
 		rt.AllreduceGrads(ps)
 		grads := make([][]float32, len(ps))
@@ -278,7 +289,7 @@ func TestAllreduceGradsFP16Compression(t *testing.T) {
 
 func TestSingleRankNoop(t *testing.T) {
 	transport.Run(1, func(c *transport.Comm) {
-		rt := NewRuntime(c, topology.ForGPUs(1), Default())
+		rt := newRuntime(c, topology.ForGPUs(1), Default())
 		ps := makeParams(0, []int{4})
 		orig := append([]float32(nil), ps[0].G.Data...)
 		rt.AllreduceGrads(ps)
@@ -295,7 +306,7 @@ func TestBroadcastParams(t *testing.T) {
 	mach := topology.ForGPUs(world)
 	results := make([][]float32, world)
 	transport.Run(world, func(c *transport.Comm) {
-		rt := NewRuntime(c, mach, Default())
+		rt := newRuntime(c, mach, Default())
 		w := tensor.New(16)
 		for i := range w.Data {
 			w.Data[i] = float32(c.Rank()*100 + i)
@@ -322,7 +333,7 @@ func TestAllreduceScalarAndCounts(t *testing.T) {
 	scalars := make([]float64, world)
 	counts := make([][]int64, world)
 	transport.Run(world, func(c *transport.Comm) {
-		rt := NewRuntime(c, mach, Default())
+		rt := newRuntime(c, mach, Default())
 		scalars[c.Rank()] = rt.AllreduceScalar(float64(c.Rank() + 1))
 		cnt := []int64{int64(c.Rank()), 10}
 		rt.AllreduceCounts(cnt)
@@ -344,7 +355,7 @@ func TestAllgatherAndBroadcast(t *testing.T) {
 	gathered := make([][][]float32, world)
 	bcast := make([][]float32, world)
 	transport.Run(world, func(c *transport.Comm) {
-		rt := NewRuntime(c, mach, Default())
+		rt := newRuntime(c, mach, Default())
 		local := []float32{float32(c.Rank()), float32(c.Rank() * 10)}
 		gathered[c.Rank()] = rt.Allgather(local)
 
@@ -368,13 +379,20 @@ func TestAllgatherAndBroadcast(t *testing.T) {
 	}
 }
 
-func TestRuntimeWorldMismatchPanics(t *testing.T) {
+func TestRuntimeWorldMismatchErrors(t *testing.T) {
 	transport.Run(2, func(c *transport.Comm) {
-		defer func() {
-			if recover() == nil {
-				t.Error("mismatched machine accepted")
-			}
-		}()
-		NewRuntime(c, topology.ForGPUs(6), Default())
+		if _, err := NewRuntime(c, topology.ForGPUs(6), Default()); err == nil {
+			t.Error("mismatched machine accepted")
+		}
+	})
+}
+
+func TestRuntimeBadConfigErrors(t *testing.T) {
+	transport.Run(1, func(c *transport.Comm) {
+		cfg := Default()
+		cfg.CycleTime = 0
+		if _, err := NewRuntime(c, topology.ForGPUs(1), cfg); err == nil {
+			t.Error("invalid config accepted")
+		}
 	})
 }

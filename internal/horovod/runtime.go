@@ -7,6 +7,8 @@ import (
 	"segscale/internal/fp16"
 	"segscale/internal/netmodel"
 	"segscale/internal/nn"
+	"segscale/internal/telemetry"
+	"segscale/internal/timeline"
 	"segscale/internal/topology"
 	"segscale/internal/transport"
 )
@@ -22,23 +24,30 @@ type Runtime struct {
 
 	world []int
 	fused []float32 // reusable fusion buffer
+
+	// probe is the rank's telemetry handle, cached from the
+	// communicator at construction; nil (the default) costs one
+	// branch per instrumentation site.
+	probe *telemetry.Probe
 }
 
 // NewRuntime builds one rank's runtime. The machine layout must match
 // the world size (it defines the node groups hierarchical allreduce
-// uses).
-func NewRuntime(c *transport.Comm, mach topology.Machine, cfg Config) *Runtime {
+// uses); a mismatch or an invalid configuration is reported as an
+// error, never a panic — in a multi-rank world a panicking
+// constructor tears down every in-process rank at once.
+func NewRuntime(c *transport.Comm, mach topology.Machine, cfg Config) (*Runtime, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	if mach.Ranks() != c.Size() {
-		panic(fmt.Sprintf("horovod: machine has %d ranks, world has %d", mach.Ranks(), c.Size()))
+		return nil, fmt.Errorf("horovod: machine has %d ranks, world has %d", mach.Ranks(), c.Size())
 	}
 	world := make([]int, c.Size())
 	for i := range world {
 		world[i] = i
 	}
-	return &Runtime{Comm: c, Mach: mach, Cfg: cfg, world: world}
+	return &Runtime{Comm: c, Mach: mach, Cfg: cfg, world: world, probe: c.Probe()}, nil
 }
 
 // Rank returns this runtime's rank.
@@ -61,10 +70,15 @@ func must(err error) {
 // BroadcastParams overwrites every rank's parameters with rank 0's —
 // the initial weight synchronisation of distributed training.
 func (r *Runtime) BroadcastParams(params []*nn.Param) {
+	r.probe.Counter("horovod_broadcasts_total").Inc()
 	for _, p := range params {
 		must(collective.BcastTree(r.Comm, r.world, p.W.Data))
 	}
 }
+
+// fusedBucketsBytes spaces histogram buckets for fused-buffer sizes
+// from 4 KiB to 256 MiB.
+var fusedBucketsBytes = telemetry.ExpBuckets(4<<10, 4, 9)
 
 // AllreduceGrads averages gradients across all ranks in place,
 // fusing consecutive tensors up to the configured threshold per
@@ -88,6 +102,18 @@ func (r *Runtime) AllreduceGrads(params []*nn.Param) {
 			r.fused = make([]float32, n)
 		}
 		buf := r.fused[:n]
+
+		r.probe.Counter("horovod_fused_buffers_total").Inc()
+		r.probe.Counter("horovod_fused_bytes").Add(float64(4 * n))
+		r.probe.Histogram("horovod_fused_buffer_bytes", fusedBucketsBytes).Observe(float64(4 * n))
+		if r.Cfg.FusionThreshold > 0 {
+			// Fusion-buffer fill: how much of the configured budget the
+			// planner actually packed — low fill at scale means the
+			// threshold is mis-tuned for the tensor-size distribution.
+			r.probe.Gauge("horovod_fusion_fill_ratio").Set(float64(4*n) / float64(r.Cfg.FusionThreshold))
+		}
+
+		pack := r.probe.Span(timeline.PhaseMemcpy, "pack")
 		off := 0
 		for _, i := range group {
 			copy(buf[off:], params[i].G.Data)
@@ -97,13 +123,18 @@ func (r *Runtime) AllreduceGrads(params []*nn.Param) {
 			// hvd.Compression.fp16: gradients travel as binary16.
 			fp16.Quantize(buf)
 		}
+		pack.End()
+
 		r.allreduce(buf)
 		collective.Scale(buf, r.Size())
+
+		unpack := r.probe.Span(timeline.PhaseMemcpy, "unpack")
 		off = 0
 		for _, i := range group {
 			copy(params[i].G.Data, buf[off:off+params[i].G.Len()])
 			off += params[i].G.Len()
 		}
+		unpack.End()
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"segscale/internal/model"
 	"segscale/internal/mpiprofile"
 	"segscale/internal/netmodel"
+	"segscale/internal/telemetry"
 	"segscale/internal/timeline"
 	"segscale/internal/topology"
 )
@@ -89,6 +90,12 @@ type Config struct {
 	SlowFactor float64
 	// Timeline, when non-nil, records the first post-warmup step.
 	Timeline *timeline.Recorder
+	// Probe, when non-nil, receives simulation metrics on the virtual
+	// clock — per-buffer allreduce/pack latency histograms, wire-byte
+	// counters, negotiation-cycle counts, and the DES engine's
+	// event/queue-depth instruments. Nil (the default) keeps the
+	// event loop uninstrumented at one branch per site.
+	Probe *telemetry.Probe
 }
 
 // Placement selects the MPI-rank → GPU mapping.
@@ -239,6 +246,7 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{GPUs: cfg.GPUs, BatchPer: batch}
 	now := 0.0
 	accum := cfg.Horovod.AccumPasses()
+	stepHist := cfg.Probe.Histogram("perfsim_step_seconds", stepBucketsSec)
 	for step := 0; step < cfg.Steps; step++ {
 		recordTimeline := cfg.Timeline != nil && step == cfg.WarmupSteps
 		// With gradient accumulation only every accum-th backward
@@ -250,6 +258,7 @@ func Run(cfg Config) (*Result, error) {
 			continue
 		}
 		d := st.endSec - st.startSec
+		stepHist.Observe(d)
 		res.StepTimesSec = append(res.StepTimesSec, d)
 		res.ComputeSec += st.computeSec
 		res.NegotiateSec += st.negotiateSec
@@ -273,6 +282,14 @@ func Run(cfg Config) (*Result, error) {
 	res.BuffersPerStep /= n
 	return res, nil
 }
+
+// Telemetry bucket ladders, in virtual seconds: steps run
+// milliseconds-to-seconds, per-buffer communication microseconds and
+// up.
+var (
+	stepBucketsSec = telemetry.ExpBuckets(1e-3, 2, 14)
+	commBucketsSec = telemetry.ExpBuckets(1e-6, 4, 12)
+)
 
 // placeRanks returns, for each MPI rank, the global GPU slot it runs
 // on under the chosen placement.
@@ -394,12 +411,14 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 
 	dsim := des.New()
 	dsim.MaxEvents = 5_000_000
+	dsim.SetProbe(cfg.Probe)
 	var tick func()
 	commFree := t0
 
 	tick = func() {
 		now := dsim.Now()
 		st.cycles++
+		cfg.Probe.Counter("perfsim_cycles_total").Inc()
 
 		// Coordinator negotiation round.
 		pending := 0
@@ -447,6 +466,10 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 				arT := s.net.Allreduce(alg, s.world, wireBytes)
 				st.packSec += packT
 				st.allreduceSec += arT
+				cfg.Probe.Counter("perfsim_buffers_total").Inc()
+				cfg.Probe.Counter("perfsim_wire_bytes").Add(float64(wireBytes))
+				cfg.Probe.Histogram("perfsim_pack_seconds", commBucketsSec).Observe(packT)
+				cfg.Probe.Histogram("perfsim_allreduce_seconds", commBucketsSec).Observe(arT)
 				if record {
 					s.cfg.Timeline.Add("coordinator", timeline.PhaseMemcpy,
 						fmt.Sprintf("buf%d(%dB)", st.buffers, bytes), busyUntil, busyUntil+packT)

@@ -1,0 +1,58 @@
+package perfsim
+
+import (
+	"reflect"
+	"testing"
+
+	"segscale/internal/telemetry"
+)
+
+// TestProbeDoesNotChangeResults is the simulator's no-op-path
+// contract: attaching a probe must not perturb any simulated number.
+func TestProbeDoesNotChangeResults(t *testing.T) {
+	bare := run(t, tunedMV2(12))
+
+	cfg := tunedMV2(12)
+	col := telemetry.NewCollector()
+	cfg.Probe = col.NewProbe("gpus12", telemetry.NewStepClock())
+	traced := run(t, cfg)
+
+	if !reflect.DeepEqual(*bare, *traced) {
+		t.Errorf("probe changed the simulation result:\nbare:   %+v\ntraced: %+v", *bare, *traced)
+	}
+}
+
+// TestProbeCapturesSimulation checks the instrumented run records the
+// promised counters and histograms.
+func TestProbeCapturesSimulation(t *testing.T) {
+	cfg := tunedMV2(12)
+	col := telemetry.NewCollector()
+	cfg.Probe = col.NewProbe("gpus12", telemetry.NewStepClock())
+	res := run(t, cfg)
+
+	got := map[string]telemetry.MetricSnapshot{}
+	for _, m := range col.Gather() {
+		got[m.Name] = m
+	}
+	for _, name := range []string{
+		"perfsim_cycles_total", "perfsim_buffers_total", "perfsim_wire_bytes",
+		"des_events_total",
+	} {
+		if got[name].Value <= 0 {
+			t.Errorf("%s = %g, want > 0", name, got[name].Value)
+		}
+	}
+	for _, name := range []string{
+		"perfsim_step_seconds", "perfsim_allreduce_seconds", "perfsim_pack_seconds",
+	} {
+		h := got[name].Hist
+		if h == nil || h.Total == 0 {
+			t.Errorf("histogram %s is empty", name)
+			continue
+		}
+		if name == "perfsim_step_seconds" && h.Total != uint64(len(res.StepTimesSec)) {
+			t.Errorf("step histogram has %d observations, want %d (post-warmup steps)",
+				h.Total, len(res.StepTimesSec))
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Collector gathers per-rank probes and merges their metrics and
+// spans for export — the telemetry analogue of merging per-rank
+// confusion matrices into one global mIOU. A nil Collector is a
+// valid no-op whose NewProbe returns a nil (no-op) probe, so a single
+// `cfg.Telemetry` field drives the whole instrumented path.
+type Collector struct {
+	mu     sync.Mutex
+	probes []*Probe
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// NewProbe creates a probe on the given lane and clock and attaches
+// it. Nil-safe: a nil collector returns a nil probe.
+func (c *Collector) NewProbe(lane string, clock Clock) *Probe {
+	if c == nil {
+		return nil
+	}
+	p := NewProbe(lane, clock)
+	c.Attach(p)
+	return p
+}
+
+// Attach registers an externally built probe (nil probes ignored).
+func (c *Collector) Attach(p *Probe) {
+	if c == nil || p == nil {
+		return
+	}
+	c.mu.Lock()
+	c.probes = append(c.probes, p)
+	c.mu.Unlock()
+}
+
+// Probes returns the attached probes.
+func (c *Collector) Probes() []*Probe {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Probe(nil), c.probes...)
+}
+
+// Spans returns every attached probe's spans, ordered by start time
+// (ties by lane, then insertion) — the merged trace.
+func (c *Collector) Spans() []SpanRecord {
+	var out []SpanRecord
+	for _, p := range c.Probes() {
+		out = append(out, p.Tracer().Spans()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Lane < out[j].Lane
+	})
+	return out
+}
+
+// HistSnapshot is one histogram's merged state.
+type HistSnapshot struct {
+	// Bounds are bucket upper bounds; Counts has len(Bounds)+1
+	// entries, the last being the +Inf bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Total  uint64    `json:"total"`
+}
+
+// merge adds o bucket-wise; histograms with different bounds cannot
+// merge and o is dropped with ok=false.
+func (h *HistSnapshot) merge(o *HistSnapshot) bool {
+	if len(h.Bounds) != len(o.Bounds) {
+		return false
+	}
+	for i := range h.Bounds {
+		if h.Bounds[i] != o.Bounds[i] {
+			return false
+		}
+	}
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Sum += o.Sum
+	h.Total += o.Total
+	return true
+}
+
+// MetricSnapshot is one metric merged across lanes.
+type MetricSnapshot struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "counter", "gauge", "histogram"
+	// PerLane holds each lane's value (counter total / last gauge
+	// value / histogram observation count).
+	PerLane map[string]float64 `json:"per_lane"`
+	// Value is the cross-lane aggregate: counters sum, gauges take
+	// the maximum (the straggler-facing choice for depths and fill
+	// levels), histograms report the merged observation count.
+	Value float64 `json:"value"`
+	// Hist carries the merged buckets for histograms (nil otherwise).
+	Hist *HistSnapshot `json:"hist,omitempty"`
+}
+
+// Gather merges every attached probe's registry into one snapshot
+// per metric name, sorted by name.
+func (c *Collector) Gather() []MetricSnapshot {
+	byName := map[string]*MetricSnapshot{}
+	var names []string
+	for _, p := range c.Probes() {
+		reg := p.Metrics()
+		for _, rg := range reg.names() {
+			snap, ok := byName[rg.name]
+			if !ok {
+				snap = &MetricSnapshot{Name: rg.name, PerLane: map[string]float64{}}
+				byName[rg.name] = snap
+				names = append(names, rg.name)
+			}
+			switch rg.kind {
+			case kindCounter:
+				snap.Kind = "counter"
+				v := reg.Counter(rg.name).Value()
+				snap.PerLane[reg.Lane()] += v
+				snap.Value += v
+			case kindGauge:
+				snap.Kind = "gauge"
+				v := reg.Gauge(rg.name).Value()
+				snap.PerLane[reg.Lane()] = v
+				if v > snap.Value {
+					snap.Value = v
+				}
+			case kindHistogram:
+				snap.Kind = "histogram"
+				h := reg.histogram(rg.name)
+				counts, sum, total := h.Snapshot()
+				hs := &HistSnapshot{Bounds: h.Bounds(), Counts: counts, Sum: sum, Total: total}
+				snap.PerLane[reg.Lane()] += float64(total)
+				if snap.Hist == nil {
+					snap.Hist = hs
+				} else {
+					snap.Hist.merge(hs)
+				}
+				snap.Value = float64(snap.Hist.Total)
+			}
+		}
+	}
+	sort.Strings(names)
+	out := make([]MetricSnapshot, 0, len(names))
+	for _, n := range names {
+		out = append(out, *byName[n])
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+
+	"segscale/internal/timeline"
+)
+
+// Timeline converts the merged trace into a timeline.Recorder, the
+// bridge to the existing Chrome trace tooling: WriteChromeTrace,
+// ReadChromeTrace, trace-stats, and chrome://tracing all consume the
+// result unchanged.
+func (c *Collector) Timeline() *timeline.Recorder {
+	rec := timeline.New()
+	for _, s := range c.Spans() {
+		rec.Add(s.Lane, s.Phase, s.Name, s.Start, s.End)
+	}
+	return rec
+}
+
+// WriteChromeTrace emits the merged trace as Chrome trace-event JSON
+// via internal/timeline's writer.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	return c.Timeline().WriteChromeTrace(w)
+}
+
+// WritePrometheus renders every gathered metric in Prometheus text
+// exposition format (version 0.0.4). Counters and gauges get one
+// sample per lane plus, for counters, an unlabelled cross-lane sum;
+// histograms are emitted merged across lanes in the standard
+// _bucket/_sum/_count form. Times keep the clock's native unit
+// (virtual seconds or step-clock ops), as the metric name's suffix
+// states.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	for _, m := range c.Gather() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, promType(m.Kind)); err != nil {
+			return err
+		}
+		switch m.Kind {
+		case "histogram":
+			if err := writePromHistogram(w, m.Name, m.Hist); err != nil {
+				return err
+			}
+		default:
+			for _, lane := range sortedLanes(m.PerLane) {
+				if _, err := fmt.Fprintf(w, "%s{lane=%q} %s\n", m.Name, lane, promFloat(m.PerLane[lane])); err != nil {
+					return err
+				}
+			}
+			if m.Kind == "counter" {
+				if _, err := fmt.Fprintf(w, "%s %s\n", m.Name, promFloat(m.Value)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func promType(kind string) string {
+	if kind == "counter" {
+		return "counter"
+	}
+	if kind == "histogram" {
+		return "histogram"
+	}
+	return "gauge"
+}
+
+func writePromHistogram(w io.Writer, name string, h *HistSnapshot) error {
+	if h == nil {
+		return nil
+	}
+	cum := uint64(0)
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Counts[len(h.Counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Total)
+	return err
+}
+
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedLanes(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PhaseSummary aggregates the merged trace per phase.
+type PhaseSummary struct {
+	Phase string  `json:"phase"`
+	Count int     `json:"count"`
+	Total float64 `json:"total"` // summed duration, clock units
+}
+
+// Summary is the machine-readable run digest WriteJSON emits.
+type Summary struct {
+	Lanes   []string         `json:"lanes"`
+	Spans   int              `json:"spans"`
+	Phases  []PhaseSummary   `json:"phases"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Summarize builds the JSON-facing digest of the collected telemetry.
+func (c *Collector) Summarize() Summary {
+	spans := c.Spans()
+	laneSet := map[string]bool{}
+	phase := map[string]*PhaseSummary{}
+	var phases []string
+	for _, s := range spans {
+		laneSet[s.Lane] = true
+		ps, ok := phase[s.Phase]
+		if !ok {
+			ps = &PhaseSummary{Phase: s.Phase}
+			phase[s.Phase] = ps
+			phases = append(phases, s.Phase)
+		}
+		ps.Count++
+		ps.Total += s.End - s.Start
+	}
+	sort.Strings(phases)
+	sum := Summary{Spans: len(spans), Metrics: c.Gather()}
+	for l := range laneSet {
+		sum.Lanes = append(sum.Lanes, l)
+	}
+	sort.Strings(sum.Lanes)
+	for _, p := range phases {
+		sum.Phases = append(sum.Phases, *phase[p])
+	}
+	return sum
+}
+
+// WriteJSON emits the Summary as indented JSON.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Summarize())
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+// Probe bundles one rank's tracer and metrics registry under a lane
+// label — the handle instrumented packages accept. A nil *Probe is
+// the uninstrumented default: every method is a no-op costing one
+// branch, so hot paths carry instrumentation unconditionally.
+type Probe struct {
+	lane    string
+	tracer  *Tracer
+	metrics *Registry
+}
+
+// NewProbe creates a probe whose spans read the given clock and whose
+// metrics land in a fresh registry labelled lane.
+func NewProbe(lane string, clock Clock) *Probe {
+	return &Probe{
+		lane:    lane,
+		tracer:  NewTracer(clock),
+		metrics: NewRegistry(lane),
+	}
+}
+
+// Lane returns the probe's lane label ("" for nil).
+func (p *Probe) Lane() string {
+	if p == nil {
+		return ""
+	}
+	return p.lane
+}
+
+// Tracer returns the probe's tracer (nil for a nil probe).
+func (p *Probe) Tracer() *Tracer {
+	if p == nil {
+		return nil
+	}
+	return p.tracer
+}
+
+// Metrics returns the probe's registry (nil for a nil probe).
+func (p *Probe) Metrics() *Registry {
+	if p == nil {
+		return nil
+	}
+	return p.metrics
+}
+
+// Span opens a span on this probe's lane. Nil-safe.
+func (p *Probe) Span(phase, name string) Span {
+	if p == nil {
+		return Span{}
+	}
+	return p.tracer.Start(p.lane, phase, name)
+}
+
+// Counter returns the named counter from the probe's registry.
+// Nil-safe: a nil probe yields a nil (no-op) counter.
+func (p *Probe) Counter(name string) *Counter {
+	if p == nil {
+		return nil
+	}
+	return p.metrics.Counter(name)
+}
+
+// Gauge returns the named gauge. Nil-safe.
+func (p *Probe) Gauge(name string) *Gauge {
+	if p == nil {
+		return nil
+	}
+	return p.metrics.Gauge(name)
+}
+
+// Histogram returns the named histogram. Nil-safe.
+func (p *Probe) Histogram(name string, buckets []float64) *Histogram {
+	if p == nil {
+		return nil
+	}
+	return p.metrics.Histogram(name, buckets)
+}

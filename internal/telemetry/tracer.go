@@ -1,0 +1,96 @@
+package telemetry
+
+import "sync"
+
+// SpanRecord is one finished traced interval. Lane is the executor
+// ("rank0", "coordinator"), Phase the activity vocabulary entry
+// (timeline.PhaseAllreduce, ...), Name free-form detail.
+type SpanRecord struct {
+	Lane  string
+	Phase string
+	Name  string
+	Start float64
+	End   float64
+}
+
+// Tracer records spans against an injected deterministic clock. A nil
+// Tracer is a valid no-op. A Tracer is safe for concurrent use; for
+// deterministic traces give each rank its own Tracer (the Collector
+// merges them).
+type Tracer struct {
+	clock Clock
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewTracer returns a tracer reading timestamps from clock.
+func NewTracer(clock Clock) *Tracer {
+	return &Tracer{clock: clock}
+}
+
+// Span is an in-flight interval returned by Start. The zero Span (and
+// any Span from a nil Tracer) is a no-op.
+type Span struct {
+	t     *Tracer
+	lane  string
+	phase string
+	name  string
+	start float64
+}
+
+// Start opens a span on the given lane. Nil-safe: a nil Tracer
+// returns a no-op Span.
+func (t *Tracer) Start(lane, phase, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, lane: lane, phase: phase, name: name, start: t.clock.Now()}
+}
+
+// End closes the span, records it, and returns its duration in the
+// clock's units (useful for feeding duration histograms). Calling End
+// on a no-op span does nothing and returns zero.
+func (s Span) End() float64 {
+	if s.t == nil {
+		return 0
+	}
+	end := s.t.clock.Now()
+	if end < s.start {
+		end = s.start // a non-monotonic injected clock must not corrupt the trace
+	}
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, SpanRecord{
+		Lane: s.lane, Phase: s.phase, Name: s.name, Start: s.start, End: end,
+	})
+	s.t.mu.Unlock()
+	return end - s.start
+}
+
+// Add records an already-measured interval — the path perfsim uses,
+// where start/end are explicit virtual times computed by the model
+// rather than clock reads. Intervals with end < start are clamped to
+// zero duration. Nil-safe.
+func (t *Tracer) Add(lane, phase, name string, start, end float64) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, SpanRecord{Lane: lane, Phase: phase, Name: name, Start: start, End: end})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}

@@ -1,0 +1,89 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadChromeTraceMalformed drives the parser over the inputs a
+// real trace directory accumulates: truncated writes, wrong JSON
+// shapes, hostile values. Every case must return a clean error or a
+// well-formed recorder — never panic.
+func TestReadChromeTraceMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		input   string
+		wantErr bool
+		events  int // checked only when wantErr is false
+	}{
+		{name: "empty input", input: "", wantErr: true},
+		{name: "empty array", input: "[]", wantErr: false, events: 0},
+		{name: "truncated array", input: `[{"name":"a","cat":"FORWARD","ph":"X","ts":0,`, wantErr: true},
+		{name: "not json", input: "HOROVOD_TIMELINE=/tmp/t.json", wantErr: true},
+		{name: "object not array", input: `{"traceEvents":[]}`, wantErr: true},
+		{name: "number array", input: "[1,2,3]", wantErr: true},
+		{name: "null", input: "null", wantErr: false, events: 0},
+		{
+			name:    "negative duration",
+			input:   `[{"name":"a","cat":"FORWARD","ph":"X","ts":5,"dur":-3,"pid":0,"tid":0}]`,
+			wantErr: true,
+		},
+		{
+			name:    "non-complete events skipped",
+			input:   `[{"name":"m","cat":"c","ph":"M","ts":0,"dur":0},{"name":"a","cat":"FORWARD","ph":"X","ts":0,"dur":1}]`,
+			wantErr: false, events: 1,
+		},
+		{
+			name:    "missing fields default",
+			input:   `[{"ph":"X"}]`,
+			wantErr: false, events: 1,
+		},
+		{
+			name:    "string ts",
+			input:   `[{"name":"a","cat":"FORWARD","ph":"X","ts":"0","dur":1}]`,
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec, err := ReadChromeTrace(strings.NewReader(tc.input))
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ReadChromeTrace(%q) = nil error, want error", tc.input)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ReadChromeTrace(%q) = %v, want nil", tc.input, err)
+			}
+			if len(rec.Events) != tc.events {
+				t.Errorf("events = %d, want %d", len(rec.Events), tc.events)
+			}
+		})
+	}
+}
+
+// FuzzReadChromeTrace asserts the parser's contract under arbitrary
+// bytes: no panic, and on success every event is well-formed
+// (End >= Start) so downstream analysis never sees negative
+// durations.
+func FuzzReadChromeTrace(f *testing.F) {
+	f.Add("")
+	f.Add("[]")
+	f.Add("null")
+	f.Add(`[{"name":"a","cat":"FORWARD","ph":"X","ts":0,"dur":1,"pid":0,"tid":0}]`)
+	f.Add(`[{"name":"a","cat":"c","ph":"M"}]`)
+	f.Add(`[{"ph":"X","ts":1e308,"dur":1e308}]`)
+	f.Add(`[{"ph":"X","ts":-5,"dur":2}]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		rec, err := ReadChromeTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i, e := range rec.Events {
+			if e.End < e.Start {
+				t.Errorf("event %d: End %g < Start %g from input %q", i, e.End, e.Start, input)
+			}
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
 // Phase names mirror Horovod's timeline vocabulary.
@@ -22,6 +23,10 @@ const (
 	PhaseMemcpy    = "MEMCPY_IN_FUSION_BUFFER"
 	PhaseAllreduce = "MPI_ALLREDUCE"
 	PhaseWait      = "WAIT_FOR_DATA"
+	PhaseBcast     = "MPI_BCAST"
+	PhaseAllgather = "MPI_ALLGATHER"
+	PhaseBarrier   = "MPI_BARRIER"
+	PhaseStep      = "TRAIN_STEP"
 )
 
 // Event is one traced interval.
@@ -121,7 +126,10 @@ func ReadChromeTrace(r io.Reader) (*Recorder, error) {
 			return nil, fmt.Errorf("timeline: negative duration in trace")
 		}
 		start := e.Ts / 1e6
-		rec.Add(fmt.Sprintf("tid%d", e.TID), e.Cat, e.Name, start, start+e.Dur/1e6)
+		// WriteChromeTrace stores the event name as "PHASE:name";
+		// undo that so names round-trip.
+		name := strings.TrimPrefix(e.Name, e.Cat+":")
+		rec.Add(fmt.Sprintf("tid%d", e.TID), e.Cat, name, start, start+e.Dur/1e6)
 	}
 	return rec, nil
 }

@@ -1,0 +1,104 @@
+package train
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"segscale/internal/telemetry"
+	"segscale/internal/timeline"
+)
+
+// TestTelemetryDoesNotChangeResults is the no-op-path contract: a run
+// with a collector attached must produce numerically identical
+// training results to a run without one — instrumentation may only
+// observe, never perturb.
+func TestTelemetryDoesNotChangeResults(t *testing.T) {
+	cfg := fastCfg()
+	cfg.World = 2
+	cfg.Epochs = 2
+
+	bare, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	instrumented := cfg
+	instrumented.Telemetry = telemetry.NewCollector()
+	traced, err := Run(instrumented)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Config differs by the collector pointer itself, and
+	// FinalPerClassIOU holds NaN for absent classes (NaN != NaN under
+	// DeepEqual); compare those separately, everything else
+	// byte-for-byte.
+	a, b := *bare, *traced
+	a.Config.Telemetry = nil
+	b.Config.Telemetry = nil
+	if len(a.FinalPerClassIOU) != len(b.FinalPerClassIOU) {
+		t.Fatalf("per-class IOU lengths differ: %d vs %d",
+			len(a.FinalPerClassIOU), len(b.FinalPerClassIOU))
+	}
+	for k := range a.FinalPerClassIOU {
+		x, y := a.FinalPerClassIOU[k], b.FinalPerClassIOU[k]
+		if x != y && !(math.IsNaN(x) && math.IsNaN(y)) {
+			t.Errorf("class %d IOU differs: %g vs %g", k, x, y)
+		}
+	}
+	a.FinalPerClassIOU, b.FinalPerClassIOU = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("telemetry changed the training result:\nbare:   %+v\ntraced: %+v", a, b)
+	}
+}
+
+// TestTelemetryCapturesTraining checks the instrumented run actually
+// recorded what it promises: one lane per rank, step spans, and the
+// core counters.
+func TestTelemetryCapturesTraining(t *testing.T) {
+	cfg := fastCfg()
+	cfg.World = 2
+	cfg.Epochs = 2
+	cfg.Telemetry = telemetry.NewCollector()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	probes := cfg.Telemetry.Probes()
+	if len(probes) != cfg.World {
+		t.Fatalf("probes = %d, want %d", len(probes), cfg.World)
+	}
+
+	steps := map[string]int{}
+	for _, sp := range cfg.Telemetry.Spans() {
+		if sp.Phase == timeline.PhaseStep {
+			steps[sp.Lane]++
+		}
+	}
+	wantSteps := cfg.Epochs * (cfg.TrainSize / (cfg.World * cfg.BatchPerRank))
+	for _, lane := range []string{"rank0", "rank1"} {
+		if steps[lane] != wantSteps {
+			t.Errorf("lane %s recorded %d step spans, want %d", lane, steps[lane], wantSteps)
+		}
+	}
+
+	var sawSteps, sawSends bool
+	for _, m := range cfg.Telemetry.Gather() {
+		switch m.Name {
+		case "train_steps_total":
+			sawSteps = true
+			if want := float64(cfg.World * wantSteps); m.Value != want {
+				t.Errorf("train_steps_total = %g, want %g", m.Value, want)
+			}
+		case "transport_sends_total":
+			sawSends = true
+			if m.Value <= 0 {
+				t.Errorf("transport_sends_total = %g, want > 0", m.Value)
+			}
+		}
+	}
+	if !sawSteps || !sawSends {
+		t.Errorf("missing expected metrics (steps=%v sends=%v)", sawSteps, sawSends)
+	}
+}

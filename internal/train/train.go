@@ -18,6 +18,8 @@ import (
 	"segscale/internal/metrics"
 	"segscale/internal/nn"
 	"segscale/internal/segdata"
+	"segscale/internal/telemetry"
+	"segscale/internal/timeline"
 	"segscale/internal/topology"
 	"segscale/internal/transport"
 )
@@ -73,6 +75,13 @@ type Config struct {
 	Horovod horovod.Config
 	// Seed controls data and augmentation randomness.
 	Seed int64
+	// Telemetry, when non-nil, collects per-rank spans and metrics
+	// for the whole run: each rank gets a probe on a deterministic
+	// step-counter clock (lane "rank<N>"), instrumenting the step
+	// loop, the Horovod runtime, the collectives, and the transport.
+	// Nil (the default) leaves every hot path on its one-branch
+	// no-op and must not perturb results in any way.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultConfig returns a configuration that converges in seconds on
@@ -119,6 +128,9 @@ func (c Config) validate() error {
 	if c.GradClip < 0 {
 		return fmt.Errorf("train: negative gradient clip %g", c.GradClip)
 	}
+	if err := c.Horovod.Validate(); err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
 	return nil
 }
 
@@ -148,6 +160,10 @@ type Result struct {
 	FinalFwIOU float64
 }
 
+// stepBucketsOps spaces the per-rank step-duration histogram from 1
+// to 2048 step-clock ticks (operation counts, not seconds).
+var stepBucketsOps = telemetry.ExpBuckets(1, 2, 12)
+
 // Run trains and returns per-epoch metrics.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
@@ -174,6 +190,12 @@ func Run(cfg Config) (*Result, error) {
 
 	transport.Run(cfg.World, func(c *transport.Comm) {
 		rank := c.Rank()
+		// Per-rank telemetry on a step-counter clock: deterministic,
+		// wall-clock-free, merged by the collector after the run.
+		probe := cfg.Telemetry.NewProbe(fmt.Sprintf("rank%d", rank), telemetry.NewStepClock())
+		if probe != nil {
+			c.SetProbe(probe)
+		}
 		var net deeplab.Segmenter
 		if cfg.Arch == "fcn" {
 			net = deeplab.NewFCN(cfg.Model)
@@ -181,7 +203,13 @@ func Run(cfg Config) (*Result, error) {
 			net = deeplab.New(cfg.Model)
 		}
 		params := net.Params()
-		rt := horovod.NewRuntime(c, mach, cfg.Horovod)
+		rt, err := horovod.NewRuntime(c, mach, cfg.Horovod)
+		if err != nil {
+			// Unreachable: cfg.validate checked the Horovod knobs and
+			// ExactFor built a matching machine; transport.Run re-raises
+			// a rank panic on the caller.
+			panic(fmt.Errorf("train: %w", err))
+		}
 		if cfg.ResumeFrom != "" {
 			if err := checkpoint.LoadFile(cfg.ResumeFrom, params, net.BatchNorms()); err != nil {
 				panic(fmt.Errorf("train: resume: %w", err))
@@ -213,6 +241,7 @@ func Run(cfg Config) (*Result, error) {
 			perm := rand.New(rand.NewSource(cfg.Seed + int64(epoch)*101 + int64(rank))).Perm(len(shard))
 			epochLoss, batches := 0.0, 0
 			for s := 0; s < stepsPerEpoch; s++ {
+				stepSpan := probe.Span(timeline.PhaseStep, "step")
 				ids := make([]int, 0, cfg.BatchPerRank)
 				for k := 0; k < cfg.BatchPerRank; k++ {
 					ids = append(ids, shard[perm[(s*cfg.BatchPerRank+k)%len(shard)]])
@@ -226,7 +255,9 @@ func Run(cfg Config) (*Result, error) {
 						segdata.FlipHoriz(x, labels)
 					}
 				}
+				fwdBwd := probe.Span(timeline.PhaseForward, "loss")
 				loss := net.Loss(x, labels, segdata.IgnoreLabel, true)
+				fwdBwd.End()
 				// Gradient accumulation (backward_passes_per_step):
 				// communicate and update only every accum-th pass.
 				if (s+1)%accum == 0 {
@@ -246,6 +277,8 @@ func Run(cfg Config) (*Result, error) {
 				epochLoss += loss
 				batches++
 				step++
+				probe.Counter("train_steps_total").Inc()
+				probe.Histogram("train_step_ops", stepBucketsOps).Observe(stepSpan.End())
 			}
 
 			// Global metrics: average loss, merged confusion matrix.

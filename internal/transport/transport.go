@@ -10,6 +10,9 @@ package transport
 import (
 	"fmt"
 	"sync"
+
+	"segscale/internal/telemetry"
+	"segscale/internal/timeline"
 )
 
 // message is one in-flight payload.
@@ -68,7 +71,34 @@ type Comm struct {
 	rank int
 	// pending holds messages received out of tag order, keyed by src.
 	pending map[int][]message
+
+	// probe and the cached instruments below are nil until SetProbe;
+	// the nil-safe telemetry methods make every uninstrumented
+	// Send/Recv/Barrier pay exactly one branch per instrument.
+	probe     *telemetry.Probe
+	sends     *telemetry.Counter
+	recvs     *telemetry.Counter
+	sentBytes *telemetry.Counter
+	recvBytes *telemetry.Counter
+	barriers  *telemetry.Counter
 }
+
+// SetProbe attaches per-rank telemetry to this communicator: message
+// and byte counters on the send/recv path, a counter plus span per
+// barrier. A nil probe detaches.
+func (c *Comm) SetProbe(p *telemetry.Probe) {
+	c.probe = p
+	c.sends = p.Counter("transport_sends_total")
+	c.recvs = p.Counter("transport_recvs_total")
+	c.sentBytes = p.Counter("transport_sent_bytes")
+	c.recvBytes = p.Counter("transport_received_bytes")
+	c.barriers = p.Counter("transport_barriers_total")
+}
+
+// Probe returns the attached telemetry probe (nil when
+// uninstrumented). Layers built on Comm — collective, horovod —
+// instrument themselves through it.
+func (c *Comm) Probe() *telemetry.Probe { return c.probe }
 
 // Rank returns this endpoint's rank.
 func (c *Comm) Rank() int { return c.rank }
@@ -84,6 +114,8 @@ func (c *Comm) Send(dst, tag int, data []float32) {
 	}
 	cp := make([]float32, len(data))
 	copy(cp, data)
+	c.sends.Inc()
+	c.sentBytes.Add(float64(4 * len(data)))
 	c.w.mail[dst][c.rank] <- message{tag: tag, data: cp}
 }
 
@@ -99,12 +131,16 @@ func (c *Comm) Recv(src, tag int) []float32 {
 	for i, m := range q {
 		if m.tag == tag {
 			c.pending[src] = append(q[:i:i], q[i+1:]...)
+			c.recvs.Inc()
+			c.recvBytes.Add(float64(4 * len(m.data)))
 			return m.data
 		}
 	}
 	for {
 		m := <-c.w.mail[c.rank][src]
 		if m.tag == tag {
+			c.recvs.Inc()
+			c.recvBytes.Add(float64(4 * len(m.data)))
 			return m.data
 		}
 		c.pending[src] = append(c.pending[src], m)
@@ -131,6 +167,9 @@ func (c *Comm) SendRecv(dst, sendTag int, data []float32, src, recvTag int) []fl
 
 // Barrier blocks until all ranks in the world have called it.
 func (c *Comm) Barrier() {
+	c.barriers.Inc()
+	sp := c.probe.Span(timeline.PhaseBarrier, "barrier")
+	defer sp.End()
 	w := c.w
 	w.barrierMu.Lock()
 	w.barrierCnt++

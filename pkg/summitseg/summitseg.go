@@ -34,6 +34,7 @@ import (
 	"segscale/internal/mpiprofile"
 	"segscale/internal/netmodel"
 	"segscale/internal/perfsim"
+	"segscale/internal/telemetry"
 	"segscale/internal/timeline"
 	"segscale/internal/topology"
 	"segscale/internal/train"
@@ -62,7 +63,17 @@ type (
 	ScalingPoint = core.ScalingPoint
 	// Timeline records Horovod-style phase traces.
 	Timeline = timeline.Recorder
+	// Telemetry collects per-rank spans and metrics and exports them
+	// as a Chrome trace, Prometheus text, or a JSON summary.
+	Telemetry = telemetry.Collector
+	// TelemetryProbe is one lane's instrumentation handle.
+	TelemetryProbe = telemetry.Probe
 )
+
+// NewTelemetry returns an empty telemetry collector. Attach it via
+// TrainConfig.Telemetry or SimOptions.Telemetry, then export with its
+// WriteChromeTrace / WritePrometheus / WriteJSON methods.
+func NewTelemetry() *Telemetry { return telemetry.NewCollector() }
 
 // DefaultHorovod returns Horovod's out-of-the-box knobs.
 func DefaultHorovod() HorovodConfig { return horovod.Default() }
@@ -104,6 +115,10 @@ type SimOptions struct {
 	IO *IOConfig
 	// Timeline, when non-nil, captures one step's phase trace.
 	Timeline *Timeline
+	// Telemetry, when non-nil, receives the simulator's metrics
+	// (step-time and per-buffer communication histograms, wire-byte
+	// counters, DES queue depth) on a lane named after the GPU count.
+	Telemetry *Telemetry
 }
 
 // Simulate runs the performance simulator for one configuration.
@@ -112,11 +127,15 @@ func Simulate(opts SimOptions) (*SimResult, error) {
 	if opts.CyclicPlacement {
 		placement = perfsim.PlacementCyclic
 	}
+	// The simulator runs on virtual time; the probe's clock only
+	// stamps span-free metrics, so the deterministic step counter is
+	// the right choice.
+	probe := opts.Telemetry.NewProbe(fmt.Sprintf("gpus%d", opts.GPUs), telemetry.NewStepClock())
 	return perfsim.Run(perfsim.Config{
 		GPUs: opts.GPUs, Model: opts.Model, MPI: opts.MPI,
 		Horovod: opts.Horovod, Seed: opts.Seed, Steps: opts.Steps,
 		Placement: placement, IO: opts.IO,
-		Timeline: opts.Timeline,
+		Timeline: opts.Timeline, Probe: probe,
 	})
 }
 
