@@ -40,6 +40,9 @@ func main() {
 	flag.Float64Var(&cfg.GradClip, "clip", 0, "global gradient-norm clip (0 = off)")
 	flag.StringVar(&cfg.CheckpointPath, "ckpt", "", "checkpoint file written each epoch")
 	flag.StringVar(&cfg.ResumeFrom, "resume", "", "checkpoint file to resume from")
+	flag.IntVar(&cfg.MaxRestarts, "max-restarts", 2, "checkpoint-restart budget after rank failures")
+	chaosSeed := flag.Int64("chaos-seed", 0, "derive a recoverable chaos plan (message faults + straggler) from this seed (0 = off)")
+	chaosSpec := flag.String("chaos-plan", "", `explicit chaos-plan spec, e.g. "seed=7;drop=0.01;crash=1@40" (overrides -chaos-seed)`)
 	strong := flag.Bool("strong", false, "strong scaling: keep effective batch fixed (disables LR scaling)")
 	noSync := flag.Bool("no-syncbn", false, "disable synchronized batch norm")
 	traceOut := flag.String("trace", "", "write a per-rank Chrome trace (step-counter time base) to this file")
@@ -55,9 +58,22 @@ func main() {
 	if *traceOut != "" || *promOut != "" {
 		cfg.Telemetry = summitseg.NewTelemetry()
 	}
+	switch {
+	case *chaosSpec != "":
+		plan, err := summitseg.ParseChaosSpec(*chaosSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Chaos = plan
+	case *chaosSeed != 0:
+		cfg.Chaos = summitseg.RandomChaosPlan(*chaosSeed, cfg.World)
+	}
 
 	fmt.Printf("training %s: world=%d batch/rank=%d effective=%d syncbn=%v lr-scaling=%v\n",
 		cfg.Arch, cfg.World, cfg.BatchPerRank, cfg.World*cfg.BatchPerRank, cfg.SyncBN, cfg.ScaleLRByWorld)
+	if cfg.Chaos != nil {
+		fmt.Printf("chaos armed: %s\n", cfg.Chaos)
+	}
 
 	start := time.Now()
 	res, err := summitseg.Train(cfg)
@@ -72,6 +88,9 @@ func main() {
 	fmt.Printf("final mIOU %.2f%% (fwIOU %.2f%%, pixel accuracy %.2f%%, best %.2f%% @epoch %d) in %s\n",
 		100*res.FinalMIOU, 100*res.FinalFwIOU, 100*res.FinalAcc,
 		100*res.BestMIOU, res.BestEpoch, time.Since(start).Round(time.Millisecond))
+	if res.Restarts > 0 {
+		fmt.Printf("recovered from %d rank failure(s) via checkpoint restart\n", res.Restarts)
+	}
 
 	fmt.Println("\nper-class IOU (eval set):")
 	for k, iou := range res.FinalPerClassIOU {

@@ -36,6 +36,8 @@ func main() {
 	fp16 := flag.Bool("fp16", false, "enable fp16 gradient compression")
 	cyclic := flag.Bool("cyclic", false, "cyclic (round-robin) rank placement instead of packed")
 	withIO := flag.Bool("io", false, "model the input pipeline (GPFS + decode + prefetch)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "derive a chaos plan (message faults + straggler) from this seed (0 = off)")
+	chaosSpec := flag.String("chaos-plan", "", `explicit chaos-plan spec, e.g. "seed=7;drop=0.01;slow=2*1.5" (overrides -chaos-seed)`)
 	plot := flag.Bool("plot", false, "render a throughput bar chart after the table")
 	jsonOut := flag.String("json", "", "also write results as JSON to this file")
 	flag.Parse()
@@ -71,7 +73,20 @@ func main() {
 		}
 	}
 
+	var fixedPlan *summitseg.ChaosPlan
+	if *chaosSpec != "" {
+		fixedPlan, err = summitseg.ParseChaosSpec(*chaosSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	fmt.Printf("model=%s mpi=%s tuned=%v\n", prof.Name, mpi.Name, *tuned)
+	if fixedPlan != nil {
+		fmt.Printf("chaos armed: %s\n", fixedPlan)
+	} else if *chaosSeed != 0 {
+		fmt.Printf("chaos armed: seed %d (plan derived per scale)\n", *chaosSeed)
+	}
 	fmt.Printf("%-6s %12s %10s %12s %12s\n", "GPUs", "img/s", "eff", "step", "exposed")
 
 	var col *summitseg.Telemetry
@@ -85,6 +100,12 @@ func main() {
 	for i, g := range scales {
 		opts := summitseg.SimOptions{GPUs: g, Model: prof, MPI: mpi, Horovod: hvd, Seed: *seed,
 			CyclicPlacement: *cyclic, IO: io, Telemetry: col}
+		switch {
+		case fixedPlan != nil:
+			opts.Chaos = fixedPlan
+		case *chaosSeed != 0:
+			opts.Chaos = summitseg.RandomChaosPlan(*chaosSeed, g)
+		}
 		if *timelineOut != "" && i == len(scales)-1 {
 			opts.Timeline = &summitseg.Timeline{Enabled: true}
 		}

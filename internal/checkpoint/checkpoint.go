@@ -1,9 +1,17 @@
 // Package checkpoint serialises and restores training state: model
-// parameters, batch-norm running statistics, and optimiser velocity —
-// what long-running distributed jobs on Summit write between job
-// allocations. The format is a small self-describing binary container
-// (magic, version, named float32/float64 sections with lengths),
-// written with encoding/binary; no reflection, no external deps.
+// parameters, batch-norm running statistics, optimiser velocity, and
+// progress metadata — what long-running distributed jobs on Summit
+// write between job allocations, and what the checkpoint-restart
+// recovery path replays after an injected rank failure. The format is
+// a small self-describing binary container (magic, version, named
+// sections with lengths), written with encoding/binary; no
+// reflection, no external deps.
+//
+// Version 2 adds three section kinds over the v1
+// parameters-plus-float32-BN layout: float64 batch-norm statistics
+// (v1's float32 truncation loses the low bits, which would break the
+// bit-identical-restart invariant), optimiser velocity, and an
+// epoch/step metadata record. Readers accept both versions.
 package checkpoint
 
 import (
@@ -19,36 +27,91 @@ import (
 
 const (
 	magic   = 0x5345_4743 // "SEGC"
-	version = 1
+	version = 2
 
 	secParam   = 1
-	secBNStats = 2
+	secBNStats = 2 // float32 BN running stats (v1 legacy)
+	secOpt     = 3 // optimiser velocity, one section per parameter
+	secMeta    = 4 // epoch/step progress record
+	secBN64    = 5 // float64 BN running stats (lossless)
 	secEnd     = 0xFF
 )
 
-// Save writes parameters (weights) and batch-norm running statistics
-// to w. Gradients and optimiser state are not included — Horovod jobs
-// conventionally restart momentum cold, as we do.
+// Meta records where training stood when the snapshot was taken.
+type Meta struct {
+	// Epoch is the number of fully completed epochs.
+	Epoch int
+	// Step is the number of fully completed global steps.
+	Step int
+}
+
+// State bundles everything a training job needs to resume
+// bit-identically. Params and BNs point at the live model (restored
+// in place); Velocity and Meta are optional extras a v1 snapshot
+// lacks.
+type State struct {
+	Params []*nn.Param
+	BNs    []*nn.BatchNorm2D
+	// Velocity is the optimiser state in Params order (nil = not
+	// saved / not present in the file).
+	Velocity [][]float32
+	// Meta is the progress record (nil = not saved / not present).
+	Meta *Meta
+}
+
+// Save writes parameters and batch-norm running statistics — the v1
+// API, kept for callers that snapshot weights only. The container is
+// still version 2 (lossless float64 BN stats).
 func Save(w io.Writer, params []*nn.Param, bns []*nn.BatchNorm2D) error {
+	return SaveState(w, State{Params: params, BNs: bns})
+}
+
+// Load restores parameters and batch-norm statistics written by Save
+// or SaveState, ignoring any optimiser/meta sections — the v1 API.
+func Load(r io.Reader, params []*nn.Param, bns []*nn.BatchNorm2D) error {
+	st := State{Params: params, BNs: bns}
+	return LoadState(r, &st)
+}
+
+// SaveState writes a full training snapshot to w.
+func SaveState(w io.Writer, st State) error {
 	bw := bufio.NewWriter(w)
 	if err := writeHeader(bw); err != nil {
 		return err
 	}
-	for _, p := range params {
-		if err := writeSection(bw, secParam, p.Name, p.W.Data); err != nil {
+	if st.Meta != nil {
+		if st.Meta.Epoch < 0 || st.Meta.Step < 0 {
+			return fmt.Errorf("checkpoint: negative meta %+v", *st.Meta)
+		}
+		payload := make([]byte, 8)
+		binary.LittleEndian.PutUint32(payload, uint32(st.Meta.Epoch))
+		binary.LittleEndian.PutUint32(payload[4:], uint32(st.Meta.Step))
+		if err := writeSection(bw, secMeta, "meta", payload); err != nil {
 			return err
 		}
 	}
-	for i, bn := range bns {
-		stats := make([]float32, 0, 2*len(bn.RunningMean))
-		for _, v := range bn.RunningMean {
-			stats = append(stats, float32(v))
-		}
-		for _, v := range bn.RunningVar {
-			stats = append(stats, float32(v))
-		}
-		if err := writeSection(bw, secBNStats, fmt.Sprintf("bn%d", i), stats); err != nil {
+	for _, p := range st.Params {
+		if err := writeSection(bw, secParam, p.Name, f32Bytes(p.W.Data)); err != nil {
 			return err
+		}
+	}
+	for i, bn := range st.BNs {
+		stats := make([]float64, 0, 2*len(bn.RunningMean))
+		stats = append(stats, bn.RunningMean...)
+		stats = append(stats, bn.RunningVar...)
+		if err := writeSection(bw, secBN64, fmt.Sprintf("bn%d", i), f64Bytes(stats)); err != nil {
+			return err
+		}
+	}
+	if st.Velocity != nil {
+		if len(st.Velocity) != len(st.Params) {
+			return fmt.Errorf("checkpoint: %d velocity tensors for %d parameters",
+				len(st.Velocity), len(st.Params))
+		}
+		for i, v := range st.Velocity {
+			if err := writeSection(bw, secOpt, st.Params[i].Name, f32Bytes(v)); err != nil {
+				return err
+			}
 		}
 	}
 	if err := bw.WriteByte(secEnd); err != nil {
@@ -57,32 +120,46 @@ func Save(w io.Writer, params []*nn.Param, bns []*nn.BatchNorm2D) error {
 	return bw.Flush()
 }
 
-// Load restores parameters and batch-norm statistics written by Save.
-// The parameter list and BN list must structurally match (same names,
-// same order, same lengths) — the usual same-model-code contract.
-func Load(r io.Reader, params []*nn.Param, bns []*nn.BatchNorm2D) error {
+// LoadState restores a snapshot into st's Params and BNs (which must
+// structurally match the writing model — same names, order, lengths)
+// and fills st.Velocity and st.Meta when the file carries them.
+// Both container versions are accepted; a v1 file restores float32 BN
+// statistics and leaves Velocity and Meta nil.
+func LoadState(r io.Reader, st *State) error {
 	br := bufio.NewReader(r)
-	if err := readHeader(br); err != nil {
+	ver, err := readHeader(br)
+	if err != nil {
 		return err
 	}
-	pi, bi := 0, 0
+	st.Velocity = nil
+	st.Meta = nil
+	var velocity [][]float32
+	pi, bi, oi := 0, 0, 0
 	for {
-		kind, name, data, err := readSection(br)
+		kind, name, raw, err := readSection(br, ver)
 		if err != nil {
 			return err
 		}
 		switch kind {
 		case secEnd:
-			if pi != len(params) || bi != len(bns) {
+			if pi != len(st.Params) || bi != len(st.BNs) {
 				return fmt.Errorf("checkpoint: restored %d/%d params, %d/%d batch norms",
-					pi, len(params), bi, len(bns))
+					pi, len(st.Params), bi, len(st.BNs))
 			}
+			if velocity != nil && oi != len(st.Params) {
+				return fmt.Errorf("checkpoint: restored %d/%d optimiser tensors", oi, len(st.Params))
+			}
+			st.Velocity = velocity
 			return nil
 		case secParam:
-			if pi >= len(params) {
+			if pi >= len(st.Params) {
 				return fmt.Errorf("checkpoint: extra parameter %q", name)
 			}
-			p := params[pi]
+			p := st.Params[pi]
+			data, err := bytesF32(raw, name)
+			if err != nil {
+				return err
+			}
 			if name != p.Name {
 				return fmt.Errorf("checkpoint: parameter %d is %q, model has %q", pi, name, p.Name)
 			}
@@ -92,10 +169,14 @@ func Load(r io.Reader, params []*nn.Param, bns []*nn.BatchNorm2D) error {
 			copy(p.W.Data, data)
 			pi++
 		case secBNStats:
-			if bi >= len(bns) {
+			if bi >= len(st.BNs) {
 				return fmt.Errorf("checkpoint: extra batch-norm section %q", name)
 			}
-			bn := bns[bi]
+			data, err := bytesF32(raw, name)
+			if err != nil {
+				return err
+			}
+			bn := st.BNs[bi]
 			c := len(bn.RunningMean)
 			if len(data) != 2*c {
 				return fmt.Errorf("checkpoint: %q has %d stats, model wants %d", name, len(data), 2*c)
@@ -105,20 +186,108 @@ func Load(r io.Reader, params []*nn.Param, bns []*nn.BatchNorm2D) error {
 				bn.RunningVar[i] = float64(data[c+i])
 			}
 			bi++
+		case secBN64:
+			if bi >= len(st.BNs) {
+				return fmt.Errorf("checkpoint: extra batch-norm section %q", name)
+			}
+			data, err := bytesF64(raw, name)
+			if err != nil {
+				return err
+			}
+			bn := st.BNs[bi]
+			c := len(bn.RunningMean)
+			if len(data) != 2*c {
+				return fmt.Errorf("checkpoint: %q has %d stats, model wants %d", name, len(data), 2*c)
+			}
+			copy(bn.RunningMean, data[:c])
+			copy(bn.RunningVar, data[c:])
+			bi++
+		case secOpt:
+			if oi >= len(st.Params) {
+				return fmt.Errorf("checkpoint: extra optimiser section %q", name)
+			}
+			p := st.Params[oi]
+			data, err := bytesF32(raw, name)
+			if err != nil {
+				return err
+			}
+			if name != p.Name {
+				return fmt.Errorf("checkpoint: optimiser tensor %d is %q, model has %q", oi, name, p.Name)
+			}
+			if len(data) != p.W.Len() {
+				return fmt.Errorf("checkpoint: optimiser %q has %d values, parameter wants %d",
+					name, len(data), p.W.Len())
+			}
+			if velocity == nil {
+				velocity = make([][]float32, len(st.Params))
+			}
+			velocity[oi] = data
+			oi++
+		case secMeta:
+			if len(raw) != 8 {
+				return fmt.Errorf("checkpoint: meta section has %d bytes, want 8", len(raw))
+			}
+			st.Meta = &Meta{
+				Epoch: int(binary.LittleEndian.Uint32(raw)),
+				Step:  int(binary.LittleEndian.Uint32(raw[4:])),
+			}
 		default:
 			return fmt.Errorf("checkpoint: unknown section kind %d", kind)
 		}
 	}
 }
 
+// ReadMeta scans a checkpoint stream for its progress record without
+// needing the model: the recovery loop reads it to decide which epoch
+// to resume from. Returns an error if the file carries no meta
+// section (a v1 or weights-only snapshot).
+func ReadMeta(r io.Reader) (Meta, error) {
+	br := bufio.NewReader(r)
+	ver, err := readHeader(br)
+	if err != nil {
+		return Meta{}, err
+	}
+	for {
+		kind, _, raw, err := readSection(br, ver)
+		if err != nil {
+			return Meta{}, err
+		}
+		switch kind {
+		case secEnd:
+			return Meta{}, fmt.Errorf("checkpoint: no meta section")
+		case secMeta:
+			if len(raw) != 8 {
+				return Meta{}, fmt.Errorf("checkpoint: meta section has %d bytes, want 8", len(raw))
+			}
+			return Meta{
+				Epoch: int(binary.LittleEndian.Uint32(raw)),
+				Step:  int(binary.LittleEndian.Uint32(raw[4:])),
+			}, nil
+		}
+	}
+}
+
 // SaveFile writes a checkpoint atomically (temp file + rename).
 func SaveFile(path string, params []*nn.Param, bns []*nn.BatchNorm2D) error {
+	return SaveStateFile(path, State{Params: params, BNs: bns})
+}
+
+// LoadFile restores a checkpoint from disk.
+func LoadFile(path string, params []*nn.Param, bns []*nn.BatchNorm2D) error {
+	st := State{Params: params, BNs: bns}
+	return LoadStateFile(path, &st)
+}
+
+// SaveStateFile writes a full snapshot atomically (temp file +
+// rename), so a crash mid-write can never leave a torn checkpoint
+// behind for the recovery path to trip over.
+func SaveStateFile(path string, st State) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := Save(f, params, bns); err != nil {
+	if err := SaveState(f, st); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -130,14 +299,24 @@ func SaveFile(path string, params []*nn.Param, bns []*nn.BatchNorm2D) error {
 	return os.Rename(tmp, path)
 }
 
-// LoadFile restores a checkpoint from disk.
-func LoadFile(path string, params []*nn.Param, bns []*nn.BatchNorm2D) error {
+// LoadStateFile restores a full snapshot from disk.
+func LoadStateFile(path string, st *State) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return Load(f, params, bns)
+	return LoadState(f, st)
+}
+
+// ReadMetaFile reads just the progress record from a checkpoint file.
+func ReadMetaFile(path string) (Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, err
+	}
+	defer f.Close()
+	return ReadMeta(f)
 }
 
 func writeHeader(w io.Writer) error {
@@ -147,25 +326,26 @@ func writeHeader(w io.Writer) error {
 	return binary.Write(w, binary.LittleEndian, uint16(version))
 }
 
-func readHeader(r io.Reader) error {
+func readHeader(r io.Reader) (int, error) {
 	var m uint32
 	if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
-		return fmt.Errorf("checkpoint: reading magic: %w", err)
+		return 0, fmt.Errorf("checkpoint: reading magic: %w", err)
 	}
 	if m != magic {
-		return fmt.Errorf("checkpoint: bad magic %#x", m)
+		return 0, fmt.Errorf("checkpoint: bad magic %#x", m)
 	}
 	var v uint16
 	if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
-		return err
+		return 0, err
 	}
-	if v != version {
-		return fmt.Errorf("checkpoint: unsupported version %d", v)
+	if v != 1 && v != version {
+		return 0, fmt.Errorf("checkpoint: unsupported version %d", v)
 	}
-	return nil
+	return int(v), nil
 }
 
-func writeSection(w io.Writer, kind byte, name string, data []float32) error {
+// writeSection writes one section: kind, name, byte length, payload.
+func writeSection(w io.Writer, kind byte, name string, payload []byte) error {
 	if len(name) > 255 {
 		return fmt.Errorf("checkpoint: name %q too long", name)
 	}
@@ -175,18 +355,60 @@ func writeSection(w io.Writer, kind byte, name string, data []float32) error {
 	if _, err := io.WriteString(w, name); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(data))); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(payload))); err != nil {
 		return err
 	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// f32Bytes encodes float32 values little-endian.
+func f32Bytes(data []float32) []byte {
 	buf := make([]byte, 4*len(data))
 	for i, v := range data {
 		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
 	}
-	_, err := w.Write(buf)
-	return err
+	return buf
 }
 
-func readSection(r *bufio.Reader) (kind byte, name string, data []float32, err error) {
+// f64Bytes encodes float64 values little-endian.
+func f64Bytes(data []float64) []byte {
+	buf := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// bytesF32 decodes a section payload as float32s.
+func bytesF32(raw []byte, name string) ([]float32, error) {
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("checkpoint: section %q has %d bytes, not a float32 multiple", name, len(raw))
+	}
+	data := make([]float32, len(raw)/4)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return data, nil
+}
+
+// bytesF64 decodes a section payload as float64s.
+func bytesF64(raw []byte, name string) ([]float64, error) {
+	if len(raw)%8 != 0 {
+		return nil, fmt.Errorf("checkpoint: section %q has %d bytes, not a float64 multiple", name, len(raw))
+	}
+	data := make([]float64, len(raw)/8)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return data, nil
+}
+
+// readSection reads one section header and its raw payload. The
+// length field counts bytes in v2 files and float32 values in v1
+// files; either way it is bounded before allocation so a malformed
+// file cannot drive an over-allocation.
+func readSection(r *bufio.Reader, ver int) (kind byte, name string, raw []byte, err error) {
 	kind, err = r.ReadByte()
 	if err != nil {
 		return 0, "", nil, fmt.Errorf("checkpoint: reading section kind: %w", err)
@@ -206,17 +428,17 @@ func readSection(r *bufio.Reader) (kind byte, name string, data []float32, err e
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return 0, "", nil, err
 	}
-	const maxSection = 1 << 28 // 256 MiB of floats — far above any model here
-	if n > maxSection {
-		return 0, "", nil, fmt.Errorf("checkpoint: section %q implausibly large (%d)", nameBuf, n)
+	size := uint64(n)
+	if ver == 1 {
+		size *= 4 // v1 counted float32 values, not bytes
 	}
-	raw := make([]byte, 4*int(n))
+	const maxSection = 1 << 30 // 1 GiB — far above any model here
+	if size > maxSection {
+		return 0, "", nil, fmt.Errorf("checkpoint: section %q implausibly large (%d bytes)", nameBuf, size)
+	}
+	raw = make([]byte, size)
 	if _, err := io.ReadFull(r, raw); err != nil {
 		return 0, "", nil, err
 	}
-	data = make([]float32, n)
-	for i := range data {
-		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
-	}
-	return kind, string(nameBuf), data, nil
+	return kind, string(nameBuf), raw, nil
 }

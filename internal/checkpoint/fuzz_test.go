@@ -38,3 +38,46 @@ func FuzzLoad(f *testing.F) {
 		_ = Load(bytes.NewReader(data), model.Params(), model.BatchNorms())
 	})
 }
+
+// FuzzLoadState hardens the full-state (v2) reader: optimiser, meta,
+// and float64 batch-norm sections must survive arbitrary corruption
+// with an error, never a panic or runaway allocation. ReadMeta shares
+// the section walker, so it is fuzzed on the same inputs.
+func FuzzLoadState(f *testing.F) {
+	cfg := deeplab.DefaultConfig()
+	cfg.InputSize = 16
+	cfg.Width = 6
+	cfg.DeepBlocks = 1
+	cfg.AtrousRates = [3]int{1, 2, 3}
+
+	m := deeplab.New(cfg)
+	velocity := make([][]float32, len(m.Params()))
+	for i, p := range m.Params() {
+		velocity[i] = make([]float32, p.W.Len())
+	}
+	var valid bytes.Buffer
+	err := SaveState(&valid, State{
+		Params:   m.Params(),
+		BNs:      m.BatchNorms(),
+		Velocity: velocity,
+		Meta:     &Meta{Epoch: 2, Step: 9},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()/2])
+	f.Add([]byte{})
+	f.Add([]byte{0x43, 0x47, 0x45, 0x53, 2, 0}) // magic, v2, nothing else
+	// Meta section with a wrong payload size.
+	f.Add(append(append([]byte{}, valid.Bytes()[:6]...), secMeta, 1, 'm', 3, 0, 0, 0, 1, 2, 3))
+	// Section claiming ~4 GiB of payload.
+	f.Add(append(append([]byte{}, valid.Bytes()[:6]...), secOpt, 1, 'x', 0xFF, 0xFF, 0xFF, 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		model := deeplab.New(cfg)
+		st := State{Params: model.Params(), BNs: model.BatchNorms()}
+		_ = LoadState(bytes.NewReader(data), &st)
+		_, _ = ReadMeta(bytes.NewReader(data))
+	})
+}

@@ -23,12 +23,13 @@ func benchAllreduce(b *testing.B, fn allreduceFn, p, n int) {
 	b.SetBytes(int64(4 * n))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		transport.Run(p, func(c *transport.Comm) {
+		transport.Run(p, func(c *transport.Comm) error {
 			buf := make([]float32, n)
 			copy(buf, data[c.Rank()])
 			if err := fn(c, group, buf); err != nil {
 				b.Error(err)
 			}
+			return nil
 		})
 	}
 }

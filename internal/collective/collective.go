@@ -98,17 +98,27 @@ func AllreduceNaive(c *transport.Comm, group []int, buf []float32) error {
 	root := group[0]
 	if me == 0 {
 		for _, r := range group[1:] {
-			if err := addInto(buf, c.Recv(r, tagNaive)); err != nil {
+			got, err := c.Recv(r, tagNaive)
+			if err != nil {
+				return fmt.Errorf("allreduce naive: rank %d contribution: %w", r, err)
+			}
+			if err := addInto(buf, got); err != nil {
 				return fmt.Errorf("allreduce naive: rank %d contribution: %w", r, err)
 			}
 		}
 		for _, r := range group[1:] {
-			c.Send(r, tagNaive+1, buf)
+			if err := c.Send(r, tagNaive+1, buf); err != nil {
+				return fmt.Errorf("allreduce naive: result to rank %d: %w", r, err)
+			}
 		}
 		return nil
 	}
-	c.Send(root, tagNaive, buf)
-	c.RecvInto(root, tagNaive+1, buf)
+	if err := c.Send(root, tagNaive, buf); err != nil {
+		return fmt.Errorf("allreduce naive: contribution to root: %w", err)
+	}
+	if err := c.RecvInto(root, tagNaive+1, buf); err != nil {
+		return fmt.Errorf("allreduce naive: result from root: %w", err)
+	}
 	return nil
 }
 
@@ -135,9 +145,15 @@ func AllreduceRing(c *transport.Comm, group []int, buf []float32) error {
 		sendSeg := ((me-s)%p + p) % p
 		recvSeg := ((me-s-1)%p + p) % p
 		slo, shi := segment(n, p, sendSeg)
-		c.Send(next, tagRing+s, buf[slo:shi])
+		if err := c.Send(next, tagRing+s, buf[slo:shi]); err != nil {
+			return fmt.Errorf("allreduce ring: reduce-scatter step %d: %w", s, err)
+		}
 		rlo, rhi := segment(n, p, recvSeg)
-		if err := addInto(buf[rlo:rhi], c.Recv(prev, tagRing+s)); err != nil {
+		got, err := c.Recv(prev, tagRing+s)
+		if err != nil {
+			return fmt.Errorf("allreduce ring: reduce-scatter step %d: %w", s, err)
+		}
+		if err := addInto(buf[rlo:rhi], got); err != nil {
 			return fmt.Errorf("allreduce ring: reduce-scatter step %d: %w", s, err)
 		}
 	}
@@ -146,9 +162,14 @@ func AllreduceRing(c *transport.Comm, group []int, buf []float32) error {
 		sendSeg := ((me-s+1)%p + p) % p
 		recvSeg := ((me-s)%p + p) % p
 		slo, shi := segment(n, p, sendSeg)
-		c.Send(next, tagRing+p+s, buf[slo:shi])
+		if err := c.Send(next, tagRing+p+s, buf[slo:shi]); err != nil {
+			return fmt.Errorf("allreduce ring: allgather step %d: %w", s, err)
+		}
 		rlo, rhi := segment(n, p, recvSeg)
-		got := c.Recv(prev, tagRing+p+s)
+		got, err := c.Recv(prev, tagRing+p+s)
+		if err != nil {
+			return fmt.Errorf("allreduce ring: allgather step %d: %w", s, err)
+		}
 		copy(buf[rlo:rhi], got)
 	}
 	return nil
@@ -177,9 +198,15 @@ func AllreduceRecursiveDoubling(c *transport.Comm, group []int, buf []float32) e
 	newrank := -1
 	switch {
 	case me < 2*rem && me%2 == 0:
-		c.Send(group[me+1], tagRD, buf)
+		if err := c.Send(group[me+1], tagRD, buf); err != nil {
+			return fmt.Errorf("allreduce recursive-doubling: fold: %w", err)
+		}
 	case me < 2*rem: // odd
-		if err := addInto(buf, c.Recv(group[me-1], tagRD)); err != nil {
+		got, err := c.Recv(group[me-1], tagRD)
+		if err != nil {
+			return fmt.Errorf("allreduce recursive-doubling: fold: %w", err)
+		}
+		if err := addInto(buf, got); err != nil {
 			return fmt.Errorf("allreduce recursive-doubling: fold: %w", err)
 		}
 		newrank = me / 2
@@ -196,7 +223,10 @@ func AllreduceRecursiveDoubling(c *transport.Comm, group []int, buf []float32) e
 		}
 		for dist := 1; dist < pow; dist *= 2 {
 			partner := group[old(newrank^dist)]
-			got := c.SendRecv(partner, tagRD+1+dist, buf, partner, tagRD+1+dist)
+			got, err := c.SendRecv(partner, tagRD+1+dist, buf, partner, tagRD+1+dist)
+			if err != nil {
+				return fmt.Errorf("allreduce recursive-doubling: distance %d: %w", dist, err)
+			}
 			if err := addInto(buf, got); err != nil {
 				return fmt.Errorf("allreduce recursive-doubling: distance %d: %w", dist, err)
 			}
@@ -206,9 +236,13 @@ func AllreduceRecursiveDoubling(c *transport.Comm, group []int, buf []float32) e
 	// Unfold: odd ranks return the result to their even partner.
 	if me < 2*rem {
 		if me%2 == 0 {
-			c.RecvInto(group[me+1], tagRD+2*pow, buf)
+			if err := c.RecvInto(group[me+1], tagRD+2*pow, buf); err != nil {
+				return fmt.Errorf("allreduce recursive-doubling: unfold: %w", err)
+			}
 		} else {
-			c.Send(group[me-1], tagRD+2*pow, buf)
+			if err := c.Send(group[me-1], tagRD+2*pow, buf); err != nil {
+				return fmt.Errorf("allreduce recursive-doubling: unfold: %w", err)
+			}
 		}
 	}
 	return nil
@@ -226,12 +260,18 @@ func ReduceTree(c *transport.Comm, group []int, buf []float32) error {
 		if me%(2*dist) == 0 {
 			src := me + dist
 			if src < p {
-				if err := addInto(buf, c.Recv(group[src], tagReduce+dist)); err != nil {
+				got, err := c.Recv(group[src], tagReduce+dist)
+				if err != nil {
+					return fmt.Errorf("reduce tree: from rank %d: %w", group[src], err)
+				}
+				if err := addInto(buf, got); err != nil {
 					return fmt.Errorf("reduce tree: from rank %d: %w", group[src], err)
 				}
 			}
 		} else if me%dist == 0 {
-			c.Send(group[me-dist], tagReduce+dist, buf)
+			if err := c.Send(group[me-dist], tagReduce+dist, buf); err != nil {
+				return fmt.Errorf("reduce tree: to rank %d: %w", group[me-dist], err)
+			}
 			return nil
 		}
 	}
@@ -256,10 +296,14 @@ func BcastTree(c *transport.Comm, group []int, buf []float32) error {
 		if me%(2*dist) == 0 {
 			dst := me + dist
 			if dst < p {
-				c.Send(group[dst], tagBcast+dist, buf)
+				if err := c.Send(group[dst], tagBcast+dist, buf); err != nil {
+					return fmt.Errorf("bcast tree: to rank %d: %w", group[dst], err)
+				}
 			}
 		} else if me%dist == 0 {
-			c.RecvInto(group[me-dist], tagBcast+dist, buf)
+			if err := c.RecvInto(group[me-dist], tagBcast+dist, buf); err != nil {
+				return fmt.Errorf("bcast tree: from rank %d: %w", group[me-dist], err)
+			}
 		}
 	}
 	return nil
@@ -287,8 +331,14 @@ func AllgatherRing(c *transport.Comm, group []int, shards [][]float32) error {
 	for s := 0; s < p-1; s++ {
 		sendIdx := ((me-s)%p + p) % p
 		recvIdx := ((me-s-1)%p + p) % p
-		c.Send(next, tagGather+s, shards[sendIdx])
-		shards[recvIdx] = c.Recv(prev, tagGather+s)
+		if err := c.Send(next, tagGather+s, shards[sendIdx]); err != nil {
+			return fmt.Errorf("allgather ring: step %d: %w", s, err)
+		}
+		got, err := c.Recv(prev, tagGather+s)
+		if err != nil {
+			return fmt.Errorf("allgather ring: step %d: %w", s, err)
+		}
+		shards[recvIdx] = got
 	}
 	return nil
 }

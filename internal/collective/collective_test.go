@@ -16,7 +16,7 @@ func runGroup(n int, fn func(c *transport.Comm, group []int)) {
 	for i := range group {
 		group[i] = i
 	}
-	transport.Run(n, func(c *transport.Comm) { fn(c, group) })
+	transport.Run(n, func(c *transport.Comm) error { fn(c, group); return nil })
 }
 
 // makeInputs builds deterministic per-rank vectors and their expected
@@ -128,11 +128,12 @@ func TestAllreduceHierLeaderMatchesNaive(t *testing.T) {
 		ins, want := makeInputs(p, n, int64(p))
 		outs := make([][]float32, p)
 		errs := make([]error, p)
-		transport.Run(p, func(c *transport.Comm) {
+		transport.Run(p, func(c *transport.Comm) error {
 			buf := make([]float32, n)
 			copy(buf, ins[c.Rank()])
 			errs[c.Rank()] = AllreduceHierLeader(c, mach, buf)
 			outs[c.Rank()] = buf
+			return nil
 		})
 		for r, err := range errs {
 			if err != nil {
@@ -150,8 +151,9 @@ func TestAllreduceHierLeaderMatchesNaive(t *testing.T) {
 func TestAllreduceHierLeaderWorldMismatchErrors(t *testing.T) {
 	mach := topology.Summit(2) // 12 ranks
 	errs := make([]error, 2)
-	transport.Run(2, func(c *transport.Comm) {
+	transport.Run(2, func(c *transport.Comm) error {
 		errs[c.Rank()] = AllreduceHierLeader(c, mach, make([]float32, 4))
+		return nil
 	})
 	for r, err := range errs {
 		if err == nil {

@@ -22,13 +22,19 @@ func Gather(c *transport.Comm, group []int, buf []float32) ([][]float32, error) 
 		return nil, fmt.Errorf("gather: %w", err)
 	}
 	if me != 0 {
-		c.Send(group[0], tagGatherOp+me, buf)
+		if err := c.Send(group[0], tagGatherOp+me, buf); err != nil {
+			return nil, fmt.Errorf("gather: to root: %w", err)
+		}
 		return nil, nil
 	}
 	out := make([][]float32, len(group))
 	out[0] = append([]float32(nil), buf...)
 	for i := 1; i < len(group); i++ {
-		out[i] = c.Recv(group[i], tagGatherOp+i)
+		got, err := c.Recv(group[i], tagGatherOp+i)
+		if err != nil {
+			return nil, fmt.Errorf("gather: from rank %d: %w", group[i], err)
+		}
+		out[i] = got
 	}
 	return out, nil
 }
@@ -45,11 +51,17 @@ func Scatter(c *transport.Comm, group []int, shards [][]float32) ([]float32, err
 			return nil, fmt.Errorf("scatter: %d shards for %d ranks", len(shards), len(group))
 		}
 		for i := 1; i < len(group); i++ {
-			c.Send(group[i], tagScatter+i, shards[i])
+			if err := c.Send(group[i], tagScatter+i, shards[i]); err != nil {
+				return nil, fmt.Errorf("scatter: to rank %d: %w", group[i], err)
+			}
 		}
 		return append([]float32(nil), shards[0]...), nil
 	}
-	return c.Recv(group[0], tagScatter+me), nil
+	got, err := c.Recv(group[0], tagScatter+me)
+	if err != nil {
+		return nil, fmt.Errorf("scatter: from root: %w", err)
+	}
+	return got, nil
 }
 
 // ReduceScatter sums all ranks' equal-length buffers and leaves each
@@ -72,9 +84,15 @@ func ReduceScatter(c *transport.Comm, group []int, buf []float32) (lo, hi int, e
 		sendSeg := ((me-s)%p + p) % p
 		recvSeg := ((me-s-1)%p + p) % p
 		slo, shi := segment(n, p, sendSeg)
-		c.Send(next, tagRS+s, buf[slo:shi])
+		if err := c.Send(next, tagRS+s, buf[slo:shi]); err != nil {
+			return 0, 0, fmt.Errorf("reduce-scatter: step %d: %w", s, err)
+		}
 		rlo, rhi := segment(n, p, recvSeg)
-		if err := addInto(buf[rlo:rhi], c.Recv(prev, tagRS+s)); err != nil {
+		got, err := c.Recv(prev, tagRS+s)
+		if err != nil {
+			return 0, 0, fmt.Errorf("reduce-scatter: step %d: %w", s, err)
+		}
+		if err := addInto(buf[rlo:rhi], got); err != nil {
 			return 0, 0, fmt.Errorf("reduce-scatter: step %d: %w", s, err)
 		}
 	}

@@ -38,9 +38,15 @@ func AllreduceRabenseifner(c *transport.Comm, group []int, buf []float32) error 
 	newrank := -1
 	switch {
 	case me < 2*rem && me%2 == 0:
-		c.Send(group[me+1], tagRab, buf)
+		if err := c.Send(group[me+1], tagRab, buf); err != nil {
+			return fmt.Errorf("allreduce rabenseifner: fold: %w", err)
+		}
 	case me < 2*rem:
-		if err := addInto(buf, c.Recv(group[me-1], tagRab)); err != nil {
+		got, err := c.Recv(group[me-1], tagRab)
+		if err != nil {
+			return fmt.Errorf("allreduce rabenseifner: fold: %w", err)
+		}
+		if err := addInto(buf, got); err != nil {
 			return fmt.Errorf("allreduce rabenseifner: fold: %w", err)
 		}
 		newrank = me / 2
@@ -70,7 +76,10 @@ func AllreduceRabenseifner(c *transport.Comm, group []int, buf []float32) error 
 			} else {
 				sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 			}
-			got := c.SendRecv(partner, tagRab+1+step, buf[sendLo:sendHi], partner, tagRab+1+step)
+			got, err := c.SendRecv(partner, tagRab+1+step, buf[sendLo:sendHi], partner, tagRab+1+step)
+			if err != nil {
+				return fmt.Errorf("allreduce rabenseifner: halving step %d: %w", step, err)
+			}
 			if err := addInto(buf[keepLo:keepHi], got); err != nil {
 				return fmt.Errorf("allreduce rabenseifner: halving step %d: %w", step, err)
 			}
@@ -106,7 +115,10 @@ func AllreduceRabenseifner(c *transport.Comm, group []int, buf []float32) error 
 			} else {
 				partnerLo, partnerHi = parent.lo, cur.lo
 			}
-			got := c.SendRecv(partner, tagRab+64+step, buf[cur.lo:cur.hi], partner, tagRab+64+step)
+			got, err := c.SendRecv(partner, tagRab+64+step, buf[cur.lo:cur.hi], partner, tagRab+64+step)
+			if err != nil {
+				return fmt.Errorf("allreduce rabenseifner: doubling step %d: %w", step, err)
+			}
 			copy(buf[partnerLo:partnerHi], got)
 			step--
 		}
@@ -115,9 +127,13 @@ func AllreduceRabenseifner(c *transport.Comm, group []int, buf []float32) error 
 	// Unfold: odds return the result to their even partners.
 	if me < 2*rem {
 		if me%2 == 0 {
-			c.RecvInto(group[me+1], tagRab+2048, buf)
+			if err := c.RecvInto(group[me+1], tagRab+2048, buf); err != nil {
+				return fmt.Errorf("allreduce rabenseifner: unfold: %w", err)
+			}
 		} else {
-			c.Send(group[me-1], tagRab+2048, buf)
+			if err := c.Send(group[me-1], tagRab+2048, buf); err != nil {
+				return fmt.Errorf("allreduce rabenseifner: unfold: %w", err)
+			}
 		}
 	}
 	return nil

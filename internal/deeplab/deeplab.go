@@ -194,7 +194,7 @@ func newASPP(rng *rand.Rand, inC, branchC, outC int, rates [3]int, drop float64)
 		nn.NewBatchNorm2D("aspp.projbn", outC),
 		&nn.ReLU{},
 	)
-	a.dropout = &nn.Dropout2D{P: drop, Rng: rand.New(rand.NewSource(rng.Int63()))}
+	a.dropout = &nn.Dropout2D{P: drop, Seed: rng.Int63()}
 	return a
 }
 
@@ -346,6 +346,11 @@ func (m *Model) BatchNorms() []*nn.BatchNorm2D {
 
 // ParamCount returns the number of trainable scalars.
 func (m *Model) ParamCount() int { return nn.ParamCount(m.params) }
+
+// ReseedDropout pins the ASPP head's dropout masks to the global step
+// (see nn.Dropout2D.Reseed) so a checkpoint-restored replica draws the
+// same masks the original run would have.
+func (m *Model) ReseedDropout(step int64) { m.head.dropout.Reseed(step) }
 
 // Forward computes per-pixel class logits [N, Classes, S, S] for an
 // input batch [N, 3, S, S].

@@ -16,6 +16,10 @@ type Segmenter interface {
 	BatchNorms() []*nn.BatchNorm2D
 	Loss(x *tensor.Tensor, labels []int32, ignore int32, train bool) float64
 	Predict(x *tensor.Tensor) []int32
+	// ReseedDropout pins any dropout layers' mask streams to the
+	// given global step, making them a pure function of (model seed,
+	// step) — the property checkpoint-restart recovery needs.
+	ReseedDropout(step int64)
 }
 
 // FCN is the no-atrous, no-ASPP, no-skip baseline: a plain strided
@@ -78,6 +82,9 @@ func (f *FCN) Loss(x *tensor.Tensor, labels []int32, ignore int32, train bool) f
 	}
 	return loss
 }
+
+// ReseedDropout implements Segmenter; the FCN has no dropout layers.
+func (f *FCN) ReseedDropout(int64) {}
 
 func (f *FCN) Predict(x *tensor.Tensor) []int32 {
 	return tensor.ArgmaxClass(f.Forward(x, false))

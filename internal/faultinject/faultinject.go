@@ -1,0 +1,241 @@
+// Package faultinject provides deterministic, seed-driven fault plans
+// for chaos-testing the distributed training stack. A Plan decides —
+// as a pure function of its seed and the identity of each event —
+// which messages are dropped, duplicated, or delayed on the transport,
+// which rank crashes at which training step, and which ranks straggle
+// (and by how much) in the performance simulator.
+//
+// Determinism is the point: two runs with the same plan see the exact
+// same fault sequence, so a chaos run is reproducible byte-for-byte
+// and a failure found under `-chaos-seed 12345` can be replayed
+// forever. All decisions hash (seed, event identity) with splitmix64;
+// there is no mutable state, so a Plan is safe to share across ranks
+// and goroutines.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+
+	"segscale/internal/transport"
+)
+
+// ErrCrashed marks the error a rank returns when its scheduled crash
+// fires. The training loop matches it with errors.Is to tell an
+// injected crash from a genuine transport failure.
+var ErrCrashed = errors.New("faultinject: rank crashed")
+
+// Crash schedules one rank failure.
+type Crash struct {
+	// Rank is the rank that dies.
+	Rank int
+	// Step is the global training step at which it dies (before the
+	// step's gradient exchange).
+	Step int
+	// Incarnation selects which life of the job the crash fires in: 0
+	// is the initial run, 1 the first restart, and so on. A crash
+	// fires at most once — after the restart replays the same step,
+	// the incarnation no longer matches and training proceeds.
+	Incarnation int
+}
+
+// Straggler slows one rank's compute by a multiplicative factor over
+// a window of steps — the DES-level analogue of a slow node, consumed
+// by internal/perfsim.
+type Straggler struct {
+	// Rank is the slow rank.
+	Rank int
+	// Factor multiplies the rank's per-step compute time (must be
+	// >= 1; 2.0 means twice as slow).
+	Factor float64
+	// FromStep..ToStep is the inclusive window of affected steps.
+	// ToStep < 0 means "until the end of the run".
+	FromStep int
+	ToStep   int
+}
+
+// Plan is a deterministic fault schedule. The zero value injects
+// nothing; a nil *Plan is likewise a valid no-op, so callers can
+// thread an optional plan without nil checks.
+type Plan struct {
+	// Seed keys every hash-based decision.
+	Seed int64
+	// DropRate, DupRate and DelayRate are per-delivery-attempt
+	// probabilities of the corresponding transport fault. Their sum
+	// must not exceed 1.
+	DropRate  float64
+	DupRate   float64
+	DelayRate float64
+	// MaxAttempts overrides the transport retry budget for dropped
+	// messages (0 keeps transport.DefaultRetry).
+	MaxAttempts int
+	// Crashes are the scheduled rank failures.
+	Crashes []Crash
+	// Stragglers are the scheduled slowdowns.
+	Stragglers []Straggler
+}
+
+// splitmix64 is the avalanche mixer from Steele et al.'s SplitMix —
+// tiny, fast, and statistically strong enough for fault sampling.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash folds the plan seed and the event identity into one value.
+func (p *Plan) hash(vals ...uint64) uint64 {
+	h := splitmix64(uint64(p.Seed))
+	for _, v := range vals {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}
+
+// unit maps the event identity to a uniform float64 in [0, 1).
+func (p *Plan) unit(vals ...uint64) float64 {
+	return float64(p.hash(vals...)>>11) / float64(1<<53)
+}
+
+// Domain separators so message faults, random-plan parameters, and
+// straggler choices draw from independent hash streams.
+const (
+	domMessage = 1
+	domRandom  = 2
+)
+
+// Message implements transport.Injector: the fate of one delivery
+// attempt, decided purely from (seed, src, dst, tag, attempt, seq).
+// Retries of a dropped message re-roll (attempt differs), so any
+// DropRate < 1 eventually delivers.
+func (p *Plan) Message(src, dst, tag, attempt int, seq uint64) transport.Fault {
+	if p == nil {
+		return transport.FaultNone
+	}
+	total := p.DropRate + p.DupRate + p.DelayRate
+	if total <= 0 {
+		return transport.FaultNone
+	}
+	u := p.unit(domMessage, uint64(src), uint64(dst), uint64(tag), uint64(attempt), seq)
+	switch {
+	case u < p.DropRate:
+		return transport.FaultDrop
+	case u < p.DropRate+p.DupRate:
+		return transport.FaultDuplicate
+	case u < total:
+		return transport.FaultDelay
+	}
+	return transport.FaultNone
+}
+
+// CrashAt reports whether rank crashes at the given global step in
+// the given incarnation of the job.
+func (p *Plan) CrashAt(rank, step, incarnation int) bool {
+	if p == nil {
+		return false
+	}
+	for _, c := range p.Crashes {
+		if c.Rank == rank && c.Step == step && c.Incarnation == incarnation {
+			return true
+		}
+	}
+	return false
+}
+
+// StragglerFactor returns the compute-time multiplier for rank at
+// step: 1.0 when unaffected, the product of all matching windows
+// otherwise.
+func (p *Plan) StragglerFactor(rank, step int) float64 {
+	f := 1.0
+	if p == nil {
+		return f
+	}
+	for _, s := range p.Stragglers {
+		if s.Rank == rank && s.Factor > 0 && step >= s.FromStep && (s.ToStep < 0 || step <= s.ToStep) {
+			f *= s.Factor
+		}
+	}
+	return f
+}
+
+// MessageFaults reports whether the plan injects any transport-level
+// message faults.
+func (p *Plan) MessageFaults() bool {
+	return p != nil && p.DropRate+p.DupRate+p.DelayRate > 0
+}
+
+// Arm installs the plan's message faults and retry budget on a
+// transport world. Nil plans and worlds are no-ops.
+func (p *Plan) Arm(w *transport.World) {
+	if p == nil || w == nil {
+		return
+	}
+	if p.MessageFaults() {
+		w.SetInjector(p)
+	}
+	if p.MaxAttempts > 0 {
+		w.SetRetryPolicy(transport.RetryPolicy{MaxAttempts: p.MaxAttempts})
+	}
+}
+
+// Validate checks the plan's parameters, wrapping each violation into
+// one error.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	var errs []error
+	for name, r := range map[string]float64{"drop": p.DropRate, "dup": p.DupRate, "delay": p.DelayRate} {
+		if r < 0 || r > 1 {
+			errs = append(errs, fmt.Errorf("faultinject: %s rate %g outside [0,1]", name, r))
+		}
+	}
+	if total := p.DropRate + p.DupRate + p.DelayRate; total > 1 {
+		errs = append(errs, fmt.Errorf("faultinject: fault rates sum to %g > 1", total))
+	}
+	if p.MaxAttempts < 0 {
+		errs = append(errs, fmt.Errorf("faultinject: max attempts %d < 0", p.MaxAttempts))
+	}
+	for _, c := range p.Crashes {
+		if c.Rank < 0 || c.Step < 0 || c.Incarnation < 0 {
+			errs = append(errs, fmt.Errorf("faultinject: crash %+v: rank, step and incarnation must be >= 0", c))
+		}
+	}
+	for _, s := range p.Stragglers {
+		if s.Rank < 0 {
+			errs = append(errs, fmt.Errorf("faultinject: straggler %+v: rank must be >= 0", s))
+		}
+		if s.Factor < 1 {
+			errs = append(errs, fmt.Errorf("faultinject: straggler %+v: factor must be >= 1", s))
+		}
+		if s.FromStep < 0 || (s.ToStep >= 0 && s.ToStep < s.FromStep) {
+			errs = append(errs, fmt.Errorf("faultinject: straggler %+v: bad step window", s))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// RandomPlan derives a mild, recoverable chaos plan from a seed: low
+// message-fault rates and one straggler, no crashes (crashes need a
+// checkpoint path to recover through, so they are only scheduled
+// explicitly — see ParseSpec). world is the number of ranks the plan
+// will torment. The same (seed, world) always yields the same plan.
+func RandomPlan(seed int64, world int) *Plan {
+	p := &Plan{Seed: seed}
+	if world <= 0 {
+		return p
+	}
+	p.DropRate = 0.03 * p.unit(domRandom, 1)
+	p.DupRate = 0.02 * p.unit(domRandom, 2)
+	p.DelayRate = 0.05 * p.unit(domRandom, 3)
+	if world > 1 {
+		p.Stragglers = []Straggler{{
+			Rank:     int(p.hash(domRandom, 4) % uint64(world)),
+			Factor:   1.5 + 1.5*p.unit(domRandom, 5),
+			FromStep: 0,
+			ToStep:   -1,
+		}}
+	}
+	return p
+}

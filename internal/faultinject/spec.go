@@ -1,0 +1,179 @@
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds a plan from a compact textual schedule, the format
+// behind the -chaos-plan flag. Clauses are separated by semicolons:
+//
+//	seed=N          hash seed for message-fault decisions
+//	drop=P          per-attempt drop probability, P in [0,1]
+//	dup=P           per-attempt duplication probability
+//	delay=P         per-attempt delay (reorder) probability
+//	retries=N       delivery attempts per message before giving up
+//	crash=R@S       rank R crashes at global step S (first life);
+//	                crash=R@S#I crashes in incarnation I instead
+//	slow=R*F        rank R computes F times slower for the whole run;
+//	                slow=R*F@A-B limits it to steps A..B inclusive
+//
+// Example: "seed=7;drop=0.01;delay=0.05;crash=1@12;slow=3*2.5@0-40".
+func ParseSpec(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: clause %q: want key=value", clause)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "drop":
+			p.DropRate, err = parseRate(val)
+		case "dup":
+			p.DupRate, err = parseRate(val)
+		case "delay":
+			p.DelayRate, err = parseRate(val)
+		case "retries":
+			p.MaxAttempts, err = strconv.Atoi(val)
+		case "crash":
+			var c Crash
+			if c, err = parseCrash(val); err == nil {
+				p.Crashes = append(p.Crashes, c)
+			}
+		case "slow":
+			var s Straggler
+			if s, err = parseStraggler(val); err == nil {
+				p.Stragglers = append(p.Stragglers, s)
+			}
+		default:
+			return nil, fmt.Errorf("faultinject: unknown clause key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: clause %q: %w", clause, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseRate(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// parseCrash parses "R@S" or "R@S#I".
+func parseCrash(s string) (Crash, error) {
+	rankStr, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return Crash{}, fmt.Errorf("want R@S or R@S#I, got %q", s)
+	}
+	stepStr, incStr, hasInc := strings.Cut(rest, "#")
+	var c Crash
+	var err error
+	if c.Rank, err = strconv.Atoi(rankStr); err != nil {
+		return Crash{}, fmt.Errorf("rank: %w", err)
+	}
+	if c.Step, err = strconv.Atoi(stepStr); err != nil {
+		return Crash{}, fmt.Errorf("step: %w", err)
+	}
+	if hasInc {
+		if c.Incarnation, err = strconv.Atoi(incStr); err != nil {
+			return Crash{}, fmt.Errorf("incarnation: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// parseStraggler parses "R*F" or "R*F@A-B".
+func parseStraggler(s string) (Straggler, error) {
+	rankStr, rest, ok := strings.Cut(s, "*")
+	if !ok {
+		return Straggler{}, fmt.Errorf("want R*F or R*F@A-B, got %q", s)
+	}
+	st := Straggler{ToStep: -1}
+	var err error
+	if st.Rank, err = strconv.Atoi(rankStr); err != nil {
+		return Straggler{}, fmt.Errorf("rank: %w", err)
+	}
+	factorStr, window, hasWindow := strings.Cut(rest, "@")
+	if st.Factor, err = strconv.ParseFloat(factorStr, 64); err != nil {
+		return Straggler{}, fmt.Errorf("factor: %w", err)
+	}
+	if hasWindow {
+		fromStr, toStr, ok := strings.Cut(window, "-")
+		if !ok {
+			return Straggler{}, fmt.Errorf("window: want A-B, got %q", window)
+		}
+		if st.FromStep, err = strconv.Atoi(fromStr); err != nil {
+			return Straggler{}, fmt.Errorf("window start: %w", err)
+		}
+		if st.ToStep, err = strconv.Atoi(toStr); err != nil {
+			return Straggler{}, fmt.Errorf("window end: %w", err)
+		}
+	}
+	return st, nil
+}
+
+// String renders the plan back in ParseSpec's clause format, with
+// clauses in a fixed order so equal plans print identically — handy
+// for logging the effective plan of a -chaos-seed run.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var clauses []string
+	if p.Seed != 0 {
+		clauses = append(clauses, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	if p.DropRate > 0 {
+		clauses = append(clauses, fmt.Sprintf("drop=%g", p.DropRate))
+	}
+	if p.DupRate > 0 {
+		clauses = append(clauses, fmt.Sprintf("dup=%g", p.DupRate))
+	}
+	if p.DelayRate > 0 {
+		clauses = append(clauses, fmt.Sprintf("delay=%g", p.DelayRate))
+	}
+	if p.MaxAttempts > 0 {
+		clauses = append(clauses, fmt.Sprintf("retries=%d", p.MaxAttempts))
+	}
+	crashes := append([]Crash(nil), p.Crashes...)
+	sort.Slice(crashes, func(i, j int) bool {
+		a, b := crashes[i], crashes[j]
+		if a.Step != b.Step {
+			return a.Step < b.Step
+		}
+		return a.Rank < b.Rank
+	})
+	for _, c := range crashes {
+		if c.Incarnation > 0 {
+			clauses = append(clauses, fmt.Sprintf("crash=%d@%d#%d", c.Rank, c.Step, c.Incarnation))
+		} else {
+			clauses = append(clauses, fmt.Sprintf("crash=%d@%d", c.Rank, c.Step))
+		}
+	}
+	stragglers := append([]Straggler(nil), p.Stragglers...)
+	sort.Slice(stragglers, func(i, j int) bool { return stragglers[i].Rank < stragglers[j].Rank })
+	for _, s := range stragglers {
+		if s.FromStep == 0 && s.ToStep < 0 {
+			clauses = append(clauses, fmt.Sprintf("slow=%d*%g", s.Rank, s.Factor))
+		} else {
+			clauses = append(clauses, fmt.Sprintf("slow=%d*%g@%d-%d", s.Rank, s.Factor, s.FromStep, s.ToStep))
+		}
+	}
+	return strings.Join(clauses, ";")
+}

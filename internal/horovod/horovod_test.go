@@ -193,16 +193,22 @@ func testAllreduceGradsWithConfig(t *testing.T, cfg Config, world int) {
 	}
 	mach := topology.ForGPUs(world)
 	results := make([][][]float32, world)
-	transport.Run(world, func(c *transport.Comm) {
+	err := transport.Run(world, func(c *transport.Comm) error {
 		rt := newRuntime(c, mach, cfg)
 		ps := makeParams(c.Rank(), shapes)
-		rt.AllreduceGrads(ps)
+		if err := rt.AllreduceGrads(ps); err != nil {
+			return err
+		}
 		grads := make([][]float32, len(ps))
 		for i, p := range ps {
 			grads[i] = append([]float32(nil), p.G.Data...)
 		}
 		results[c.Rank()] = grads
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for r := 0; r < world; r++ {
 		for i := range shapes {
 			for j := range expect[i] {
@@ -264,16 +270,22 @@ func TestAllreduceGradsFP16Compression(t *testing.T) {
 	cfg.FP16Compression = true
 	mach := topology.ForGPUs(world)
 	results := make([][][]float32, world)
-	transport.Run(world, func(c *transport.Comm) {
+	err := transport.Run(world, func(c *transport.Comm) error {
 		rt := newRuntime(c, mach, cfg)
 		ps := makeParams(c.Rank(), shapes)
-		rt.AllreduceGrads(ps)
+		if err := rt.AllreduceGrads(ps); err != nil {
+			return err
+		}
 		grads := make([][]float32, len(ps))
 		for i, p := range ps {
 			grads[i] = append([]float32(nil), p.G.Data...)
 		}
 		results[c.Rank()] = grads
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for r := 0; r < world; r++ {
 		for i := range shapes {
 			for j := range expect[i] {
@@ -288,33 +300,45 @@ func TestAllreduceGradsFP16Compression(t *testing.T) {
 }
 
 func TestSingleRankNoop(t *testing.T) {
-	transport.Run(1, func(c *transport.Comm) {
+	err := transport.Run(1, func(c *transport.Comm) error {
 		rt := newRuntime(c, topology.ForGPUs(1), Default())
 		ps := makeParams(0, []int{4})
 		orig := append([]float32(nil), ps[0].G.Data...)
-		rt.AllreduceGrads(ps)
+		if err := rt.AllreduceGrads(ps); err != nil {
+			return err
+		}
 		for i := range orig {
 			if ps[0].G.Data[i] != orig[i] {
 				t.Error("single-rank allreduce changed gradients")
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestBroadcastParams(t *testing.T) {
 	world := 4
 	mach := topology.ForGPUs(world)
 	results := make([][]float32, world)
-	transport.Run(world, func(c *transport.Comm) {
+	err := transport.Run(world, func(c *transport.Comm) error {
 		rt := newRuntime(c, mach, Default())
 		w := tensor.New(16)
 		for i := range w.Data {
 			w.Data[i] = float32(c.Rank()*100 + i)
 		}
 		ps := []*nn.Param{{Name: "w", W: w, G: tensor.New(16)}}
-		rt.BroadcastParams(ps)
+		if err := rt.BroadcastParams(ps); err != nil {
+			return err
+		}
 		results[c.Rank()] = append([]float32(nil), w.Data...)
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for r := 1; r < world; r++ {
 		for i := range results[0] {
 			if results[r][i] != results[0][i] {
@@ -332,13 +356,23 @@ func TestAllreduceScalarAndCounts(t *testing.T) {
 	mach := topology.ForGPUs(world)
 	scalars := make([]float64, world)
 	counts := make([][]int64, world)
-	transport.Run(world, func(c *transport.Comm) {
+	err := transport.Run(world, func(c *transport.Comm) error {
 		rt := newRuntime(c, mach, Default())
-		scalars[c.Rank()] = rt.AllreduceScalar(float64(c.Rank() + 1))
+		mean, err := rt.AllreduceScalar(float64(c.Rank() + 1))
+		if err != nil {
+			return err
+		}
+		scalars[c.Rank()] = mean
 		cnt := []int64{int64(c.Rank()), 10}
-		rt.AllreduceCounts(cnt)
+		if err := rt.AllreduceCounts(cnt); err != nil {
+			return err
+		}
 		counts[c.Rank()] = cnt
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for r := 0; r < world; r++ {
 		if math.Abs(scalars[r]-2) > 1e-6 { // mean of 1,2,3
 			t.Fatalf("scalar mean %g", scalars[r])
@@ -354,15 +388,25 @@ func TestAllgatherAndBroadcast(t *testing.T) {
 	mach := topology.ForGPUs(world)
 	gathered := make([][][]float32, world)
 	bcast := make([][]float32, world)
-	transport.Run(world, func(c *transport.Comm) {
+	err := transport.Run(world, func(c *transport.Comm) error {
 		rt := newRuntime(c, mach, Default())
 		local := []float32{float32(c.Rank()), float32(c.Rank() * 10)}
-		gathered[c.Rank()] = rt.Allgather(local)
+		shards, err := rt.Allgather(local)
+		if err != nil {
+			return err
+		}
+		gathered[c.Rank()] = shards
 
 		buf := []float32{float32(c.Rank() + 100)}
-		rt.Broadcast(buf)
+		if err := rt.Broadcast(buf); err != nil {
+			return err
+		}
 		bcast[c.Rank()] = buf
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for r := 0; r < world; r++ {
 		if len(gathered[r]) != world {
 			t.Fatalf("rank %d gathered %d shards", r, len(gathered[r]))
@@ -380,19 +424,27 @@ func TestAllgatherAndBroadcast(t *testing.T) {
 }
 
 func TestRuntimeWorldMismatchErrors(t *testing.T) {
-	transport.Run(2, func(c *transport.Comm) {
+	err := transport.Run(2, func(c *transport.Comm) error {
 		if _, err := NewRuntime(c, topology.ForGPUs(6), Default()); err == nil {
 			t.Error("mismatched machine accepted")
 		}
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestRuntimeBadConfigErrors(t *testing.T) {
-	transport.Run(1, func(c *transport.Comm) {
+	err := transport.Run(1, func(c *transport.Comm) error {
 		cfg := Default()
 		cfg.CycleTime = 0
 		if _, err := NewRuntime(c, topology.ForGPUs(1), cfg); err == nil {
 			t.Error("invalid config accepted")
 		}
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }

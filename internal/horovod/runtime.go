@@ -2,6 +2,7 @@ package horovod
 
 import (
 	"fmt"
+	"sync"
 
 	"segscale/internal/collective"
 	"segscale/internal/fp16"
@@ -29,6 +30,12 @@ type Runtime struct {
 	// communicator at construction; nil (the default) costs one
 	// branch per instrumentation site.
 	probe *telemetry.Probe
+
+	// commErr is the sticky first communication error from a context
+	// that cannot return one — the SyncBN closure fires mid-forward —
+	// surfaced via CommErr at the next step boundary.
+	commErrMu sync.Mutex
+	commErr   error
 }
 
 // NewRuntime builds one rank's runtime. The machine layout must match
@@ -56,24 +63,39 @@ func (r *Runtime) Rank() int { return r.Comm.Rank() }
 // Size returns the world size.
 func (r *Runtime) Size() int { return r.Comm.Size() }
 
-// must converts a collective error into a rank panic. Runtime methods
-// run inside per-rank goroutines under transport.Run, whose contract
-// re-raises a rank panic on the caller after the world drains — that
-// is the failure channel here, and the Runtime always passes groups it
-// constructed itself, so an error is a bug in this package, not input.
-func must(err error) {
-	if err != nil {
-		panic(fmt.Errorf("horovod: %w", err))
+// RecordCommErr stores err as the runtime's sticky communication
+// error if it is the first (nil and repeat errors are ignored). It is
+// the error channel for call sites that cannot return one — the
+// synchronized-batch-norm closure runs mid-forward.
+func (r *Runtime) RecordCommErr(err error) {
+	if err == nil {
+		return
 	}
+	r.commErrMu.Lock()
+	if r.commErr == nil {
+		r.commErr = err
+	}
+	r.commErrMu.Unlock()
+}
+
+// CommErr returns the sticky communication error (nil while healthy).
+// The training loop polls it at step boundaries.
+func (r *Runtime) CommErr() error {
+	r.commErrMu.Lock()
+	defer r.commErrMu.Unlock()
+	return r.commErr
 }
 
 // BroadcastParams overwrites every rank's parameters with rank 0's —
 // the initial weight synchronisation of distributed training.
-func (r *Runtime) BroadcastParams(params []*nn.Param) {
+func (r *Runtime) BroadcastParams(params []*nn.Param) error {
 	r.probe.Counter("horovod_broadcasts_total").Inc()
 	for _, p := range params {
-		must(collective.BcastTree(r.Comm, r.world, p.W.Data))
+		if err := collective.BcastTree(r.Comm, r.world, p.W.Data); err != nil {
+			return fmt.Errorf("horovod: broadcast params: %w", err)
+		}
 	}
+	return nil
 }
 
 // fusedBucketsBytes spaces histogram buckets for fused-buffer sizes
@@ -84,9 +106,9 @@ var fusedBucketsBytes = telemetry.ExpBuckets(4<<10, 4, 9)
 // fusing consecutive tensors up to the configured threshold per
 // buffer. Every rank must call it with an identically-shaped
 // parameter list (guaranteed by deterministic model construction).
-func (r *Runtime) AllreduceGrads(params []*nn.Param) {
+func (r *Runtime) AllreduceGrads(params []*nn.Param) error {
 	if r.Size() == 1 {
-		return
+		return nil
 	}
 	sizes := make([]int, len(params))
 	for i, p := range params {
@@ -125,7 +147,9 @@ func (r *Runtime) AllreduceGrads(params []*nn.Param) {
 		}
 		pack.End()
 
-		r.allreduce(buf)
+		if err := r.allreduce(buf); err != nil {
+			return fmt.Errorf("horovod: allreduce grads: %w", err)
+		}
 		collective.Scale(buf, r.Size())
 
 		unpack := r.probe.Span(timeline.PhaseMemcpy, "unpack")
@@ -136,73 +160,87 @@ func (r *Runtime) AllreduceGrads(params []*nn.Param) {
 		}
 		unpack.End()
 	}
+	return nil
 }
 
 // allreduce dispatches one fused buffer to the configured collective.
-func (r *Runtime) allreduce(buf []float32) {
+func (r *Runtime) allreduce(buf []float32) error {
 	switch r.Cfg.ResolveAlgorithm() {
 	case netmodel.AlgHierLeader:
-		must(collective.AllreduceHierLeader(r.Comm, r.Mach, buf))
+		return collective.AllreduceHierLeader(r.Comm, r.Mach, buf)
 	case netmodel.AlgRecursiveDoubling:
-		must(collective.AllreduceRecursiveDoubling(r.Comm, r.world, buf))
+		return collective.AllreduceRecursiveDoubling(r.Comm, r.world, buf)
 	case netmodel.AlgRabenseifner:
-		must(collective.AllreduceRabenseifner(r.Comm, r.world, buf))
+		return collective.AllreduceRabenseifner(r.Comm, r.world, buf)
 	default:
-		must(collective.AllreduceRing(r.Comm, r.world, buf))
+		return collective.AllreduceRing(r.Comm, r.world, buf)
 	}
 }
 
 // AllreduceSumFloat64 sums a float64 vector elementwise across ranks
 // in place — the reduction synchronized batch norm uses for its
 // statistics. Values ride the float32 collective.
-func (r *Runtime) AllreduceSumFloat64(buf []float64) {
+func (r *Runtime) AllreduceSumFloat64(buf []float64) error {
 	if r.Size() == 1 {
-		return
+		return nil
 	}
 	f := make([]float32, len(buf))
 	for i, v := range buf {
 		f[i] = float32(v)
 	}
-	must(collective.AllreduceRing(r.Comm, r.world, f))
+	if err := collective.AllreduceRing(r.Comm, r.world, f); err != nil {
+		return fmt.Errorf("horovod: allreduce float64: %w", err)
+	}
 	for i := range buf {
 		buf[i] = float64(f[i])
 	}
+	return nil
 }
 
 // Allgather collects each rank's (possibly differently-sized) vector
 // and returns all contributions indexed by rank — hvd.allgather.
-func (r *Runtime) Allgather(local []float32) [][]float32 {
+func (r *Runtime) Allgather(local []float32) ([][]float32, error) {
 	shards := make([][]float32, r.Size())
 	shards[r.Rank()] = local
-	must(collective.AllgatherRing(r.Comm, r.world, shards))
-	return shards
+	if err := collective.AllgatherRing(r.Comm, r.world, shards); err != nil {
+		return nil, fmt.Errorf("horovod: allgather: %w", err)
+	}
+	return shards, nil
 }
 
 // Broadcast overwrites buf on every rank with rank 0's contents —
 // hvd.broadcast for a single tensor.
-func (r *Runtime) Broadcast(buf []float32) {
-	must(collective.BcastTree(r.Comm, r.world, buf))
+func (r *Runtime) Broadcast(buf []float32) error {
+	if err := collective.BcastTree(r.Comm, r.world, buf); err != nil {
+		return fmt.Errorf("horovod: broadcast: %w", err)
+	}
+	return nil
 }
 
 // AllreduceScalar averages one float64 across ranks (used for loss
 // and metric reporting).
-func (r *Runtime) AllreduceScalar(v float64) float64 {
+func (r *Runtime) AllreduceScalar(v float64) (float64, error) {
 	buf := []float32{float32(v)}
-	must(collective.AllreduceRing(r.Comm, r.world, buf))
-	return float64(buf[0]) / float64(r.Size())
+	if err := collective.AllreduceRing(r.Comm, r.world, buf); err != nil {
+		return 0, fmt.Errorf("horovod: allreduce scalar: %w", err)
+	}
+	return float64(buf[0]) / float64(r.Size()), nil
 }
 
 // AllreduceCounts sums an int64 vector across ranks (used to merge
 // confusion matrices for global mIOU). Summation rides the float32
 // collective, which is exact while every partial sum stays below 2²⁴
 // — comfortably true for this package's evaluation-set pixel counts.
-func (r *Runtime) AllreduceCounts(counts []int64) {
+func (r *Runtime) AllreduceCounts(counts []int64) error {
 	buf := make([]float32, len(counts))
 	for i, c := range counts {
 		buf[i] = float32(c)
 	}
-	must(collective.AllreduceRing(r.Comm, r.world, buf))
+	if err := collective.AllreduceRing(r.Comm, r.world, buf); err != nil {
+		return fmt.Errorf("horovod: allreduce counts: %w", err)
+	}
 	for i := range counts {
 		counts[i] = int64(buf[i] + 0.5)
 	}
+	return nil
 }

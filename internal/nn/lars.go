@@ -6,6 +6,14 @@ type Optimizer interface {
 	Step(params []*Param)
 	// SetLR sets the global learning rate for the next step.
 	SetLR(lr float64)
+	// ExportState returns the optimiser's per-parameter state
+	// (momentum velocity) in params order, for checkpointing. A
+	// parameter never stepped exports a zero vector.
+	ExportState(params []*Param) [][]float32
+	// ImportState restores state produced by ExportState; restoring
+	// it makes a resumed run continue bit-identically instead of
+	// re-warming momentum from zero.
+	ImportState(params []*Param, state [][]float32) error
 }
 
 // SetLR implements Optimizer for SGD.
@@ -78,6 +86,16 @@ func (o *LARS) Step(params []*Param) {
 			w[i] -= vel[i]
 		}
 	}
+}
+
+// ExportState implements Optimizer.
+func (o *LARS) ExportState(params []*Param) [][]float32 {
+	return exportVelocity(o.velocity, params)
+}
+
+// ImportState implements Optimizer.
+func (o *LARS) ImportState(params []*Param, state [][]float32) error {
+	return importVelocity(o.velocity, params, state)
 }
 
 // TrustRatio reports the local rate LARS would apply to one parameter

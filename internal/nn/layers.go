@@ -333,19 +333,35 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Dropout2D zeroes whole channels with probability P during training
 // (spatial dropout, as DeepLab's ASPP head uses), scaling the
-// survivors by 1/(1−P).
+// survivors by 1/(1−P). Set Rng directly, or set Seed and leave Rng
+// nil for lazy seeding (which keeps the layer reseedable per step —
+// see Reseed).
 type Dropout2D struct {
-	P   float64
-	Rng *rand.Rand
+	P    float64
+	Seed int64
+	Rng  *rand.Rand
 
 	kept []bool
 	dims [2]int
+}
+
+// Reseed repositions the mask stream to a pure function of (Seed,
+// step), detaching it from how many forward passes this instance has
+// already run. The trainer calls it every step so a replica restored
+// from a checkpoint draws exactly the masks the original run would
+// have — without it the dropout RNG's cursor is invisible training
+// state no checkpoint can capture.
+func (d *Dropout2D) Reseed(step int64) {
+	d.Rng = rand.New(rand.NewSource(d.Seed + (step+1)*6364136223846793005))
 }
 
 func (d *Dropout2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.P <= 0 {
 		d.kept = nil
 		return x
+	}
+	if d.Rng == nil {
+		d.Rng = rand.New(rand.NewSource(d.Seed))
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	spatial := h * w

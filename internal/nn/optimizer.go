@@ -47,6 +47,49 @@ func (o *SGD) Step(params []*Param) {
 	}
 }
 
+// ExportState implements Optimizer.
+func (o *SGD) ExportState(params []*Param) [][]float32 {
+	return exportVelocity(o.velocity, params)
+}
+
+// ImportState implements Optimizer.
+func (o *SGD) ImportState(params []*Param, state [][]float32) error {
+	return importVelocity(o.velocity, params, state)
+}
+
+// exportVelocity snapshots a velocity map in params order. Entries for
+// parameters the optimiser has not touched yet come out as zeros —
+// exactly the state a fresh Step would have created.
+func exportVelocity(vel map[*Param][]float32, params []*Param) [][]float32 {
+	out := make([][]float32, len(params))
+	for i, p := range params {
+		cp := make([]float32, p.W.Len())
+		copy(cp, vel[p])
+		out[i] = cp
+	}
+	return out
+}
+
+// importVelocity installs snapshotted velocity, validating shape
+// against the live parameter list.
+func importVelocity(vel map[*Param][]float32, params []*Param, state [][]float32) error {
+	if len(state) != len(params) {
+		return fmt.Errorf("nn: optimizer state has %d tensors, model has %d parameters", len(state), len(params))
+	}
+	for i, p := range params {
+		if len(state[i]) != p.W.Len() {
+			return fmt.Errorf("nn: optimizer state %d has %d values, parameter %q wants %d",
+				i, len(state[i]), p.Name, p.W.Len())
+		}
+	}
+	for i, p := range params {
+		cp := make([]float32, p.W.Len())
+		copy(cp, state[i])
+		vel[p] = cp
+	}
+	return nil
+}
+
 // PolySchedule is DeepLab's "poly" learning-rate policy with the
 // linear-scaling rule and gradual warmup from Goyal et al. — the
 // schedule the paper uses for distributed training:

@@ -1,0 +1,82 @@
+package perfsim
+
+import (
+	"testing"
+
+	"segscale/internal/faultinject"
+	"segscale/internal/telemetry"
+)
+
+// TestChaosIsDeterministic: two runs with the same chaos plan must be
+// byte-identical — the reproducibility contract behind `summit-sim
+// -chaos-seed`.
+func TestChaosIsDeterministic(t *testing.T) {
+	mk := func() Config {
+		cfg := tunedMV2(12)
+		cfg.Chaos = faultinject.RandomPlan(3, cfg.GPUs)
+		return cfg
+	}
+	a, b := run(t, mk()), run(t, mk())
+	if a.AvgStepSec != b.AvgStepSec || a.ImgPerSec != b.ImgPerSec {
+		t.Fatalf("chaos runs diverged: %.9g vs %.9g img/s", a.ImgPerSec, b.ImgPerSec)
+	}
+	if len(a.StepTimesSec) != len(b.StepTimesSec) {
+		t.Fatalf("step counts differ")
+	}
+	for i := range a.StepTimesSec {
+		if a.StepTimesSec[i] != b.StepTimesSec[i] {
+			t.Fatalf("step %d differs: %.12g vs %.12g", i, a.StepTimesSec[i], b.StepTimesSec[i])
+		}
+	}
+}
+
+// TestChaosStragglerSlowsStep: a heavy straggler window must cost
+// virtual time relative to the clean run.
+func TestChaosStragglerSlowsStep(t *testing.T) {
+	clean := run(t, tunedMV2(6))
+	cfg := tunedMV2(6)
+	cfg.Chaos = &faultinject.Plan{
+		Stragglers: []faultinject.Straggler{{Rank: 3, Factor: 3, FromStep: 0, ToStep: -1}},
+	}
+	slow := run(t, cfg)
+	if slow.AvgStepSec <= clean.AvgStepSec {
+		t.Fatalf("3× straggler did not slow the step: %.4g vs %.4g", slow.AvgStepSec, clean.AvgStepSec)
+	}
+	if slow.ComputeSec <= clean.ComputeSec {
+		t.Fatalf("straggler should extend the paced compute: %.4g vs %.4g", slow.ComputeSec, clean.ComputeSec)
+	}
+}
+
+// TestChaosMessageFaultsCostTimeAndCount: message chaos slows
+// communication and reports the injected faults on the probe.
+func TestChaosMessageFaultsCostTimeAndCount(t *testing.T) {
+	clean := run(t, tunedMV2(6))
+
+	col := telemetry.NewCollector()
+	cfg := tunedMV2(6)
+	cfg.Probe = col.NewProbe("sim", telemetry.NewStepClock())
+	cfg.Chaos = &faultinject.Plan{Seed: 5, DropRate: 0.3, DupRate: 0.2, DelayRate: 0.2}
+	faulty := run(t, cfg)
+
+	if faulty.AllreduceSec <= clean.AllreduceSec {
+		t.Fatalf("message chaos did not slow allreduce: %.4g vs %.4g", faulty.AllreduceSec, clean.AllreduceSec)
+	}
+	injected := 0.0
+	for _, m := range col.Gather() {
+		if m.Name == "faults_injected_total" {
+			injected += m.Value
+		}
+	}
+	if injected == 0 {
+		t.Fatal("faults_injected_total not reported")
+	}
+}
+
+// TestChaosValidation: an invalid plan is rejected before simulating.
+func TestChaosValidation(t *testing.T) {
+	cfg := tunedMV2(6)
+	cfg.Chaos = &faultinject.Plan{DropRate: -1}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("invalid chaos plan accepted")
+	}
+}

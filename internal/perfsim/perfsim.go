@@ -25,6 +25,7 @@ import (
 
 	"segscale/internal/des"
 	"segscale/internal/devsim"
+	"segscale/internal/faultinject"
 	"segscale/internal/horovod"
 	"segscale/internal/iosim"
 	"segscale/internal/metrics"
@@ -34,6 +35,7 @@ import (
 	"segscale/internal/telemetry"
 	"segscale/internal/timeline"
 	"segscale/internal/topology"
+	"segscale/internal/transport"
 )
 
 // Fixed framework constants (TF1-era session overhead and the
@@ -88,6 +90,15 @@ type Config struct {
 	// SlowFactor is the slowdown multiplier for SlowRanks (e.g. 1.2);
 	// values ≤ 1 are rejected when SlowRanks > 0.
 	SlowFactor float64
+	// Chaos, when non-nil, injects the plan's deterministic faults
+	// into the simulation: straggler windows multiply the affected
+	// rank's compute jitter, and message faults (drop / duplicate /
+	// delay, drawn per fused buffer from the plan's seed) cost
+	// retransmits, extra wire bytes, and reordering latency. Crash
+	// entries are ignored — the simulator models a surviving job's
+	// performance; crash-restart behaviour belongs to the real
+	// trainer. Same seed, same plan → byte-identical results.
+	Chaos *faultinject.Plan
 	// Timeline, when non-nil, records the first post-warmup step.
 	Timeline *timeline.Recorder
 	// Probe, when non-nil, receives simulation metrics on the virtual
@@ -199,6 +210,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.SlowRanks > 0 && cfg.SlowFactor <= 1 {
 		return nil, fmt.Errorf("perfsim: slow factor %g must exceed 1", cfg.SlowFactor)
+	}
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.Validate(); err != nil {
+			return nil, fmt.Errorf("perfsim: %w", err)
+		}
 	}
 
 	batch := cfg.Model.BatchPerGPU
@@ -324,6 +340,7 @@ type stepSim struct {
 	batch       int
 	world       []int
 	step        int
+	msgSeq      uint64 // fused-buffer sequence for chaos fault draws
 }
 
 // stepStats is one step's outcome. All durations are virtual seconds.
@@ -347,6 +364,7 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 	batch := s.batch
 	p := cfg.GPUs
 	cached := cfg.Horovod.ResponseCache && s.step > 0
+	stepIdx := s.step
 	s.step++
 
 	// Straggler model: the step is paced by the slowest rank; the
@@ -358,6 +376,7 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 		if r < cfg.SlowRanks {
 			j *= cfg.SlowFactor
 		}
+		j *= cfg.Chaos.StragglerFactor(r, stepIdx)
 		if j > jmax {
 			jmax = j
 		}
@@ -463,7 +482,27 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 					wireBytes = bytes / 2
 					packT += 2 * float64(bytes) / cfg.MPI.FusionPackBW
 				}
+				// Chaos: draw this buffer's fate from the plan's seed —
+				// pure hashing, so a rerun with the same plan costs
+				// exactly the same virtual time.
+				var fault transport.Fault
+				if cfg.Chaos != nil {
+					s.msgSeq++
+					fault = cfg.Chaos.Message(0, p-1, st.buffers, 0, s.msgSeq)
+				}
+				if fault == transport.FaultDuplicate {
+					wireBytes *= 2 // the spurious copy crosses the wire too
+				}
 				arT := s.net.Allreduce(alg, s.world, wireBytes)
+				switch fault {
+				case transport.FaultDrop:
+					arT *= 2 // lost buffer, one full retransmit
+				case transport.FaultDelay:
+					arT *= 1.5 // reordered behind other traffic
+				}
+				if fault != transport.FaultNone {
+					cfg.Probe.Counter("faults_injected_total").Inc()
+				}
 				st.packSec += packT
 				st.allreduceSec += arT
 				cfg.Probe.Counter("perfsim_buffers_total").Inc()

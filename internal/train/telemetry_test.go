@@ -65,9 +65,11 @@ func TestTelemetryCapturesTraining(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// One lane per rank plus the run-level "train" lane that counts
+	// recoveries.
 	probes := cfg.Telemetry.Probes()
-	if len(probes) != cfg.World {
-		t.Fatalf("probes = %d, want %d", len(probes), cfg.World)
+	if len(probes) != cfg.World+1 {
+		t.Fatalf("probes = %d, want %d", len(probes), cfg.World+1)
 	}
 
 	steps := map[string]int{}

@@ -5,15 +5,28 @@
 // follows DeepLab's poly schedule with the linear-scaling rule and
 // warmup, and evaluation merges per-rank confusion matrices into a
 // global mIOU — the paper's accuracy experiment, end to end.
+//
+// The trainer is fault-tolerant: with a chaos plan armed
+// (Config.Chaos) ranks can be crashed at scheduled steps and messages
+// dropped, duplicated, or delayed in flight. When an incarnation of
+// the world dies, Run restores every rank from the last full
+// checkpoint (weights, batch-norm statistics, optimiser velocity, and
+// the epoch/step cursor) and resumes; because data order, augmentation
+// randomness, and the schedule are all pure functions of
+// (seed, rank, epoch, step), a recovered run finishes bit-identically
+// to one that never failed — the invariant the restart-equivalence
+// test locks in.
 package train
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"segscale/internal/checkpoint"
 	"segscale/internal/deeplab"
+	"segscale/internal/faultinject"
 	"segscale/internal/horovod"
 	"segscale/internal/metrics"
 	"segscale/internal/nn"
@@ -64,9 +77,11 @@ type Config struct {
 	Optimizer string
 	// GradClip, when positive, caps the global gradient L2 norm.
 	GradClip float64
-	// CheckpointPath, when set, makes rank 0 write the model (weights
-	// + batch-norm statistics) there after every epoch — what a
-	// wall-clock-limited Summit job does between allocations.
+	// CheckpointPath, when set, makes rank 0 write the full training
+	// state (weights, batch-norm statistics, optimiser velocity,
+	// epoch/step cursor) there after every epoch — what a
+	// wall-clock-limited Summit job does between allocations, and the
+	// restore point crash recovery rolls back to.
 	CheckpointPath string
 	// ResumeFrom, when set, loads a checkpoint into every rank before
 	// training (after which ranks are trivially in sync).
@@ -75,12 +90,24 @@ type Config struct {
 	Horovod horovod.Config
 	// Seed controls data and augmentation randomness.
 	Seed int64
+	// Chaos, when non-nil, arms deterministic fault injection on the
+	// transport: scheduled rank crashes, and message drop/duplication/
+	// delay drawn from the plan's seed. Straggler entries are ignored
+	// here (they model time, which real training does not simulate;
+	// the performance simulator consumes them instead).
+	Chaos *faultinject.Plan
+	// MaxRestarts bounds how many times Run rebuilds the world after a
+	// recoverable failure (rank crash, delivery failure, timeout)
+	// before giving up and returning the error. Zero disables
+	// recovery.
+	MaxRestarts int
 	// Telemetry, when non-nil, collects per-rank spans and metrics
 	// for the whole run: each rank gets a probe on a deterministic
-	// step-counter clock (lane "rank<N>"), instrumenting the step
-	// loop, the Horovod runtime, the collectives, and the transport.
-	// Nil (the default) leaves every hot path on its one-branch
-	// no-op and must not perturb results in any way.
+	// step-counter clock (lane "rank<N>", suffixed ".r<K>" for the
+	// K-th restarted incarnation), instrumenting the step loop, the
+	// Horovod runtime, the collectives, and the transport. Nil (the
+	// default) leaves every hot path on its one-branch no-op and must
+	// not perturb results in any way.
 	Telemetry *telemetry.Collector
 }
 
@@ -128,6 +155,14 @@ func (c Config) validate() error {
 	if c.GradClip < 0 {
 		return fmt.Errorf("train: negative gradient clip %g", c.GradClip)
 	}
+	if c.MaxRestarts < 0 {
+		return fmt.Errorf("train: negative restart budget %d", c.MaxRestarts)
+	}
+	if c.Chaos != nil {
+		if err := c.Chaos.Validate(); err != nil {
+			return fmt.Errorf("train: %w", err)
+		}
+	}
 	if err := c.Horovod.Validate(); err != nil {
 		return fmt.Errorf("train: %w", err)
 	}
@@ -158,13 +193,37 @@ type Result struct {
 	BestEpoch int
 	// FinalFwIOU is the last epoch's frequency-weighted IOU.
 	FinalFwIOU float64
+	// Restarts counts how many times the world was rebuilt after a
+	// recoverable failure (0 for an unfailed run).
+	Restarts int
 }
 
 // stepBucketsOps spaces the per-rank step-duration histogram from 1
 // to 2048 step-clock ticks (operation counts, not seconds).
 var stepBucketsOps = telemetry.ExpBuckets(1, 2, 12)
 
-// Run trains and returns per-epoch metrics.
+// recoverable reports whether err is a failure checkpoint-restart can
+// mask: an injected crash, a poisoned/drained world, a delivery
+// failure after retry exhaustion, or an operation timeout. Anything
+// else (config, I/O, model errors) propagates immediately.
+func recoverable(err error) bool {
+	return errors.Is(err, faultinject.ErrCrashed) ||
+		errors.Is(err, transport.ErrRankFailed) ||
+		errors.Is(err, transport.ErrDeliveryFailed) ||
+		errors.Is(err, transport.ErrTimeout)
+}
+
+// augRNG returns the augmentation stream for (seed, rank, epoch). It
+// is re-derived at every epoch boundary — never carried across epochs
+// — so a run restored from an epoch-E checkpoint consumes exactly the
+// randomness the unfailed run would have from epoch E+1 on. Restart
+// equivalence depends on this.
+func augRNG(seed int64, rank, epoch int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*31 + int64(rank) + int64(epoch)*1_000_003))
+}
+
+// Run trains and returns per-epoch metrics, transparently recovering
+// from up to MaxRestarts recoverable world failures.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -184,15 +243,103 @@ func Run(cfg Config) (*Result, error) {
 	}
 	sched := nn.NewPolySchedule(cfg.BaseLR, totalSteps, warmup, lrWorld)
 
-	history := make([]EpochStats, cfg.Epochs)
-	var finalPerClass []float64
-	var finalFw float64
+	run := &runState{
+		cfg:           cfg,
+		mach:          mach,
+		trainSet:      trainSet,
+		evalSet:       evalSet,
+		sched:         sched,
+		stepsPerEpoch: stepsPerEpoch,
+		history:       make([]EpochStats, cfg.Epochs),
+		savedEpoch:    -1,
+		probe:         cfg.Telemetry.NewProbe("train", telemetry.NewStepClock()),
+	}
 
-	transport.Run(cfg.World, func(c *transport.Comm) {
+	restarts := 0
+	startEpoch := 0
+	for {
+		err := run.incarnation(startEpoch, restarts)
+		if err == nil {
+			break
+		}
+		if !recoverable(err) || restarts >= cfg.MaxRestarts {
+			return nil, fmt.Errorf("train: %w", err)
+		}
+		restarts++
+		run.probe.Counter("recoveries_total").Inc()
+		if run.savedEpoch >= 0 {
+			// Roll back to the last epoch rank 0 checkpointed.
+			startEpoch = run.savedEpoch + 1
+		} else {
+			// Failed before the first checkpoint (or none configured):
+			// cold restart from scratch, which is just as deterministic.
+			startEpoch = 0
+		}
+	}
+
+	res := &Result{Config: cfg, History: run.history,
+		FinalPerClassIOU: run.finalPerClass, FinalFwIOU: run.finalFw,
+		Restarts: restarts}
+	last := run.history[len(run.history)-1]
+	res.FinalMIOU = last.MIOU
+	res.FinalAcc = last.PixelAcc
+	res.BestEpoch = -1
+	for _, e := range run.history {
+		if e.MIOU > res.BestMIOU {
+			res.BestMIOU = e.MIOU
+			res.BestEpoch = e.Epoch
+		}
+	}
+	return res, nil
+}
+
+// runState carries everything that survives across incarnations of
+// the world: datasets, the schedule, accumulated history, and the
+// restore cursor. Rank goroutines of one incarnation are joined
+// before the next starts, so the non-atomic fields are safe.
+type runState struct {
+	cfg           Config
+	mach          topology.Machine
+	trainSet      *segdata.Dataset
+	evalSet       *segdata.Dataset
+	sched         nn.PolySchedule
+	stepsPerEpoch int
+
+	history       []EpochStats
+	finalPerClass []float64
+	finalFw       float64
+
+	// savedEpoch is the latest epoch whose full state rank 0 wrote to
+	// cfg.CheckpointPath this run (-1 before the first save). It — not
+	// the file's own meta — decides the restore point, so a stale file
+	// from an earlier run can never be mistaken for progress.
+	savedEpoch int
+
+	probe *telemetry.Probe
+}
+
+// incarnation builds one world and trains epochs [startEpoch, Epochs).
+// inc numbers the incarnation (0 = first attempt) and gates scheduled
+// crashes: a crash planned for incarnation k fires only there, so the
+// restarted world does not immediately re-die.
+func (rs *runState) incarnation(startEpoch, inc int) error {
+	cfg := rs.cfg
+	w, err := transport.NewWorld(cfg.World)
+	if err != nil {
+		return err
+	}
+	if cfg.Chaos != nil {
+		cfg.Chaos.Arm(w)
+	}
+	return w.Run(func(c *transport.Comm) error {
 		rank := c.Rank()
 		// Per-rank telemetry on a step-counter clock: deterministic,
 		// wall-clock-free, merged by the collector after the run.
-		probe := cfg.Telemetry.NewProbe(fmt.Sprintf("rank%d", rank), telemetry.NewStepClock())
+		lane := fmt.Sprintf("rank%d", rank)
+		if inc > 0 {
+			lane = fmt.Sprintf("rank%d.r%d", rank, inc)
+		}
+		probe := cfg.Telemetry.NewProbe(lane, telemetry.NewStepClock())
 		if probe != nil {
 			c.SetProbe(probe)
 		}
@@ -203,50 +350,85 @@ func Run(cfg Config) (*Result, error) {
 			net = deeplab.New(cfg.Model)
 		}
 		params := net.Params()
-		rt, err := horovod.NewRuntime(c, mach, cfg.Horovod)
+		rt, err := horovod.NewRuntime(c, rs.mach, cfg.Horovod)
 		if err != nil {
-			// Unreachable: cfg.validate checked the Horovod knobs and
-			// ExactFor built a matching machine; transport.Run re-raises
-			// a rank panic on the caller.
-			panic(fmt.Errorf("train: %w", err))
-		}
-		if cfg.ResumeFrom != "" {
-			if err := checkpoint.LoadFile(cfg.ResumeFrom, params, net.BatchNorms()); err != nil {
-				panic(fmt.Errorf("train: resume: %w", err))
-			}
-		}
-		rt.BroadcastParams(params)
-		if cfg.SyncBN && cfg.World > 1 {
-			for _, bn := range net.BatchNorms() {
-				bn.Sync = rt.AllreduceSumFloat64
-			}
+			return err
 		}
 
 		var opt nn.Optimizer
 		if cfg.Optimizer == "lars" {
-			opt = nn.NewLARS(sched.LR(0))
+			opt = nn.NewLARS(rs.sched.LR(0))
 		} else {
-			opt = nn.NewSGD(sched.LR(0))
+			opt = nn.NewSGD(rs.sched.LR(0))
 		}
-		shard := segdata.ShardIDs(cfg.TrainSize, cfg.World, rank)
-		rng := rand.New(rand.NewSource(cfg.Seed*31 + int64(rank)))
-		accum := cfg.Horovod.AccumPasses()
-		step := 0
 
-		for epoch := 0; epoch < cfg.Epochs; epoch++ {
-			// Epoch-deterministic shuffle, distinct per rank. Every
-			// rank runs exactly stepsPerEpoch batches (wrapping when
-			// its shard is a sample short) so the collectives stay in
-			// lockstep.
+		switch {
+		case startEpoch > 0:
+			// Crash recovery: every rank restores the full state —
+			// weights, float64 batch-norm statistics, optimiser
+			// velocity — from the last checkpoint. The file is the
+			// agreement point; the broadcast below is then a no-op but
+			// keeps the restored path on the same collective schedule
+			// as a fresh start.
+			st := checkpoint.State{Params: params, BNs: net.BatchNorms()}
+			if err := checkpoint.LoadStateFile(cfg.CheckpointPath, &st); err != nil {
+				return fmt.Errorf("restore: %w", err)
+			}
+			if st.Meta == nil || st.Meta.Epoch != startEpoch-1 {
+				return fmt.Errorf("restore: checkpoint %q is not the epoch-%d snapshot this run wrote", cfg.CheckpointPath, startEpoch-1)
+			}
+			if st.Velocity != nil {
+				if err := opt.ImportState(params, st.Velocity); err != nil {
+					return fmt.Errorf("restore: %w", err)
+				}
+			}
+		case cfg.ResumeFrom != "":
+			if err := checkpoint.LoadFile(cfg.ResumeFrom, params, net.BatchNorms()); err != nil {
+				return fmt.Errorf("resume: %w", err)
+			}
+		}
+		if err := rt.BroadcastParams(params); err != nil {
+			return err
+		}
+		if cfg.SyncBN && cfg.World > 1 {
+			for _, bn := range net.BatchNorms() {
+				// The sync closure fires mid-forward where no error can
+				// be returned; failures park in the runtime's sticky
+				// slot and surface at the next step boundary.
+				bn.Sync = func(buf []float64) {
+					rt.RecordCommErr(rt.AllreduceSumFloat64(buf))
+				}
+			}
+		}
+
+		shard := segdata.ShardIDs(cfg.TrainSize, cfg.World, rank)
+		accum := cfg.Horovod.AccumPasses()
+		step := startEpoch * rs.stepsPerEpoch
+
+		for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+			// Epoch-deterministic shuffle and augmentation stream,
+			// distinct per rank, re-derived each epoch (see augRNG).
+			// Every rank runs exactly stepsPerEpoch batches (wrapping
+			// when its shard is a sample short) so the collectives stay
+			// in lockstep.
 			perm := rand.New(rand.NewSource(cfg.Seed + int64(epoch)*101 + int64(rank))).Perm(len(shard))
+			rng := augRNG(cfg.Seed, rank, epoch)
 			epochLoss, batches := 0.0, 0
-			for s := 0; s < stepsPerEpoch; s++ {
+			for s := 0; s < rs.stepsPerEpoch; s++ {
+				if cfg.Chaos.CrashAt(rank, step, inc) {
+					c.Kill()
+					return fmt.Errorf("chaos: rank %d crashed at step %d (incarnation %d): %w",
+						rank, step, inc, faultinject.ErrCrashed)
+				}
 				stepSpan := probe.Span(timeline.PhaseStep, "step")
+				// Dropout masks keyed by the global step, not by how
+				// many forwards this replica has run — restart-safe.
+				net.ReseedDropout(int64(step))
 				ids := make([]int, 0, cfg.BatchPerRank)
 				for k := 0; k < cfg.BatchPerRank; k++ {
 					ids = append(ids, shard[perm[(s*cfg.BatchPerRank+k)%len(shard)]])
 				}
-				x, labels := trainSet.Batch(ids)
+				x, labels := rs.trainSet.Batch(ids)
 				if cfg.Augment {
 					// DeepLab's recipe: random scale jitter + crop,
 					// then random horizontal flip.
@@ -258,6 +440,9 @@ func Run(cfg Config) (*Result, error) {
 				fwdBwd := probe.Span(timeline.PhaseForward, "loss")
 				loss := net.Loss(x, labels, segdata.IgnoreLabel, true)
 				fwdBwd.End()
+				if err := rt.CommErr(); err != nil {
+					return err // a SyncBN reduction failed mid-forward
+				}
 				// Gradient accumulation (backward_passes_per_step):
 				// communicate and update only every accum-th pass.
 				if (s+1)%accum == 0 {
@@ -266,11 +451,13 @@ func Run(cfg Config) (*Result, error) {
 							p.G.Scale(1 / float32(accum))
 						}
 					}
-					rt.AllreduceGrads(params)
+					if err := rt.AllreduceGrads(params); err != nil {
+						return err
+					}
 					if cfg.GradClip > 0 {
 						nn.GlobalGradClip(params, cfg.GradClip)
 					}
-					opt.SetLR(sched.LR(step))
+					opt.SetLR(rs.sched.LR(step))
 					opt.Step(params)
 					nn.ZeroGrads(params)
 				}
@@ -282,49 +469,52 @@ func Run(cfg Config) (*Result, error) {
 			}
 
 			// Global metrics: average loss, merged confusion matrix.
-			avgLoss := rt.AllreduceScalar(epochLoss / float64(batches))
-			conf := evaluate(net, evalSet, cfg.World, rank)
-			rt.AllreduceCounts(conf.M)
+			avgLoss, err := rt.AllreduceScalar(epochLoss / float64(batches))
+			if err != nil {
+				return err
+			}
+			conf := evaluate(net, rs.evalSet, cfg.World, rank)
+			if err := rt.AllreduceCounts(conf.M); err != nil {
+				return err
+			}
 			if rank == 0 {
-				history[epoch] = EpochStats{
+				rs.history[epoch] = EpochStats{
 					Epoch:    epoch,
 					Loss:     avgLoss,
 					MIOU:     conf.MeanIOU(),
 					PixelAcc: conf.PixelAccuracy(),
-					LR:       sched.LR(step - 1),
+					LR:       rs.sched.LR(step - 1),
 				}
 				if cfg.CheckpointPath != "" {
-					if err := checkpoint.SaveFile(cfg.CheckpointPath, params, net.BatchNorms()); err != nil {
-						panic(fmt.Errorf("train: checkpoint: %w", err))
+					st := checkpoint.State{
+						Params:   params,
+						BNs:      net.BatchNorms(),
+						Velocity: opt.ExportState(params),
+						Meta:     &checkpoint.Meta{Epoch: epoch, Step: step},
 					}
+					if err := checkpoint.SaveStateFile(cfg.CheckpointPath, st); err != nil {
+						return fmt.Errorf("checkpoint: %w", err)
+					}
+					rs.savedEpoch = epoch
 				}
 				if epoch == cfg.Epochs-1 {
-					finalPerClass = make([]float64, segdata.NumClasses)
-					for k := range finalPerClass {
+					rs.finalPerClass = make([]float64, segdata.NumClasses)
+					for k := range rs.finalPerClass {
 						if iou, ok := conf.IOU(k); ok {
-							finalPerClass[k] = iou
+							rs.finalPerClass[k] = iou
 						} else {
-							finalPerClass[k] = math.NaN()
+							rs.finalPerClass[k] = math.NaN()
 						}
 					}
-					finalFw = conf.FreqWeightedIOU()
+					rs.finalFw = conf.FreqWeightedIOU()
 				}
 			}
-			c.Barrier()
+			if err := c.Barrier(); err != nil {
+				return err
+			}
 		}
+		return nil
 	})
-	res := &Result{Config: cfg, History: history, FinalPerClassIOU: finalPerClass, FinalFwIOU: finalFw}
-	last := history[len(history)-1]
-	res.FinalMIOU = last.MIOU
-	res.FinalAcc = last.PixelAcc
-	res.BestEpoch = -1
-	for _, e := range history {
-		if e.MIOU > res.BestMIOU {
-			res.BestMIOU = e.MIOU
-			res.BestEpoch = e.Epoch
-		}
-	}
-	return res, nil
 }
 
 // evaluate runs this rank's slice of the eval set through the model

@@ -296,12 +296,9 @@ func TestCheckpointAndResume(t *testing.T) {
 	cfg3 := fastCfg()
 	cfg3.Epochs = 1
 	cfg3.ResumeFrom = dir + "/missing.segc"
-	defer func() {
-		if recover() == nil {
-			t.Error("missing resume checkpoint did not fail")
-		}
-	}()
-	Run(cfg3)
+	if _, err := Run(cfg3); err == nil {
+		t.Error("missing resume checkpoint did not fail")
+	}
 }
 
 func TestConfigArchDefaults(t *testing.T) {

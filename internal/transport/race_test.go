@@ -16,18 +16,26 @@ func TestBarrierHappensBefore(t *testing.T) {
 	const n = 8
 	const iters = 200
 	shared := make([]int, n)
-	Run(n, func(c *Comm) {
+	err := Run(n, func(c *Comm) error {
 		for it := 1; it <= iters; it++ {
 			shared[c.Rank()] = it
-			c.Barrier()
+			if err := c.Barrier(); err != nil {
+				return err
+			}
 			for r := 0; r < n; r++ {
 				if shared[r] != it {
 					t.Errorf("iter %d rank %d saw slot %d = %d", it, c.Rank(), r, shared[r])
 				}
 			}
-			c.Barrier()
+			if err := c.Barrier(); err != nil {
+				return err
+			}
 		}
+		return nil
 	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 }
 
 // TestBarrierManyRanksLooping stresses the generation counter with a
@@ -36,11 +44,17 @@ func TestBarrierHappensBefore(t *testing.T) {
 func TestBarrierManyRanksLooping(t *testing.T) {
 	const n = 32
 	const iters = 500
-	Run(n, func(c *Comm) {
+	err := Run(n, func(c *Comm) error {
 		for it := 0; it < iters; it++ {
-			c.Barrier()
+			if err := c.Barrier(); err != nil {
+				return err
+			}
 		}
+		return nil
 	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 }
 
 // TestBarrierInterleavedWithTraffic mixes barrier crossings with ring
@@ -49,18 +63,29 @@ func TestBarrierManyRanksLooping(t *testing.T) {
 func TestBarrierInterleavedWithTraffic(t *testing.T) {
 	const n = 6
 	const iters = 100
-	Run(n, func(c *Comm) {
+	err := Run(n, func(c *Comm) error {
 		next := (c.Rank() + 1) % n
 		prev := (c.Rank() - 1 + n) % n
 		for it := 0; it < iters; it++ {
-			c.Send(next, it, []float32{float32(c.Rank()), float32(it)})
-			got := c.Recv(prev, it)
+			if err := c.Send(next, it, []float32{float32(c.Rank()), float32(it)}); err != nil {
+				return err
+			}
+			got, err := c.Recv(prev, it)
+			if err != nil {
+				return err
+			}
 			if int(got[0]) != prev || int(got[1]) != it {
 				t.Errorf("rank %d iter %d got %v", c.Rank(), it, got)
 			}
-			c.Barrier()
+			if err := c.Barrier(); err != nil {
+				return err
+			}
 		}
+		return nil
 	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 }
 
 // TestSendSnapshotUnderRace mutates the send buffer immediately after
@@ -68,21 +93,30 @@ func TestBarrierInterleavedWithTraffic(t *testing.T) {
 // writer would race with the receiver's read and -race would flag it.
 func TestSendSnapshotUnderRace(t *testing.T) {
 	const iters = 300
-	Run(2, func(c *Comm) {
+	err := Run(2, func(c *Comm) error {
 		buf := []float32{0}
 		for it := 0; it < iters; it++ {
 			if c.Rank() == 0 {
 				buf[0] = float32(it)
-				c.Send(1, it, buf)
+				if err := c.Send(1, it, buf); err != nil {
+					return err
+				}
 				buf[0] = -1 // would race with rank 1's read if Send aliased
 			} else {
-				got := c.Recv(0, it)
+				got, err := c.Recv(0, it)
+				if err != nil {
+					return err
+				}
 				if got[0] != float32(it) {
 					t.Errorf("iter %d got %g", it, got[0])
 				}
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 }
 
 // TestConcurrentWorlds runs several independent worlds at once; their
@@ -94,11 +128,17 @@ func TestConcurrentWorlds(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			Run(4, func(c *Comm) {
+			err := Run(4, func(c *Comm) error {
 				for it := 0; it < 50; it++ {
-					c.Barrier()
+					if err := c.Barrier(); err != nil {
+						return err
+					}
 				}
+				return nil
 			})
+			if err != nil {
+				t.Errorf("Run: %v", err)
+			}
 		}()
 	}
 	wg.Wait()

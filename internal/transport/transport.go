@@ -5,30 +5,139 @@
 // the *functional* half of the reproduction, where gradient averaging
 // actually happens. Timing is not modelled here; that is
 // internal/netmodel's job.
+//
+// The layer is chaos-testable: a World accepts a fault Injector
+// (drop, duplicate, delay per delivery attempt), a RetryPolicy that
+// bounds redelivery of dropped messages, an operation timeout, and a
+// per-rank Kill switch that simulates a rank crash. Every blocking
+// operation returns a wrapped error — ErrRankFailed, ErrTimeout,
+// ErrDeliveryFailed — instead of deadlocking, so the layers above can
+// drain and the training loop can run checkpoint-restart recovery.
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"segscale/internal/telemetry"
 	"segscale/internal/timeline"
 )
 
-// message is one in-flight payload.
+// message is one in-flight payload. seq is the per-(src,dst)-pair
+// sequence number: receivers consume the lowest matching seq (FIFO
+// within a tag even under injected reordering) and use it to
+// deduplicate injected duplicates.
 type message struct {
+	seq  uint64
 	tag  int
 	data []float32
+}
+
+// mailbox is the (src,dst) pair's delivery queue. Unlike a bare
+// channel it supports tag-scanned, seq-ordered consumption, injected
+// reordering (held messages), and waking blocked peers on rank death.
+type mailbox struct {
+	mu sync.Mutex
+	// q holds visible messages in arrival order.
+	q []message
+	// held holds delay-faulted messages: invisible until the next
+	// enqueue on the pair or until the receiver runs dry (starvation
+	// flush), which bounds how long a delay can defer delivery.
+	held    []message
+	nextSeq uint64
+	// notify is closed and replaced whenever delivery state changes;
+	// receivers snapshot it under mu and wait outside the lock.
+	notify chan struct{}
+	// space is closed and replaced whenever queue slots free up;
+	// flow-controlled senders wait on it.
+	space chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{notify: make(chan struct{}), space: make(chan struct{})}
+}
+
+// wakeRecv signals receivers that delivery state changed. Caller
+// holds mu.
+func (mb *mailbox) wakeRecv() {
+	close(mb.notify)
+	mb.notify = make(chan struct{})
+}
+
+// wakeSend signals flow-controlled senders that space freed up.
+// Caller holds mu.
+func (mb *mailbox) wakeSend() {
+	close(mb.space)
+	mb.space = make(chan struct{})
+}
+
+// flushHeld makes delay-faulted messages visible. Caller holds mu.
+func (mb *mailbox) flushHeld() {
+	if len(mb.held) == 0 {
+		return
+	}
+	mb.q = append(mb.q, mb.held...)
+	mb.held = mb.held[:0]
+}
+
+// take removes and returns the lowest-seq message with the given tag,
+// along with every duplicate of it. Starved lookups flush held
+// messages before giving up. Caller holds mu.
+func (mb *mailbox) take(tag int) (message, bool) {
+	best := mb.scan(tag)
+	if best < 0 && len(mb.held) > 0 {
+		mb.flushHeld()
+		best = mb.scan(tag)
+	}
+	if best < 0 {
+		return message{}, false
+	}
+	m := mb.q[best]
+	kept := mb.q[:0]
+	for _, e := range mb.q {
+		if e.seq != m.seq {
+			kept = append(kept, e)
+		}
+	}
+	mb.q = kept
+	return m, true
+}
+
+// scan returns the index of the lowest-seq visible message with the
+// given tag, or -1. Caller holds mu.
+func (mb *mailbox) scan(tag int) int {
+	best := -1
+	for i, m := range mb.q {
+		if m.tag == tag && (best < 0 || m.seq < mb.q[best].seq) {
+			best = i
+		}
+	}
+	return best
 }
 
 // World owns the mailboxes for a fixed set of ranks.
 type World struct {
 	n int
-	// mail[dst][src] is the FIFO channel for src→dst traffic.
-	mail [][]chan message
+	// boxes[dst][src] is the queue for src→dst traffic.
+	boxes [][]*mailbox
+
+	// Chaos knobs; set before traffic starts (see fault.go).
+	inj       Injector
+	retry     RetryPolicy
+	opTimeout time.Duration
+
+	// mu guards the failure state.
+	mu       sync.Mutex
+	dead     []bool
+	poisoned bool
+	// deathCh is closed on the first Kill; every blocked operation
+	// selects on it so the whole world drains instead of deadlocking
+	// against the dead rank.
+	deathCh chan struct{}
 
 	barrierMu  sync.Mutex
-	barrierGen int
 	barrierCnt int
 	barrierCh  chan struct{}
 }
@@ -37,20 +146,28 @@ type World struct {
 // buffering this deep lets ring algorithms run without rendezvous.
 const mailboxDepth = 64
 
-// NewWorld creates a world with n ranks.
-func NewWorld(n int) *World {
+// NewWorld creates a world with n ranks. A non-positive size is a
+// configuration error, reported rather than panicked so callers
+// threading user-supplied world sizes can unwind cleanly.
+func NewWorld(n int) (*World, error) {
 	if n <= 0 {
-		panic(fmt.Sprintf("transport: world size %d", n))
+		return nil, fmt.Errorf("transport: world size %d", n)
 	}
-	w := &World{n: n, barrierCh: make(chan struct{})}
-	w.mail = make([][]chan message, n)
-	for dst := range w.mail {
-		w.mail[dst] = make([]chan message, n)
-		for src := range w.mail[dst] {
-			w.mail[dst][src] = make(chan message, mailboxDepth)
+	w := &World{
+		n:         n,
+		retry:     DefaultRetry,
+		dead:      make([]bool, n),
+		deathCh:   make(chan struct{}),
+		barrierCh: make(chan struct{}),
+	}
+	w.boxes = make([][]*mailbox, n)
+	for dst := range w.boxes {
+		w.boxes[dst] = make([]*mailbox, n)
+		for src := range w.boxes[dst] {
+			w.boxes[dst][src] = newMailbox()
 		}
 	}
-	return w
+	return w, nil
 }
 
 // Size returns the number of ranks.
@@ -61,7 +178,50 @@ func (w *World) Comm(r int) *Comm {
 	if r < 0 || r >= w.n {
 		panic(fmt.Sprintf("transport: rank %d outside world of %d", r, w.n))
 	}
-	return &Comm{w: w, rank: r, pending: make(map[int][]message)}
+	return &Comm{w: w, rank: r}
+}
+
+// kill marks rank r dead and poisons the world: deathCh wakes every
+// blocked operation and all subsequent ones fail fast.
+func (w *World) kill(r int) {
+	w.mu.Lock()
+	if !w.dead[r] {
+		w.dead[r] = true
+		if !w.poisoned {
+			w.poisoned = true
+			close(w.deathCh)
+		}
+	}
+	w.mu.Unlock()
+}
+
+// failure returns the world's terminal error, or nil while healthy.
+func (w *World) failure() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.poisoned {
+		return nil
+	}
+	var dead []int
+	for r, d := range w.dead {
+		if d {
+			dead = append(dead, r)
+		}
+	}
+	return fmt.Errorf("world draining after failure of rank(s) %v: %w", dead, ErrRankFailed)
+}
+
+// FailedRanks returns the ranks that have died so far.
+func (w *World) FailedRanks() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var dead []int
+	for r, d := range w.dead {
+		if d {
+			dead = append(dead, r)
+		}
+	}
+	return dead
 }
 
 // Comm is one rank's communicator. A Comm is owned by a single
@@ -69,8 +229,6 @@ func (w *World) Comm(r int) *Comm {
 type Comm struct {
 	w    *World
 	rank int
-	// pending holds messages received out of tag order, keyed by src.
-	pending map[int][]message
 
 	// probe and the cached instruments below are nil until SetProbe;
 	// the nil-safe telemetry methods make every uninstrumented
@@ -81,11 +239,14 @@ type Comm struct {
 	sentBytes *telemetry.Counter
 	recvBytes *telemetry.Counter
 	barriers  *telemetry.Counter
+	faults    *telemetry.Counter
+	retries   *telemetry.Counter
 }
 
 // SetProbe attaches per-rank telemetry to this communicator: message
 // and byte counters on the send/recv path, a counter plus span per
-// barrier. A nil probe detaches.
+// barrier, and the chaos counters (injected faults, retries). A nil
+// probe detaches.
 func (c *Comm) SetProbe(p *telemetry.Probe) {
 	c.probe = p
 	c.sends = p.Counter("transport_sends_total")
@@ -93,6 +254,8 @@ func (c *Comm) SetProbe(p *telemetry.Probe) {
 	c.sentBytes = p.Counter("transport_sent_bytes")
 	c.recvBytes = p.Counter("transport_received_bytes")
 	c.barriers = p.Counter("transport_barriers_total")
+	c.faults = p.Counter("faults_injected_total")
+	c.retries = p.Counter("retries_total")
 }
 
 // Probe returns the attached telemetry probe (nil when
@@ -106,94 +269,236 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.w.n }
 
-// Send delivers a copy of data to dst with the given tag. It blocks
-// only when the pair's mailbox is full (flow control).
-func (c *Comm) Send(dst, tag int, data []float32) {
-	if dst == c.rank {
-		panic("transport: send to self")
+// Kill marks this rank dead — the in-process analogue of a rank
+// crash. The world drains: every blocked and subsequent operation on
+// any rank returns an ErrRankFailed-wrapped error, which is what lets
+// the training loop detect the failure and restart from a checkpoint.
+func (c *Comm) Kill() { c.w.kill(c.rank) }
+
+// opTimer returns the per-operation timeout channel (nil = never
+// fires) and its stop function.
+func (c *Comm) opTimer() (<-chan time.Time, func()) {
+	if d := c.w.opTimeout; d > 0 {
+		t := time.NewTimer(d)
+		return t.C, func() { t.Stop() }
 	}
+	return nil, func() {}
+}
+
+// Send delivers a copy of data to dst with the given tag. It blocks
+// only when the pair's mailbox is full (flow control). Injected drops
+// are retried under the world's RetryPolicy; exhausting it fails the
+// send (and the rank) with ErrDeliveryFailed.
+func (c *Comm) Send(dst, tag int, data []float32) error {
+	if dst == c.rank {
+		return fmt.Errorf("transport: rank %d send to self", c.rank)
+	}
+	if dst < 0 || dst >= c.w.n {
+		return fmt.Errorf("transport: send to rank %d outside world of %d", dst, c.w.n)
+	}
+	if err := c.w.failure(); err != nil {
+		return fmt.Errorf("transport: send %d→%d tag %d: %w", c.rank, dst, tag, err)
+	}
+	mb := c.w.boxes[dst][c.rank]
+	mb.mu.Lock()
+	seq := mb.nextSeq
+	mb.nextSeq++
+	mb.mu.Unlock()
+
+	fault := FaultNone
+	if inj := c.w.inj; inj != nil {
+		for attempt := 0; ; attempt++ {
+			f := inj.Message(c.rank, dst, tag, attempt, seq)
+			if f == FaultNone {
+				break
+			}
+			c.faults.Inc()
+			if f != FaultDrop {
+				fault = f
+				break
+			}
+			if attempt+1 >= c.w.retry.MaxAttempts {
+				c.w.kill(c.rank)
+				return fmt.Errorf("transport: send %d→%d tag %d seq %d: all %d attempts dropped: %w",
+					c.rank, dst, tag, seq, attempt+1, ErrDeliveryFailed)
+			}
+			c.retries.Inc()
+			if b := c.w.retry.Backoff; b > 0 {
+				time.Sleep(b)
+			}
+		}
+	}
+
 	cp := make([]float32, len(data))
 	copy(cp, data)
+	if err := c.enqueue(mb, message{seq: seq, tag: tag, data: cp}, fault); err != nil {
+		return fmt.Errorf("transport: send %d→%d tag %d: %w", c.rank, dst, tag, err)
+	}
 	c.sends.Inc()
 	c.sentBytes.Add(float64(4 * len(data)))
-	c.w.mail[dst][c.rank] <- message{tag: tag, data: cp}
+	return nil
+}
+
+// enqueue places m into mb under flow control, applying a duplicate
+// or delay fault at delivery time.
+func (c *Comm) enqueue(mb *mailbox, m message, fault Fault) error {
+	timeout, stop := c.opTimer()
+	defer stop()
+	for {
+		mb.mu.Lock()
+		if len(mb.q)+len(mb.held) < mailboxDepth {
+			switch fault {
+			case FaultDelay:
+				mb.held = append(mb.held, m)
+			case FaultDuplicate:
+				mb.q = append(mb.q, m, m)
+				mb.flushHeld()
+			default:
+				mb.q = append(mb.q, m)
+				mb.flushHeld()
+			}
+			// Wake receivers even for held messages: a starved
+			// receiver flushes them, so a delay can never deadlock.
+			mb.wakeRecv()
+			mb.mu.Unlock()
+			return nil
+		}
+		space := mb.space
+		mb.mu.Unlock()
+		if err := c.w.failure(); err != nil {
+			return err
+		}
+		select {
+		case <-space:
+		case <-c.w.deathCh:
+		case <-timeout:
+			c.w.kill(c.rank)
+			return fmt.Errorf("waiting for mailbox space: %w", ErrTimeout)
+		}
+	}
 }
 
 // Recv blocks until a message from src with the given tag arrives and
-// returns its payload. Messages from src with other tags are held
-// aside and delivered to later matching Recvs.
-func (c *Comm) Recv(src, tag int) []float32 {
+// returns its payload. Messages from src with other tags stay queued
+// for later matching Recvs; within a tag, messages are delivered in
+// send order (lowest sequence number first) even when the injector
+// reorders arrival.
+func (c *Comm) Recv(src, tag int) ([]float32, error) {
 	if src == c.rank {
-		panic("transport: recv from self")
+		return nil, fmt.Errorf("transport: rank %d recv from self", c.rank)
 	}
-	// Check the hold-aside buffer first.
-	q := c.pending[src]
-	for i, m := range q {
-		if m.tag == tag {
-			c.pending[src] = append(q[:i:i], q[i+1:]...)
-			c.recvs.Inc()
-			c.recvBytes.Add(float64(4 * len(m.data)))
-			return m.data
-		}
+	if src < 0 || src >= c.w.n {
+		return nil, fmt.Errorf("transport: recv from rank %d outside world of %d", src, c.w.n)
 	}
+	mb := c.w.boxes[c.rank][src]
+	timeout, stop := c.opTimer()
+	defer stop()
 	for {
-		m := <-c.w.mail[c.rank][src]
-		if m.tag == tag {
+		mb.mu.Lock()
+		if m, ok := mb.take(tag); ok {
+			mb.wakeSend()
+			mb.mu.Unlock()
 			c.recvs.Inc()
 			c.recvBytes.Add(float64(4 * len(m.data)))
-			return m.data
+			return m.data, nil
 		}
-		c.pending[src] = append(c.pending[src], m)
+		notify := mb.notify
+		mb.mu.Unlock()
+		// Queued messages stay drainable above; only a dry queue in a
+		// poisoned world fails.
+		if err := c.w.failure(); err != nil {
+			return nil, fmt.Errorf("transport: recv %d←%d tag %d: %w", c.rank, src, tag, err)
+		}
+		select {
+		case <-notify:
+		case <-c.w.deathCh:
+		case <-timeout:
+			c.w.kill(c.rank)
+			return nil, fmt.Errorf("transport: recv %d←%d tag %d: %w", c.rank, src, tag, ErrTimeout)
+		}
 	}
 }
 
 // RecvInto is Recv but copies the payload into dst, which must match
 // the message length.
-func (c *Comm) RecvInto(src, tag int, dst []float32) {
-	m := c.Recv(src, tag)
+func (c *Comm) RecvInto(src, tag int, dst []float32) error {
+	m, err := c.Recv(src, tag)
+	if err != nil {
+		return err
+	}
 	if len(m) != len(dst) {
-		panic(fmt.Sprintf("transport: recv length %d into buffer %d", len(m), len(dst)))
+		return fmt.Errorf("transport: recv %d←%d tag %d: length %d into buffer %d",
+			c.rank, src, tag, len(m), len(dst))
 	}
 	copy(dst, m)
+	return nil
 }
 
 // SendRecv posts a send to dst and then receives from src — the
 // classic ring-step primitive. The eager mailbox keeps this
 // deadlock-free for cycles shorter than mailboxDepth.
-func (c *Comm) SendRecv(dst, sendTag int, data []float32, src, recvTag int) []float32 {
-	c.Send(dst, sendTag, data)
+func (c *Comm) SendRecv(dst, sendTag int, data []float32, src, recvTag int) ([]float32, error) {
+	if err := c.Send(dst, sendTag, data); err != nil {
+		return nil, err
+	}
 	return c.Recv(src, recvTag)
 }
 
-// Barrier blocks until all ranks in the world have called it.
-func (c *Comm) Barrier() {
+// Barrier blocks until all ranks in the world have called it, or
+// until a rank dies (every waiter then returns ErrRankFailed — drain
+// semantics, even if the barrier happened to complete concurrently).
+func (c *Comm) Barrier() error {
 	c.barriers.Inc()
 	sp := c.probe.Span(timeline.PhaseBarrier, "barrier")
 	defer sp.End()
 	w := c.w
+	if err := w.failure(); err != nil {
+		return fmt.Errorf("transport: barrier rank %d: %w", c.rank, err)
+	}
 	w.barrierMu.Lock()
 	w.barrierCnt++
 	if w.barrierCnt == w.n {
 		w.barrierCnt = 0
-		w.barrierGen++
 		close(w.barrierCh)
 		w.barrierCh = make(chan struct{})
 		w.barrierMu.Unlock()
-		return
+		return nil
 	}
 	ch := w.barrierCh
 	w.barrierMu.Unlock()
-	<-ch
+	timeout, stop := c.opTimer()
+	defer stop()
+	select {
+	case <-ch:
+		return nil
+	case <-w.deathCh:
+		return fmt.Errorf("transport: barrier rank %d: %w", c.rank, w.failure())
+	case <-timeout:
+		w.kill(c.rank)
+		return fmt.Errorf("transport: barrier rank %d: %w", c.rank, ErrTimeout)
+	}
 }
 
 // Run spawns fn on every rank of a fresh world and waits for all to
-// return. Any rank panic is re-raised on the caller after all other
-// ranks finish or deadlock is avoided via buffered channels.
-func Run(n int, fn func(c *Comm)) {
-	w := NewWorld(n)
+// return. Rank errors are aggregated (wrapped with the rank) into the
+// returned error; any rank panic is re-raised on the caller.
+func Run(n int, fn func(c *Comm) error) error {
+	w, err := NewWorld(n)
+	if err != nil {
+		return err
+	}
+	return w.Run(fn)
+}
+
+// Run spawns fn on every rank of this world and waits for all to
+// return, aggregating per-rank errors. It is the entry point for
+// worlds that need chaos configuration (SetInjector, SetOpTimeout)
+// before traffic starts.
+func (w *World) Run(fn func(c *Comm) error) error {
 	var wg sync.WaitGroup
-	panics := make(chan any, n)
-	for r := 0; r < n; r++ {
+	panics := make(chan any, w.n)
+	errs := make([]error, w.n)
+	for r := 0; r < w.n; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
@@ -202,7 +507,7 @@ func Run(n int, fn func(c *Comm)) {
 					panics <- p
 				}
 			}()
-			fn(w.Comm(rank))
+			errs[rank] = fn(w.Comm(rank))
 		}(r)
 	}
 	wg.Wait()
@@ -211,4 +516,11 @@ func Run(n int, fn func(c *Comm)) {
 		panic(p)
 	default:
 	}
+	var agg []error
+	for r, err := range errs {
+		if err != nil {
+			agg = append(agg, fmt.Errorf("rank %d: %w", r, err))
+		}
+	}
+	return errors.Join(agg...)
 }

@@ -1,24 +1,42 @@
 package transport
 
 import (
+	"errors"
+	"strings"
 	"sync"
 	"testing"
 )
 
+// mustWorld builds a world or fails the test.
+func mustWorld(t *testing.T, n int) *World {
+	t.Helper()
+	w, err := NewWorld(n)
+	if err != nil {
+		t.Fatalf("NewWorld(%d): %v", n, err)
+	}
+	return w
+}
+
 func TestSendRecvBasic(t *testing.T) {
-	w := NewWorld(2)
+	w := mustWorld(t, 2)
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
 		c := w.Comm(0)
-		c.Send(1, 7, []float32{1, 2, 3})
+		if err := c.Send(1, 7, []float32{1, 2, 3}); err != nil {
+			t.Errorf("send: %v", err)
+		}
 	}()
 	var got []float32
 	go func() {
 		defer wg.Done()
 		c := w.Comm(1)
-		got = c.Recv(0, 7)
+		var err error
+		got, err = c.Recv(0, 7)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+		}
 	}()
 	wg.Wait()
 	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
@@ -27,13 +45,19 @@ func TestSendRecvBasic(t *testing.T) {
 }
 
 func TestSendCopiesPayload(t *testing.T) {
-	w := NewWorld(2)
+	w := mustWorld(t, 2)
 	src := []float32{1, 2, 3}
 	done := make(chan []float32)
 	go func() {
-		done <- w.Comm(1).Recv(0, 0)
+		got, err := w.Comm(1).Recv(0, 0)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+		}
+		done <- got
 	}()
-	w.Comm(0).Send(1, 0, src)
+	if err := w.Comm(0).Send(1, 0, src); err != nil {
+		t.Fatalf("send: %v", err)
+	}
 	src[0] = 99 // mutate after send; receiver must see the original
 	got := <-done
 	if got[0] != 1 {
@@ -42,86 +66,100 @@ func TestSendCopiesPayload(t *testing.T) {
 }
 
 func TestTagMatchingOutOfOrder(t *testing.T) {
-	w := NewWorld(2)
+	w := mustWorld(t, 2)
 	c0, c1 := w.Comm(0), w.Comm(1)
-	c0.Send(1, 1, []float32{1})
-	c0.Send(1, 2, []float32{2})
-	// Receive tag 2 first: tag-1 message must be held aside.
-	if got := c1.Recv(0, 2); got[0] != 2 {
+	must(t, c0.Send(1, 1, []float32{1}))
+	must(t, c0.Send(1, 2, []float32{2}))
+	// Receive tag 2 first: tag-1 message must stay queued.
+	if got := recvOK(t, c1, 0, 2); got[0] != 2 {
 		t.Fatalf("tag 2 recv got %v", got)
 	}
-	if got := c1.Recv(0, 1); got[0] != 1 {
+	if got := recvOK(t, c1, 0, 1); got[0] != 1 {
 		t.Fatalf("tag 1 recv got %v", got)
 	}
 }
 
+// must fails the test on a transport error.
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("transport op: %v", err)
+	}
+}
+
+// recvOK receives or fails the test.
+func recvOK(t *testing.T, c *Comm, src, tag int) []float32 {
+	t.Helper()
+	got, err := c.Recv(src, tag)
+	if err != nil {
+		t.Fatalf("recv %d←%d tag %d: %v", c.Rank(), src, tag, err)
+	}
+	return got
+}
+
 func TestPendingPreservesFIFOWithinTag(t *testing.T) {
-	w := NewWorld(2)
+	w := mustWorld(t, 2)
 	c0, c1 := w.Comm(0), w.Comm(1)
-	c0.Send(1, 5, []float32{10})
-	c0.Send(1, 9, []float32{99})
-	c0.Send(1, 5, []float32{20})
-	if got := c1.Recv(0, 9); got[0] != 99 {
+	must(t, c0.Send(1, 5, []float32{10}))
+	must(t, c0.Send(1, 9, []float32{99}))
+	must(t, c0.Send(1, 5, []float32{20}))
+	if got := recvOK(t, c1, 0, 9); got[0] != 99 {
 		t.Fatalf("tag 9 got %v", got)
 	}
-	if got := c1.Recv(0, 5); got[0] != 10 {
+	if got := recvOK(t, c1, 0, 5); got[0] != 10 {
 		t.Fatalf("first tag-5 got %v", got)
 	}
-	if got := c1.Recv(0, 5); got[0] != 20 {
+	if got := recvOK(t, c1, 0, 5); got[0] != 20 {
 		t.Fatalf("second tag-5 got %v", got)
 	}
 }
 
 func TestRecvInto(t *testing.T) {
-	w := NewWorld(2)
+	w := mustWorld(t, 2)
 	go w.Comm(0).Send(1, 0, []float32{4, 5})
 	buf := make([]float32, 2)
-	w.Comm(1).RecvInto(0, 0, buf)
+	must(t, w.Comm(1).RecvInto(0, 0, buf))
 	if buf[0] != 4 || buf[1] != 5 {
 		t.Fatalf("buf = %v", buf)
 	}
 }
 
-func TestRecvIntoLengthMismatchPanics(t *testing.T) {
-	w := NewWorld(2)
-	w.Comm(0).Send(1, 0, []float32{1})
-	defer func() {
-		if recover() == nil {
-			t.Error("length mismatch did not panic")
-		}
-	}()
-	w.Comm(1).RecvInto(0, 0, make([]float32, 3))
+func TestRecvIntoLengthMismatch(t *testing.T) {
+	w := mustWorld(t, 2)
+	must(t, w.Comm(0).Send(1, 0, []float32{1}))
+	err := w.Comm(1).RecvInto(0, 0, make([]float32, 3))
+	if err == nil || !strings.Contains(err.Error(), "length") {
+		t.Fatalf("length mismatch error = %v", err)
+	}
 }
 
-func TestSelfSendRecvPanic(t *testing.T) {
-	w := NewWorld(2)
+func TestSelfSendRecvErrors(t *testing.T) {
+	w := mustWorld(t, 2)
 	c := w.Comm(0)
-	for _, f := range []func(){
-		func() { c.Send(0, 0, nil) },
-		func() { c.Recv(0, 0) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("self send/recv did not panic")
-				}
-			}()
-			f()
-		}()
+	if err := c.Send(0, 0, nil); err == nil {
+		t.Error("self send did not error")
+	}
+	if _, err := c.Recv(0, 0); err == nil {
+		t.Error("self recv did not error")
+	}
+	if err := c.Send(5, 0, nil); err == nil {
+		t.Error("out-of-world send did not error")
+	}
+	if _, err := c.Recv(-1, 0); err == nil {
+		t.Error("out-of-world recv did not error")
 	}
 }
 
 func TestWorldValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("NewWorld(0) did not panic")
+	for _, n := range []int{0, -3} {
+		if _, err := NewWorld(n); err == nil {
+			t.Errorf("NewWorld(%d) did not error", n)
 		}
-	}()
-	NewWorld(0)
+	}
 }
 
 func TestCommRankBounds(t *testing.T) {
-	w := NewWorld(2)
+	w := mustWorld(t, 2)
 	defer func() {
 		if recover() == nil {
 			t.Error("out-of-range rank did not panic")
@@ -134,18 +172,23 @@ func TestBarrier(t *testing.T) {
 	const n = 8
 	counter := 0
 	var mu sync.Mutex
-	Run(n, func(c *Comm) {
+	err := Run(n, func(c *Comm) error {
 		mu.Lock()
 		counter++
 		mu.Unlock()
-		c.Barrier()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
 		mu.Lock()
 		if counter != n {
 			t.Errorf("rank %d passed barrier with counter %d", c.Rank(), counter)
 		}
 		mu.Unlock()
-		c.Barrier()
+		return c.Barrier()
 	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 }
 
 func TestRunPropagatesPanic(t *testing.T) {
@@ -154,22 +197,49 @@ func TestRunPropagatesPanic(t *testing.T) {
 			t.Error("rank panic not propagated")
 		}
 	}()
-	Run(2, func(c *Comm) {
+	Run(2, func(c *Comm) error {
 		if c.Rank() == 1 {
 			panic("rank 1 died")
 		}
+		return nil
 	})
+}
+
+func TestRunAggregatesErrors(t *testing.T) {
+	sentinel := errors.New("rank 1 refused")
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run error %v does not wrap rank error", err)
+	}
+}
+
+func TestRunRejectsBadWorldSize(t *testing.T) {
+	if err := Run(0, func(c *Comm) error { return nil }); err == nil {
+		t.Fatal("Run(0) did not error")
+	}
 }
 
 func TestRingExchange(t *testing.T) {
 	const n = 6
 	results := make([]float32, n)
-	Run(n, func(c *Comm) {
+	err := Run(n, func(c *Comm) error {
 		next := (c.Rank() + 1) % n
 		prev := (c.Rank() - 1 + n) % n
-		got := c.SendRecv(next, 0, []float32{float32(c.Rank())}, prev, 0)
+		got, err := c.SendRecv(next, 0, []float32{float32(c.Rank())}, prev, 0)
+		if err != nil {
+			return err
+		}
 		results[c.Rank()] = got[0]
+		return nil
 	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	for r := 0; r < n; r++ {
 		want := float32((r - 1 + n) % n)
 		if results[r] != want {
@@ -181,20 +251,28 @@ func TestRingExchange(t *testing.T) {
 func TestManyMessagesDoNotDeadlock(t *testing.T) {
 	// More messages than one mailbox depth, consumed concurrently.
 	const msgs = 500
-	Run(2, func(c *Comm) {
+	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			for i := 0; i < msgs; i++ {
-				c.Send(1, i%3, []float32{float32(i)})
+				if err := c.Send(1, i%3, []float32{float32(i)}); err != nil {
+					return err
+				}
 			}
-		} else {
-			seen := 0
-			for i := 0; i < msgs; i++ {
-				c.Recv(0, i%3)
-				seen++
-			}
-			if seen != msgs {
-				t.Errorf("received %d of %d", seen, msgs)
-			}
+			return nil
 		}
+		seen := 0
+		for i := 0; i < msgs; i++ {
+			if _, err := c.Recv(0, i%3); err != nil {
+				return err
+			}
+			seen++
+		}
+		if seen != msgs {
+			t.Errorf("received %d of %d", seen, msgs)
+		}
+		return nil
 	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 }

@@ -27,6 +27,7 @@ import (
 	"segscale/internal/checkpoint"
 	"segscale/internal/core"
 	"segscale/internal/deeplab"
+	"segscale/internal/faultinject"
 	"segscale/internal/horovod"
 	"segscale/internal/iosim"
 	"segscale/internal/jobscript"
@@ -68,7 +69,22 @@ type (
 	Telemetry = telemetry.Collector
 	// TelemetryProbe is one lane's instrumentation handle.
 	TelemetryProbe = telemetry.Probe
+	// ChaosPlan is a deterministic fault-injection plan: seed-driven
+	// message drop/duplication/delay rates, scheduled rank crashes,
+	// and straggler windows. Attach one via TrainConfig.Chaos (real
+	// training with checkpoint-restart recovery) or SimOptions.Chaos
+	// (performance simulation).
+	ChaosPlan = faultinject.Plan
 )
+
+// ParseChaosSpec parses a compact chaos-plan spec such as
+// "seed=7;drop=0.01;crash=1@40;slow=2*1.5@10-60". See
+// faultinject.ParseSpec for the clause grammar.
+func ParseChaosSpec(spec string) (*ChaosPlan, error) { return faultinject.ParseSpec(spec) }
+
+// RandomChaosPlan derives a recoverable chaos plan (low-rate message
+// faults plus one straggler, no crashes) entirely from the seed.
+func RandomChaosPlan(seed int64, world int) *ChaosPlan { return faultinject.RandomPlan(seed, world) }
 
 // NewTelemetry returns an empty telemetry collector. Attach it via
 // TrainConfig.Telemetry or SimOptions.Telemetry, then export with its
@@ -119,6 +135,9 @@ type SimOptions struct {
 	// (step-time and per-buffer communication histograms, wire-byte
 	// counters, DES queue depth) on a lane named after the GPU count.
 	Telemetry *Telemetry
+	// Chaos, when non-nil, injects deterministic faults (stragglers,
+	// message drop/duplication/delay) into the simulated run.
+	Chaos *ChaosPlan
 }
 
 // Simulate runs the performance simulator for one configuration.
@@ -135,7 +154,7 @@ func Simulate(opts SimOptions) (*SimResult, error) {
 		GPUs: opts.GPUs, Model: opts.Model, MPI: opts.MPI,
 		Horovod: opts.Horovod, Seed: opts.Seed, Steps: opts.Steps,
 		Placement: placement, IO: opts.IO,
-		Timeline: opts.Timeline, Probe: probe,
+		Timeline: opts.Timeline, Probe: probe, Chaos: opts.Chaos,
 	})
 }
 
