@@ -9,7 +9,7 @@ FUZZTIME  ?= 10s
 COVER_FLOOR ?= 74.0
 COVER_OUT   ?= /tmp/segscale-cover.out
 
-.PHONY: build test race lint vet fuzz-smoke trace-smoke chaos-smoke cover ci
+.PHONY: build test race lint vet fuzz-smoke trace-smoke chaos-smoke cover bench-json bench-check ci
 
 build:
 	go build ./...
@@ -47,6 +47,19 @@ chaos-smoke:
 	go run ./cmd/summit-sim -gpus 1,6,24 -chaos-seed 1 > /tmp/segscale-chaos-b.txt
 	diff /tmp/segscale-chaos-a.txt /tmp/segscale-chaos-b.txt
 
+# bench-json regenerates the committed performance baseline (full
+# timing iterations). Run it on kernel or allocation-path changes and
+# commit the result; docs/PERFORMANCE.md explains how to read it.
+bench-json:
+	go run ./cmd/segbench -o BENCH_kernels.json
+
+# bench-check is the CI gate: a -fast run must match the committed
+# baseline's schema and benchmark set, and may not allocate more per
+# op. Timing deltas are advisory (CI hardware varies; allocation
+# counts, measured at GOMAXPROCS=1, do not).
+bench-check:
+	go run ./cmd/segbench -fast -o /tmp/segscale-bench.json -check BENCH_kernels.json
+
 cover:
 	go test -count=1 -coverprofile=$(COVER_OUT) ./...
 	@total=$$(go tool cover -func=$(COVER_OUT) | tail -n 1 | awk '{print $$3}' | tr -d '%'); \
@@ -54,4 +67,4 @@ cover:
 		if (t+0 < f+0) { printf "FAIL: coverage %.1f%% below floor %.1f%%\n", t, f; exit 1 } \
 		printf "coverage %.1f%% >= floor %.1f%%\n", t, f }'
 
-ci: build lint test race fuzz-smoke trace-smoke chaos-smoke cover
+ci: build lint test race fuzz-smoke trace-smoke chaos-smoke bench-check cover

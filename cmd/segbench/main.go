@@ -1,0 +1,286 @@
+// Command segbench is the repository's performance-baseline harness.
+// It measures the hot kernels (tiled vs reference matmul at the
+// DeepLab head's GEMM shape), the workspace-pooled convolution, a full
+// single-rank training step (img/s and allocs/step), and the
+// performance simulator, then writes the results as a machine-readable
+// JSON report (BENCH_kernels.json at the repo root is the committed
+// baseline).
+//
+// Modes:
+//
+//	segbench                         # full run, report to stdout
+//	segbench -o BENCH_kernels.json   # regenerate the committed baseline
+//	segbench -fast                   # single-iteration timings (CI)
+//	segbench -fast -check BENCH_kernels.json
+//	                                 # CI gate: schema/keys must match the
+//	                                 # baseline and allocation counts must
+//	                                 # not regress; timing deltas are
+//	                                 # advisory only (CI machines vary,
+//	                                 # allocation counts do not)
+//
+// Benchmark keys and shapes are identical in both modes — -fast only
+// reduces timing iterations — so a -fast run is always comparable to a
+// full-mode baseline on everything -check enforces.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"segscale/internal/deeplab"
+	"segscale/internal/horovod"
+	"segscale/internal/model"
+	"segscale/internal/mpiprofile"
+	"segscale/internal/nn"
+	"segscale/internal/perfsim"
+	"segscale/internal/segdata"
+	"segscale/internal/tensor"
+)
+
+// schemaVersion is bumped whenever the report layout or the benchmark
+// set changes incompatibly; -check refuses to compare across versions.
+const schemaVersion = 1
+
+// Entry is one benchmark's measurements.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// ImgPerSec is set for benchmarks with a natural image-throughput
+	// reading: measured for the training step, simulated for perfsim.
+	ImgPerSec float64 `json:"img_per_sec,omitempty"`
+}
+
+// Report is the file format of BENCH_kernels.json.
+type Report struct {
+	Schema     int                `json:"schema"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	GoVersion  string             `json:"go_version"`
+	Fast       bool               `json:"fast"`
+	Benchmarks map[string]Entry   `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+// bench times fn over iters runs (after one untimed warmup) and counts
+// steady-state allocations. testing.AllocsPerRun pins GOMAXPROCS to 1
+// for its measurement, which is exactly what makes the counts
+// machine-independent and therefore CI-comparable; the timing loop
+// runs at ambient GOMAXPROCS.
+func bench(iters int, fn func()) Entry {
+	fn() // warmup: grow arenas, fault in scratch pools
+	allocs := testing.AllocsPerRun(1, fn)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return Entry{
+		NsPerOp:     float64(time.Since(start).Nanoseconds()) / float64(iters),
+		AllocsPerOp: allocs,
+	}
+}
+
+// matmulDims is the DeepLab-head GEMM the tentpole kernel is judged
+// on: 256 filters × (256 channels · 3·3 taps) × 33·33 spatial.
+const mmM, mmK, mmN = 256, 2304, 1089
+
+func benchMatmul(iters int, tiled bool) Entry {
+	a := tensor.New(mmM, mmK)
+	b := tensor.New(mmK, mmN)
+	c := tensor.New(mmM, mmN)
+	fill(a.Data, 1)
+	fill(b.Data, 2)
+	if tiled {
+		return bench(iters, func() { tensor.MatMulInto(c, a, b, false) })
+	}
+	return bench(iters, func() { tensor.MatMulRefInto(c, a, b, false) })
+}
+
+func benchConv(iters int, backward bool) Entry {
+	ws := tensor.NewWorkspace()
+	x := tensor.New(2, 32, 33, 33)
+	w := tensor.New(64, 32, 3, 3)
+	fill(x.Data, 3)
+	fill(w.Data, 4)
+	spec := tensor.ConvSpec{Pad: 1}
+	out := tensor.Conv2DWS(x, w, spec, ws)
+	dout := tensor.New(out.Shape...)
+	fill(dout.Data, 5)
+	if backward {
+		return bench(iters, func() {
+			ws.Reset()
+			tensor.Conv2DBackwardWS(x, w, dout, spec, ws)
+		})
+	}
+	return bench(iters, func() {
+		ws.Reset()
+		tensor.Conv2DWS(x, w, spec, ws)
+	})
+}
+
+// benchTrainStep measures one full single-rank training step —
+// dropout reseed, forward, loss, backward, optimiser update, gradient
+// zeroing — with the workspace threaded through, the configuration the
+// trainer actually runs.
+func benchTrainStep(iters int) Entry {
+	cfg := deeplab.DefaultConfig()
+	net := deeplab.New(cfg)
+	ws := tensor.NewWorkspace()
+	net.SetWorkspace(ws)
+	params := net.Params()
+	opt := nn.NewSGD(0.05)
+	const batch = 4
+	ds := segdata.New(batch, cfg.InputSize, cfg.InputSize, 7)
+	x, labels := ds.Batch([]int{0, 1, 2, 3})
+	e := bench(iters, func() {
+		ws.Reset()
+		net.ReseedDropout(3)
+		net.Loss(x, labels, segdata.IgnoreLabel, true)
+		opt.Step(params)
+		nn.ZeroGrads(params)
+	})
+	e.ImgPerSec = batch / (e.NsPerOp / 1e9)
+	return e
+}
+
+// benchPerfsim runs the 132-GPU simulator; NsPerOp is the simulator's
+// own execution cost, ImgPerSec the simulated training throughput.
+func benchPerfsim(iters int) Entry {
+	cfg := perfsim.Config{
+		GPUs:    132,
+		Model:   model.DLv3Plus(),
+		MPI:     mpiprofile.MV2GDR(),
+		Horovod: horovod.Default(),
+		Seed:    1,
+	}
+	var simImgs float64
+	e := bench(iters, func() {
+		res, err := perfsim.Run(cfg)
+		if err != nil {
+			fatalf("perfsim: %v", err)
+		}
+		simImgs = res.ImgPerSec
+	})
+	e.ImgPerSec = simImgs
+	return e
+}
+
+func fill(d []float32, seed uint32) {
+	s := seed
+	for i := range d {
+		s = s*1664525 + 1013904223 // LCG: deterministic, no rand import
+		d[i] = float32(s>>8)/float32(1<<24) - 0.5
+	}
+}
+
+func run(fast bool) *Report {
+	iters := 5
+	if fast {
+		iters = 1
+	}
+	r := &Report{
+		Schema:     schemaVersion,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Fast:       fast,
+		Benchmarks: map[string]Entry{},
+		Derived:    map[string]float64{},
+	}
+	r.Benchmarks["matmul_tiled_256x2304x1089"] = benchMatmul(iters, true)
+	r.Benchmarks["matmul_ref_256x2304x1089"] = benchMatmul(iters, false)
+	r.Benchmarks["conv2d_fwd_ws"] = benchConv(iters, false)
+	r.Benchmarks["conv2d_bwd_ws"] = benchConv(iters, true)
+	r.Benchmarks["train_step_rank0"] = benchTrainStep(iters)
+	r.Benchmarks["perfsim_132gpu"] = benchPerfsim(iters)
+
+	r.Derived["matmul_speedup_vs_ref"] =
+		r.Benchmarks["matmul_ref_256x2304x1089"].NsPerOp /
+			r.Benchmarks["matmul_tiled_256x2304x1089"].NsPerOp
+	r.Derived["train_allocs_per_step"] = r.Benchmarks["train_step_rank0"].AllocsPerOp
+	return r
+}
+
+// allocSlack absorbs the ±1 rounding AllocsPerRun can exhibit on
+// counts near zero; a leaked activation costs far more than one.
+const allocSlack = 2
+
+// check compares cur against the committed baseline. Schema and the
+// benchmark key set must match exactly, and no benchmark may allocate
+// more than its baseline plus slack. Timing deltas are printed but
+// never fail the check.
+func check(cur *Report, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	if base.Schema != cur.Schema {
+		return fmt.Errorf("schema mismatch: baseline %d, current %d — regenerate the baseline (make bench-json)", base.Schema, cur.Schema)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			return fmt.Errorf("benchmark %q in baseline but not produced by this binary", name)
+		}
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			return fmt.Errorf("benchmark %q not in baseline — regenerate it (make bench-json)", name)
+		}
+	}
+	var failed bool
+	for name, b := range base.Benchmarks {
+		c := cur.Benchmarks[name]
+		if c.AllocsPerOp > b.AllocsPerOp+allocSlack {
+			failed = true
+			fmt.Fprintf(os.Stderr, "FAIL %s: allocs/op %.0f, baseline %.0f\n",
+				name, c.AllocsPerOp, b.AllocsPerOp)
+		}
+		if b.NsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, "time %s: %.2fms vs baseline %.2fms (%+.1f%%, advisory)\n",
+				name, c.NsPerOp/1e6, b.NsPerOp/1e6, 100*(c.NsPerOp-b.NsPerOp)/b.NsPerOp)
+		}
+	}
+	if failed {
+		return fmt.Errorf("allocation regression against %s", baselinePath)
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "segbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	fast := flag.Bool("fast", false, "single-iteration timings (CI mode; allocation counts are unaffected)")
+	out := flag.String("o", "", "write the JSON report to this file instead of stdout")
+	baseline := flag.String("check", "", "compare against a committed baseline report; non-zero exit on schema/key mismatch or allocation regression")
+	flag.Parse()
+
+	r := run(*fast)
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "segbench: wrote %s\n", *out)
+	} else {
+		os.Stdout.Write(enc)
+	}
+	if *baseline != "" {
+		if err := check(r, *baseline); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintln(os.Stderr, "segbench: baseline check passed")
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
+	"runtime"
 
 	"segscale/internal/nn"
 )
@@ -278,25 +280,62 @@ func LoadFile(path string, params []*nn.Param, bns []*nn.BatchNorm2D) error {
 	return LoadStateFile(path, &st)
 }
 
-// SaveStateFile writes a full snapshot atomically (temp file +
-// rename), so a crash mid-write can never leave a torn checkpoint
-// behind for the recovery path to trip over.
+// SaveStateFile writes a full snapshot atomically and durably:
+//
+//   - The temp file is created with os.CreateTemp in the target
+//     directory (unique name per call), so two concurrent saves to the
+//     same path can never clobber each other's half-written temp — a
+//     fixed "path.tmp" name would let them — and the rename can never
+//     cross a filesystem boundary.
+//   - The file is fsynced before the rename, and the parent directory
+//     after it. Rename-without-fsync is the classic crash-durability
+//     bug: after a power loss the recovery path could find a
+//     zero-length or torn "complete" checkpoint, the one state the
+//     atomic-rename protocol exists to rule out.
+//   - Every error path removes the temp file; a failed save leaves the
+//     directory exactly as it found it.
 func SaveStateFile(path string, st State) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := SaveState(f, st); err != nil {
+	tmp := f.Name()
+	cleanup := func(err error) error {
 		f.Close()
 		os.Remove(tmp)
 		return err
+	}
+	if err := SaveState(f, st); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Windows cannot open directories for writing; the rename itself is
+// the best available there, so the sync is skipped rather than failed.
+func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // LoadStateFile restores a full snapshot from disk.

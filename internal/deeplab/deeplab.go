@@ -154,6 +154,13 @@ func (b *xblock) BatchNorms() []*nn.BatchNorm2D {
 	return out
 }
 
+func (b *xblock) SetWorkspace(ws *tensor.Workspace) {
+	b.body.SetWorkspace(ws)
+	if s, ok := b.shortcut.(nn.WorkspaceUser); ok {
+		s.SetWorkspace(ws)
+	}
+}
+
 // aspp is the Atrous Spatial Pyramid Pooling head: a 1×1 branch,
 // three atrous 3×3 branches, and an image-pooling branch, concatenated
 // and projected.
@@ -167,6 +174,19 @@ type aspp struct {
 	featH    int
 	featW    int
 	branchIn *tensor.Tensor
+	ws       *tensor.Workspace
+}
+
+func (a *aspp) SetWorkspace(ws *tensor.Workspace) {
+	a.ws = ws
+	for _, b := range a.branches {
+		if u, ok := b.(nn.WorkspaceUser); ok {
+			u.SetWorkspace(ws)
+		}
+	}
+	a.poolConv.SetWorkspace(ws)
+	a.project.SetWorkspace(ws)
+	a.dropout.SetWorkspace(ws)
 }
 
 func newASPP(rng *rand.Rand, inC, branchC, outC int, rates [3]int, drop float64) *aspp {
@@ -201,22 +221,22 @@ func newASPP(rng *rand.Rand, inC, branchC, outC int, rates [3]int, drop float64)
 func (a *aspp) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	a.featH, a.featW = x.Dim(2), x.Dim(3)
 	a.branchIn = x
-	outs := make([]*tensor.Tensor, 0, 5)
-	for _, b := range a.branches {
-		outs = append(outs, b.Forward(x, train))
+	var outs [5]*tensor.Tensor
+	for i, b := range a.branches {
+		outs[i] = b.Forward(x, train)
 	}
-	pooled := tensor.GlobalAvgPool(x)
+	pooled := tensor.GlobalAvgPoolWS(x, a.ws)
 	pooled = a.poolConv.Forward(pooled, train)
-	outs = append(outs, tensor.BilinearResize(pooled, a.featH, a.featW))
-	cat := nn.ConcatChannels(outs...)
+	outs[4] = tensor.BilinearResizeWS(pooled, a.featH, a.featW, a.ws)
+	cat := nn.ConcatChannelsWS(a.ws, outs[:]...)
 	return a.dropout.Forward(a.project.Forward(cat, train), train)
 }
 
 func (a *aspp) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	dout = a.dropout.Backward(dout)
 	dcat := a.project.Backward(dout)
-	sizes := []int{a.branchC, a.branchC, a.branchC, a.branchC, a.branchC}
-	parts := nn.SplitChannels(dcat, sizes)
+	sizes := [5]int{a.branchC, a.branchC, a.branchC, a.branchC, a.branchC}
+	parts := nn.SplitChannelsWS(dcat, sizes[:], a.ws)
 	var dx *tensor.Tensor
 	for i, b := range a.branches {
 		g := b.Backward(parts[i])
@@ -227,9 +247,9 @@ func (a *aspp) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// Pool branch: resize adjoint → conv → spread over the extent.
-	dpool := tensor.BilinearResizeBackward(parts[4], 1, 1)
+	dpool := tensor.BilinearResizeBackwardWS(parts[4], 1, 1, a.ws)
 	dpool = a.poolConv.Backward(dpool)
-	dx.Add(tensor.GlobalAvgPoolBackward(dpool, a.featH, a.featW))
+	dx.Add(tensor.GlobalAvgPoolBackwardWS(dpool, a.featH, a.featW, a.ws))
 	return dx
 }
 
@@ -268,10 +288,28 @@ type Model struct {
 	classifier *nn.Conv2D
 
 	params []*nn.Param
+	ws     *tensor.Workspace
 
 	// Cached activations for the backward pass.
 	lowFeat *tensor.Tensor
 	lowC    int
+}
+
+// SetWorkspace implements Segmenter: every layer and the model's own
+// resize/concat/pool glue draw from ws.
+func (m *Model) SetWorkspace(ws *tensor.Workspace) {
+	m.ws = ws
+	m.entry.SetWorkspace(ws)
+	m.down.SetWorkspace(ws)
+	for _, b := range m.deep {
+		b.SetWorkspace(ws)
+	}
+	m.head.SetWorkspace(ws)
+	if !m.Cfg.NoDecoder {
+		m.decLow.SetWorkspace(ws)
+		m.decoder.SetWorkspace(ws)
+	}
+	m.classifier.SetWorkspace(ws)
 }
 
 // New constructs the model with deterministic initialisation.
@@ -370,19 +408,19 @@ func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		// DeepLab-v3: classify the ASPP output directly and
 		// upsample 4× to the input resolution.
 		logits := m.classifier.Forward(enc, train)
-		return tensor.BilinearResize(logits, m.Cfg.InputSize, m.Cfg.InputSize)
+		return tensor.BilinearResizeWS(logits, m.Cfg.InputSize, m.Cfg.InputSize, m.ws)
 	}
 
 	// Decoder: upsample encoder output to OS2, fuse with reduced
 	// low-level features, refine, classify, upsample to input size.
 	os2 := m.Cfg.InputSize / 2
-	up := tensor.BilinearResize(enc, os2, os2)
+	up := tensor.BilinearResizeWS(enc, os2, os2, m.ws)
 	m.lowC = up.Dim(1)
 	lowRed := m.decLow.Forward(low, train)
-	fused := nn.ConcatChannels(up, lowRed)
+	fused := nn.ConcatChannelsWS(m.ws, up, lowRed)
 	fused = m.decoder.Forward(fused, train)
 	logits := m.classifier.Forward(fused, train)
-	return tensor.BilinearResize(logits, m.Cfg.InputSize, m.Cfg.InputSize)
+	return tensor.BilinearResizeWS(logits, m.Cfg.InputSize, m.Cfg.InputSize, m.ws)
 }
 
 // Backward propagates d(loss)/d(logits) through the whole graph,
@@ -393,7 +431,7 @@ func (m *Model) Backward(dlogits *tensor.Tensor) {
 	os4 := m.Cfg.InputSize / 4
 
 	if m.Cfg.NoDecoder {
-		d := tensor.BilinearResizeBackward(dlogits, os4, os4)
+		d := tensor.BilinearResizeBackwardWS(dlogits, os4, os4, m.ws)
 		d = m.classifier.Backward(d)
 		d = m.head.Backward(d)
 		for i := len(m.deep) - 1; i >= 0; i-- {
@@ -405,14 +443,15 @@ func (m *Model) Backward(dlogits *tensor.Tensor) {
 		return
 	}
 
-	d := tensor.BilinearResizeBackward(dlogits, os2, os2)
+	d := tensor.BilinearResizeBackwardWS(dlogits, os2, os2, m.ws)
 	d = m.classifier.Backward(d)
 	d = m.decoder.Backward(d)
-	parts := nn.SplitChannels(d, []int{m.lowC, d.Dim(1) - m.lowC})
+	sizes := [2]int{m.lowC, d.Dim(1) - m.lowC}
+	parts := nn.SplitChannelsWS(d, sizes[:], m.ws)
 	dUp, dLowRed := parts[0], parts[1]
 
 	dLow := m.decLow.Backward(dLowRed)
-	dEnc := tensor.BilinearResizeBackward(dUp, os4, os4)
+	dEnc := tensor.BilinearResizeBackwardWS(dUp, os4, os4, m.ws)
 	dEnc = m.head.Backward(dEnc)
 	for i := len(m.deep) - 1; i >= 0; i-- {
 		dEnc = m.deep[i].Backward(dEnc)
@@ -426,7 +465,7 @@ func (m *Model) Backward(dlogits *tensor.Tensor) {
 // returning the loss and leaving gradients accumulated on Params.
 func (m *Model) Loss(x *tensor.Tensor, labels []int32, ignore int32, train bool) float64 {
 	logits := m.Forward(x, train)
-	loss, dlogits := tensor.SoftmaxCrossEntropy(logits, labels, ignore)
+	loss, dlogits := tensor.SoftmaxCrossEntropyWS(logits, labels, ignore, m.ws)
 	if train {
 		m.Backward(dlogits)
 	}

@@ -20,6 +20,10 @@ type Segmenter interface {
 	// given global step, making them a pure function of (model seed,
 	// step) — the property checkpoint-restart recovery needs.
 	ReseedDropout(step int64)
+	// SetWorkspace installs a tensor.Workspace arena all activations
+	// and kernel scratch are drawn from. The trainer Resets it at each
+	// step boundary; nil (the default) keeps plain heap allocation.
+	SetWorkspace(ws *tensor.Workspace)
 }
 
 // FCN is the no-atrous, no-ASPP, no-skip baseline: a plain strided
@@ -29,6 +33,14 @@ type FCN struct {
 	Cfg  Config
 	net  *nn.Sequential
 	head *nn.Sequential
+	ws   *tensor.Workspace
+}
+
+// SetWorkspace implements Segmenter.
+func (f *FCN) SetWorkspace(ws *tensor.Workspace) {
+	f.ws = ws
+	f.net.SetWorkspace(ws)
+	f.head.SetWorkspace(ws)
 }
 
 // NewFCN builds the baseline at a comparable parameter budget.
@@ -76,7 +88,7 @@ func (f *FCN) BatchNorms() []*nn.BatchNorm2D {
 
 func (f *FCN) Loss(x *tensor.Tensor, labels []int32, ignore int32, train bool) float64 {
 	logits := f.Forward(x, train)
-	loss, dlogits := tensor.SoftmaxCrossEntropy(logits, labels, ignore)
+	loss, dlogits := tensor.SoftmaxCrossEntropyWS(logits, labels, ignore, f.ws)
 	if train {
 		f.Backward(dlogits)
 	}

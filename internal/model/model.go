@@ -154,7 +154,10 @@ const activationLiveFactor = 3
 // memory: model state + batch × activations (with a small framework
 // workspace reserve).
 func (p *Profile) MaxBatchPerGPU() int {
-	const workspace = 1 << 30 // cuDNN workspaces, fusion buffer, slack
+	// cuDNN workspaces, fusion buffer, allocator slack — the GPU-side
+	// analogue of the CPU trainer's pooled tensor.Workspace arena
+	// (docs/PERFORMANCE.md).
+	const workspace = 1 << 30
 	free := V100MemoryBytes - workspace - modelStateFactor*4*p.TotalParams()
 	if free <= 0 {
 		return 0

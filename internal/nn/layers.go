@@ -8,6 +8,15 @@ import (
 	"segscale/internal/tensor"
 )
 
+// WorkspaceUser is implemented by layers that can draw their
+// activations and scratch from a tensor.Workspace arena instead of the
+// heap. Trainers install one workspace per model replica and Reset it
+// at each step boundary; a nil workspace (the default) falls back to
+// plain heap allocation everywhere.
+type WorkspaceUser interface {
+	SetWorkspace(ws *tensor.Workspace)
+}
+
 // Conv2D is a convolution layer (optionally with bias). Dilation > 1
 // makes it an atrous convolution; Groups == in-channels makes it
 // depthwise.
@@ -16,8 +25,13 @@ type Conv2D struct {
 	w    *Param
 	b    *Param // nil when bias is disabled
 
-	x *tensor.Tensor // cached input
+	x  *tensor.Tensor // cached input
+	ws *tensor.Workspace
 }
+
+// SetWorkspace installs the arena forward/backward activations and
+// im2col scratch are drawn from.
+func (c *Conv2D) SetWorkspace(ws *tensor.Workspace) { c.ws = ws }
 
 // NewConv2D creates a conv layer with He-initialised weights.
 func NewConv2D(rng *rand.Rand, name string, inC, outC, k int, spec tensor.ConvSpec, bias bool) *Conv2D {
@@ -39,7 +53,7 @@ func NewConv2D(rng *rand.Rand, name string, inC, outC, k int, spec tensor.ConvSp
 
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.x = x
-	out := tensor.Conv2D(x, c.w.W, c.Spec)
+	out := tensor.Conv2DWS(x, c.w.W, c.Spec, c.ws)
 	if c.b != nil {
 		n, f, oh, ow := out.Dim(0), out.Dim(1), out.Dim(2), out.Dim(3)
 		spatial := oh * ow
@@ -60,7 +74,7 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if c.x == nil {
 		panic("nn: conv backward before forward")
 	}
-	dx, dw := tensor.Conv2DBackward(c.x, c.w.W, dout, c.Spec)
+	dx, dw := tensor.Conv2DBackwardWS(c.x, c.w.W, dout, c.Spec, c.ws)
 	c.w.G.Add(dw)
 	if c.b != nil {
 		n, f, oh, ow := dout.Dim(0), dout.Dim(1), dout.Dim(2), dout.Dim(3)
@@ -114,6 +128,27 @@ type BatchNorm2D struct {
 	invStd   []float64
 	count    float64 // global pixel count per channel
 	lastEval bool
+
+	ws *tensor.Workspace
+	// Reused float64 reduction buffers (channel count is fixed per
+	// layer, so one allocation serves every step).
+	sums, corr []float64
+}
+
+// SetWorkspace installs the arena the normalised activations are
+// drawn from.
+func (bn *BatchNorm2D) SetWorkspace(ws *tensor.Workspace) { bn.ws = ws }
+
+// f64buf returns buf resized to n, reallocating only on growth.
+func f64buf(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // NewBatchNorm2D creates a batch-norm layer for c channels.
@@ -139,15 +174,16 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	spatial := h * w
 	cnt := float64(n * spatial)
-	out := tensor.New(n, c, h, w)
+	out := bn.ws.GetRaw(n, c, h, w) // every element written below
 	bn.lastEval = !train
 
-	mean := make([]float64, c)
-	invStd := make([]float64, c)
+	mean := f64buf(bn.mean, c)
+	invStd := f64buf(bn.invStd, c)
 	if train {
 		// Per-channel sums; with Sync these become global sums over
 		// every rank's batch.
-		sums := make([]float64, 2*c+1)
+		sums := f64buf(bn.sums, 2*c+1)
+		bn.sums = sums
 		for ch := 0; ch < c; ch++ {
 			var s, s2 float64
 			for i := 0; i < n; i++ {
@@ -184,7 +220,7 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	}
 
-	xhat := tensor.New(n, c, h, w)
+	xhat := bn.ws.GetRaw(n, c, h, w) // every element written below
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
 			g := bn.gamma.W.Data[ch]
@@ -214,12 +250,13 @@ func (bn *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if bn.Sync != nil && !bn.lastEval {
 		cnt = bn.count
 	}
-	dx := tensor.New(n, c, h, w)
+	dx := bn.ws.GetRaw(n, c, h, w) // every element written below
 
 	// Per-channel local sums: dgamma, dbeta, Σdxhat, Σdxhat·xhat.
 	// With Sync, the correction sums become global (dgamma/dbeta stay
 	// local: the gradient allreduce handles parameters).
-	corr := make([]float64, 2*c)
+	corr := f64buf(bn.corr, 2*c)
+	bn.corr = corr
 	for ch := 0; ch < c; ch++ {
 		gamma := float64(bn.gamma.W.Data[ch])
 		var dgamma, dbeta float64
@@ -297,35 +334,45 @@ func (s *Sequential) BatchNorms() []*BatchNorm2D {
 
 func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.gamma, bn.beta} }
 
-// ReLU is the rectified linear activation.
+// ReLU is the rectified linear activation. Instead of materialising a
+// boolean mask it keeps the input tensor alive until backward and
+// re-tests the sign — the input is workspace-owned and valid until the
+// step's Reset, so this costs no extra memory.
 type ReLU struct {
-	mask []bool
+	x  *tensor.Tensor
+	ws *tensor.Workspace
 }
 
+// SetWorkspace installs the arena activations are drawn from.
+func (r *ReLU) SetWorkspace(ws *tensor.Workspace) { r.ws = ws }
+
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
-	r.mask = make([]bool, x.Len())
-	for i, v := range out.Data {
+	r.x = x
+	out := r.ws.GetRaw(x.Shape...)
+	for i, v := range x.Data {
 		if v <= 0 {
 			out.Data[i] = 0
 		} else {
-			r.mask[i] = true
+			out.Data[i] = v
 		}
 	}
 	return out
 }
 
 func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	if r.mask == nil {
+	if r.x == nil {
 		panic("nn: relu backward before forward")
 	}
-	dx := dout.Clone()
-	for i := range dx.Data {
-		if !r.mask[i] {
+	dx := r.ws.GetRaw(dout.Shape...)
+	xd := r.x.Data
+	for i, g := range dout.Data {
+		if xd[i] <= 0 {
 			dx.Data[i] = 0
+		} else {
+			dx.Data[i] = g
 		}
 	}
-	r.mask = nil
+	r.x = nil
 	return dx
 }
 
@@ -341,9 +388,14 @@ type Dropout2D struct {
 	Seed int64
 	Rng  *rand.Rand
 
-	kept []bool
-	dims [2]int
+	kept   []bool // reused across steps; valid only while active
+	active bool   // a training forward ran and backward is pending
+	dims   [2]int
+	ws     *tensor.Workspace
 }
+
+// SetWorkspace installs the arena activations are drawn from.
+func (d *Dropout2D) SetWorkspace(ws *tensor.Workspace) { d.ws = ws }
 
 // Reseed repositions the mask stream to a pure function of (Seed,
 // step), detaching it from how many forward passes this instance has
@@ -357,25 +409,35 @@ func (d *Dropout2D) Reseed(step int64) {
 
 func (d *Dropout2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.P <= 0 {
-		d.kept = nil
+		d.active = false
 		return x
 	}
+	d.active = true
 	if d.Rng == nil {
 		d.Rng = rand.New(rand.NewSource(d.Seed))
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	spatial := h * w
-	out := tensor.New(n, c, h, w)
-	d.kept = make([]bool, n*c)
+	out := d.ws.GetRaw(n, c, h, w) // both branches below write fully
+	if cap(d.kept) < n*c {
+		d.kept = make([]bool, n*c)
+	} else {
+		d.kept = d.kept[:n*c]
+	}
 	d.dims = [2]int{h, w}
 	scale := float32(1 / (1 - d.P))
 	for i := 0; i < n*c; i++ {
-		if d.Rng.Float64() >= d.P {
-			d.kept[i] = true
+		keep := d.Rng.Float64() >= d.P
+		d.kept[i] = keep
+		dst := out.Data[i*spatial : (i+1)*spatial]
+		if keep {
 			src := x.Data[i*spatial : (i+1)*spatial]
-			dst := out.Data[i*spatial : (i+1)*spatial]
 			for j, v := range src {
 				dst[j] = v * scale
+			}
+		} else {
+			for j := range dst {
+				dst[j] = 0
 			}
 		}
 	}
@@ -383,23 +445,27 @@ func (d *Dropout2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 func (d *Dropout2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	if d.kept == nil {
+	if !d.active {
 		return dout
 	}
 	n, c := dout.Dim(0), dout.Dim(1)
 	spatial := d.dims[0] * d.dims[1]
-	dx := tensor.New(dout.Shape...)
+	dx := d.ws.GetRaw(dout.Shape...) // both branches below write fully
 	scale := float32(1 / (1 - d.P))
 	for i := 0; i < n*c; i++ {
+		dst := dx.Data[i*spatial : (i+1)*spatial]
 		if d.kept[i] {
 			src := dout.Data[i*spatial : (i+1)*spatial]
-			dst := dx.Data[i*spatial : (i+1)*spatial]
 			for j, v := range src {
 				dst[j] = v * scale
 			}
+		} else {
+			for j := range dst {
+				dst[j] = 0
+			}
 		}
 	}
-	d.kept = nil
+	d.active = false
 	return dx
 }
 
@@ -411,6 +477,16 @@ type Sequential struct {
 }
 
 func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// SetWorkspace recursively installs ws on every child that accepts
+// one.
+func (s *Sequential) SetWorkspace(ws *tensor.Workspace) {
+	for _, l := range s.Layers {
+		if u, ok := l.(WorkspaceUser); ok {
+			u.SetWorkspace(ws)
+		}
+	}
+}
 
 func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, l := range s.Layers {
@@ -436,6 +512,11 @@ func (s *Sequential) Params() []*Param {
 
 // ConcatChannels concatenates NCHW tensors along the channel axis.
 func ConcatChannels(xs ...*tensor.Tensor) *tensor.Tensor {
+	return ConcatChannelsWS(nil, xs...)
+}
+
+// ConcatChannelsWS is ConcatChannels with the output drawn from ws.
+func ConcatChannelsWS(ws *tensor.Workspace, xs ...*tensor.Tensor) *tensor.Tensor {
 	n, h, w := xs[0].Dim(0), xs[0].Dim(2), xs[0].Dim(3)
 	total := 0
 	for _, x := range xs {
@@ -444,7 +525,7 @@ func ConcatChannels(xs ...*tensor.Tensor) *tensor.Tensor {
 		}
 		total += x.Dim(1)
 	}
-	out := tensor.New(n, total, h, w)
+	out := ws.GetRaw(n, total, h, w) // fully covered by the copies
 	spatial := h * w
 	for i := 0; i < n; i++ {
 		off := 0
@@ -461,6 +542,12 @@ func ConcatChannels(xs ...*tensor.Tensor) *tensor.Tensor {
 // SplitChannels is the backward of ConcatChannels: it slices dout into
 // per-input gradients with the given channel counts.
 func SplitChannels(dout *tensor.Tensor, channels []int) []*tensor.Tensor {
+	return SplitChannelsWS(dout, channels, nil)
+}
+
+// SplitChannelsWS is SplitChannels with the gradients drawn from ws
+// (the result slice itself is a small per-call allocation).
+func SplitChannelsWS(dout *tensor.Tensor, channels []int, ws *tensor.Workspace) []*tensor.Tensor {
 	n, total, h, w := dout.Dim(0), dout.Dim(1), dout.Dim(2), dout.Dim(3)
 	sum := 0
 	for _, c := range channels {
@@ -473,7 +560,7 @@ func SplitChannels(dout *tensor.Tensor, channels []int) []*tensor.Tensor {
 	outs := make([]*tensor.Tensor, len(channels))
 	off := 0
 	for k, c := range channels {
-		g := tensor.New(n, c, h, w)
+		g := ws.GetRaw(n, c, h, w) // fully covered by the copies
 		for i := 0; i < n; i++ {
 			copy(g.Data[i*c*spatial:(i+1)*c*spatial],
 				dout.Data[(i*total+off)*spatial:(i*total+off+c)*spatial])
@@ -488,15 +575,19 @@ func SplitChannels(dout *tensor.Tensor, channels []int) []*tensor.Tensor {
 type Upsample struct {
 	OutH, OutW int
 	inH, inW   int
+	ws         *tensor.Workspace
 }
+
+// SetWorkspace installs the arena activations are drawn from.
+func (u *Upsample) SetWorkspace(ws *tensor.Workspace) { u.ws = ws }
 
 func (u *Upsample) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	u.inH, u.inW = x.Dim(2), x.Dim(3)
-	return tensor.BilinearResize(x, u.OutH, u.OutW)
+	return tensor.BilinearResizeWS(x, u.OutH, u.OutW, u.ws)
 }
 
 func (u *Upsample) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	return tensor.BilinearResizeBackward(dout, u.inH, u.inW)
+	return tensor.BilinearResizeBackwardWS(dout, u.inH, u.inW, u.ws)
 }
 
 func (u *Upsample) Params() []*Param { return nil }

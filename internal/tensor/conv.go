@@ -1,9 +1,6 @@
 package tensor
 
-import (
-	"fmt"
-	"sync"
-)
+import "fmt"
 
 // ConvSpec parameterises a 2-D convolution. Dilation > 1 gives the
 // atrous convolutions DeepLab's ASPP is built from; Groups == C gives
@@ -134,71 +131,137 @@ func col2im(dx *Tensor, sample, chanLo, cg int, kh, kw, oh, ow int, s ConvSpec, 
 // Conv2D computes the grouped, dilated 2-D convolution of x [N,C,H,W]
 // with w [F, C/groups, KH, KW], returning [N,F,OH,OW].
 func Conv2D(x, w *Tensor, spec ConvSpec) *Tensor {
+	return Conv2DWS(x, w, spec, nil)
+}
+
+// Conv2DWS is Conv2D drawing the output and all internal scratch from
+// ws (heap when nil). With a warm workspace the call is
+// allocation-free on the serial path; the returned tensor is owned by
+// ws and valid until its Reset.
+func Conv2DWS(x, w *Tensor, spec ConvSpec, ws *Workspace) *Tensor {
 	s := spec.Canon()
 	n, _, _, _, f, cg, kh, kw, oh, ow := convCheck(x, w, s)
-	out := New(n, f, oh, ow)
+	out := ws.GetRaw(n, f, oh, ow) // every element written below
 	fg := f / s.Groups
-	spatial := oh * ow
+	if parallelDegree(n) <= 1 {
+		conv2DSamples(x, w, out, s, 0, n, fg, cg, kh, kw, oh, ow, ws)
+		return out
+	}
 	Parallel(n, func(lo, hi int) {
-		col := New(cg*kh*kw, spatial)
-		outMat := &Tensor{Shape: []int{fg, spatial}}
-		wMat := &Tensor{Shape: []int{fg, cg * kh * kw}}
-		for i := lo; i < hi; i++ {
-			for g := 0; g < s.Groups; g++ {
-				im2col(x, i, g*cg, cg, kh, kw, oh, ow, s, col)
-				wMat.Data = w.Data[g*fg*cg*kh*kw : (g+1)*fg*cg*kh*kw]
-				outMat.Data = out.Data[(i*f+g*fg)*spatial : (i*f+(g+1)*fg)*spatial]
-				MatMulInto(outMat, wMat, col, false)
-			}
-		}
+		conv2DSamples(x, w, out, s, lo, hi, fg, cg, kh, kw, oh, ow, ws)
 	})
 	return out
+}
+
+// conv2DSamples runs the im2col+matmul forward for samples [lo,hi).
+// The matmul is invoked through its raw row-worker so no header
+// tensors are built per call.
+func conv2DSamples(x, w, out *Tensor, s ConvSpec, lo, hi, fg, cg, kh, kw, oh, ow int, ws *Workspace) {
+	f := out.Dim(1)
+	spatial := oh * ow
+	ckk := cg * kh * kw
+	col := ws.GetRaw(ckk, spatial) // im2col writes every element
+	for i := lo; i < hi; i++ {
+		for g := 0; g < s.Groups; g++ {
+			im2col(x, i, g*cg, cg, kh, kw, oh, ow, s, col)
+			wSlab := w.Data[g*fg*ckk : (g+1)*fg*ckk]
+			outSlab := out.Data[(i*f+g*fg)*spatial : (i*f+(g+1)*fg)*spatial]
+			matmulRows(outSlab, wSlab, col.Data, ckk, spatial, 0, fg, false)
+		}
+	}
+	ws.Put(col)
 }
 
 // Conv2DBackward returns gradients (dx, dw) of the convolution given
 // upstream gradient dout [N,F,OH,OW].
 func Conv2DBackward(x, w, dout *Tensor, spec ConvSpec) (dx, dw *Tensor) {
+	return Conv2DBackwardWS(x, w, dout, spec, nil)
+}
+
+// Conv2DBackwardWS is Conv2DBackward drawing outputs and scratch from
+// ws (heap when nil).
+//
+// Weight gradients are accumulated deterministically: each sample's
+// dW contribution lands in its own partial buffer, and the partials
+// are merged in ascending sample order with the element range split
+// across workers. Every dw element therefore folds its samples in the
+// exact order the GOMAXPROCS=1 serial loop would, so the result is
+// bit-identical regardless of worker count — unlike the previous
+// per-worker partials appended under a mutex, whose merge order
+// depended on goroutine scheduling. (A pairwise tree reduction was
+// rejected: rebalancing the fold tree changes float associativity, so
+// it cannot be bit-identical to the serial merge it replaces.)
+func Conv2DBackwardWS(x, w, dout *Tensor, spec ConvSpec, ws *Workspace) (dx, dw *Tensor) {
 	s := spec.Canon()
 	n, c, h, wd, f, cg, kh, kw, oh, ow := convCheck(x, w, s)
 	if dout.Dim(0) != n || dout.Dim(1) != f || dout.Dim(2) != oh || dout.Dim(3) != ow {
 		panic(fmt.Sprintf("tensor: conv backward dout %v, want [%d %d %d %d]", dout.Shape, n, f, oh, ow))
 	}
-	dx = New(n, c, h, wd)
-	dw = New(f, cg, kh, kw)
+	// Locals, not the named results: a closure capturing a named
+	// result forces it to be heap-boxed on every call.
+	dxT := ws.Get(n, c, h, wd)      // zeroed: col2im accumulates overlaps
+	dwT := ws.GetRaw(f, cg, kh, kw) // every element written by the merge
 	fg := f / s.Groups
+	psz := f * cg * kh * kw
+	partials := ws.GetRaw(n, f, cg, kh, kw)
+	if parallelDegree(n) <= 1 {
+		convBackwardSamples(x, w, dout, dxT, partials, s, 0, n, fg, cg, kh, kw, oh, ow, ws)
+	} else {
+		Parallel(n, func(lo, hi int) {
+			convBackwardSamples(x, w, dout, dxT, partials, s, lo, hi, fg, cg, kh, kw, oh, ow, ws)
+		})
+	}
+	dwd, pd := dwT.Data, partials.Data
+	if parallelDegree(psz) <= 1 {
+		mergeSamplePartials(dwd, pd, n, 0, psz)
+	} else {
+		Parallel(psz, func(lo, hi int) {
+			mergeSamplePartials(dwd, pd, n, lo, hi)
+		})
+	}
+	ws.Put(partials)
+	return dxT, dwT
+}
+
+// convBackwardSamples computes dx rows and per-sample dW partials for
+// samples [lo,hi). Samples touch disjoint dx and partial regions, so
+// workers never race.
+func convBackwardSamples(x, w, dout, dx, partials *Tensor, s ConvSpec, lo, hi, fg, cg, kh, kw, oh, ow int, ws *Workspace) {
+	f := dout.Dim(1)
 	spatial := oh * ow
 	ckk := cg * kh * kw
-
-	// Weight gradients race across samples if accumulated in
-	// parallel; give each worker a private dw and merge.
-	var mu sync.Mutex
-	var partials []*Tensor
-	Parallel(n, func(lo, hi int) {
-		p := New(f, cg, kh, kw)
-		col := New(ckk, spatial)
-		dcol := New(ckk, spatial)
-		doutMat := &Tensor{Shape: []int{fg, spatial}}
-		wMat := &Tensor{Shape: []int{fg, ckk}}
-		dwMat := &Tensor{Shape: []int{fg, ckk}}
-		for i := lo; i < hi; i++ {
-			for g := 0; g < s.Groups; g++ {
-				im2col(x, i, g*cg, cg, kh, kw, oh, ow, s, col)
-				doutMat.Data = dout.Data[(i*f+g*fg)*spatial : (i*f+(g+1)*fg)*spatial]
-				wMat.Data = w.Data[g*fg*ckk : (g+1)*fg*ckk]
-				dwMat.Data = p.Data[g*fg*ckk : (g+1)*fg*ckk]
-				// dW += dout · colᵀ
-				MatMulBTInto(dwMat, doutMat, col, true)
-				// dcol = wᵀ · dout
-				MatMulATInto(dcol, wMat, doutMat, false)
-				col2im(dx, i, g*cg, cg, kh, kw, oh, ow, s, dcol)
-			}
+	col := ws.GetRaw(ckk, spatial)
+	dcol := ws.GetRaw(ckk, spatial) // fully written by the AT matmul
+	for i := lo; i < hi; i++ {
+		pbase := i * f * ckk
+		for g := 0; g < s.Groups; g++ {
+			im2col(x, i, g*cg, cg, kh, kw, oh, ow, s, col)
+			doutSlab := dout.Data[(i*f+g*fg)*spatial : (i*f+(g+1)*fg)*spatial]
+			wSlab := w.Data[g*fg*ckk : (g+1)*fg*ckk]
+			dwSlab := partials.Data[pbase+g*fg*ckk : pbase+(g+1)*fg*ckk]
+			// dW_i = dout_i · colᵀ
+			matmulBTRows(dwSlab, doutSlab, col.Data, spatial, ckk, 0, fg, false)
+			// dcol = wᵀ · dout_i
+			matmulATRows(dcol.Data, wSlab, doutSlab, fg, ckk, spatial, 0, ckk, false)
+			col2im(dx, i, g*cg, cg, kh, kw, oh, ow, s, dcol)
 		}
-		mu.Lock()
-		partials = append(partials, p)
-		mu.Unlock()
-	})
-	for _, p := range partials {
-		dw.Add(p)
 	}
-	return dx, dw
+	ws.Put(dcol)
+	ws.Put(col)
+}
+
+// mergeSamplePartials folds n per-sample partials into dst for the
+// element range [lo,hi): dst[e] = Σ_i src[i·len(dst)+e], summed in
+// ascending i. Splitting by element keeps every element's fold order
+// fixed, so the merge is bit-identical at any worker count.
+func mergeSamplePartials(dst, src []float32, n, lo, hi int) {
+	sz := len(dst)
+	copy(dst[lo:hi], src[lo:hi])
+	for i := 1; i < n; i++ {
+		p := src[i*sz+lo : i*sz+hi]
+		d := dst[lo:hi]
+		for e, v := range p {
+			d[e] += v
+		}
+	}
 }

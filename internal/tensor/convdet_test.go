@@ -1,0 +1,100 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// convCase builds a small grouped/dilated conv problem.
+func convCase(seed int64, n, c, h, w, f, k int, spec ConvSpec) (x, wt, dout *Tensor, s ConvSpec) {
+	s = spec.Canon()
+	rng := rand.New(rand.NewSource(seed))
+	x = randTensor(rng, n, c, h, w)
+	wt = randTensor(rng, f, c/s.Groups, k, k)
+	oh := ConvOutSize(h, k, s.Stride, s.Pad, s.Dilation)
+	ow := ConvOutSize(w, k, s.Stride, s.Pad, s.Dilation)
+	dout = randTensor(rng, n, f, oh, ow)
+	return
+}
+
+// TestConv2DBackwardMergeBitIdentical pins the deterministic dw merge:
+// the parallel per-sample reduction must match the GOMAXPROCS=1 serial
+// fold bit for bit. The old implementation appended per-worker
+// partials under a mutex, so its merge order — and the low bits of dw
+// — depended on goroutine scheduling.
+func TestConv2DBackwardMergeBitIdentical(t *testing.T) {
+	cases := []struct {
+		name             string
+		n, c, h, w, f, k int
+		spec             ConvSpec
+	}{
+		{"plain", 5, 3, 9, 9, 4, 3, ConvSpec{Stride: 1, Pad: 1}},
+		{"strided", 6, 4, 12, 12, 6, 3, ConvSpec{Stride: 2, Pad: 1}},
+		{"atrous", 4, 2, 11, 11, 3, 3, ConvSpec{Stride: 1, Pad: 2, Dilation: 2}},
+		{"grouped", 4, 6, 8, 8, 6, 3, ConvSpec{Stride: 1, Pad: 1, Groups: 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x, wt, dout, s := convCase(99, tc.n, tc.c, tc.h, tc.w, tc.f, tc.k, tc.spec)
+
+			prev := runtime.GOMAXPROCS(1)
+			dxSerial, dwSerial := Conv2DBackward(x, wt, dout, s)
+			runtime.GOMAXPROCS(4)
+			dxWide, dwWide := Conv2DBackward(x, wt, dout, s)
+			runtime.GOMAXPROCS(prev)
+
+			requireBitIdentical(t, dwWide, dwSerial, "dw")
+			requireBitIdentical(t, dxWide, dxSerial, "dx")
+		})
+	}
+}
+
+// TestConv2DWorkspaceMatchesHeap checks the workspace-backed paths
+// return bit-identical results to the plain heap paths.
+func TestConv2DWorkspaceMatchesHeap(t *testing.T) {
+	x, wt, dout, s := convCase(7, 3, 4, 10, 10, 5, 3, ConvSpec{Stride: 1, Pad: 1})
+	ws := NewWorkspace()
+
+	out := Conv2D(x, wt, s)
+	outWS := Conv2DWS(x, wt, s, ws)
+	requireBitIdentical(t, outWS, out, "forward")
+
+	dx, dw := Conv2DBackward(x, wt, dout, s)
+	dxWS, dwWS := Conv2DBackwardWS(x, wt, dout, s, ws)
+	requireBitIdentical(t, dxWS, dx, "dx")
+	requireBitIdentical(t, dwWS, dw, "dw")
+
+	// Second pass after Reset reuses the same arena buffers.
+	ws.Reset()
+	outWS2 := Conv2DWS(x, wt, s, ws)
+	requireBitIdentical(t, outWS2, out, "forward after reset")
+	st := ws.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("no free-list hits after reset: %v", st)
+	}
+}
+
+// TestConv2DWorkspaceZeroAllocs pins the workspace promise: with a
+// warm arena, forward and backward conv touch the heap zero times on
+// the serial path.
+func TestConv2DWorkspaceZeroAllocs(t *testing.T) {
+	x, wt, dout, s := convCase(21, 2, 3, 8, 8, 4, 3, ConvSpec{Stride: 1, Pad: 1})
+	ws := NewWorkspace()
+
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	// Warm the arena.
+	Conv2DWS(x, wt, s, ws)
+	Conv2DBackwardWS(x, wt, dout, s, ws)
+	ws.Reset()
+
+	if n := testing.AllocsPerRun(10, func() {
+		Conv2DWS(x, wt, s, ws)
+		Conv2DBackwardWS(x, wt, dout, s, ws)
+		ws.Reset()
+	}); n != 0 {
+		t.Fatalf("conv forward+backward allocates %.1f times per step with warm workspace, want 0", n)
+	}
+}

@@ -11,11 +11,18 @@ import (
 // the ignore label (PASCAL VOC uses 255 for "void") contribute
 // nothing to loss or gradient — matching DeepLab's loss exactly.
 func SoftmaxCrossEntropy(logits *Tensor, labels []int32, ignore int32) (float64, *Tensor) {
+	return SoftmaxCrossEntropyWS(logits, labels, ignore, nil)
+}
+
+// SoftmaxCrossEntropyWS is SoftmaxCrossEntropy with the gradient drawn
+// from ws. The per-batch float64 reduction buffers stay on the heap —
+// they are a few dozen bytes and the arena pools float32 only.
+func SoftmaxCrossEntropyWS(logits *Tensor, labels []int32, ignore int32, ws *Workspace) (float64, *Tensor) {
 	n, k, h, w := logits.Dim(0), logits.Dim(1), logits.Dim(2), logits.Dim(3)
 	if len(labels) != n*h*w {
 		panic(fmt.Sprintf("tensor: %d labels for %d pixels", len(labels), n*h*w))
 	}
-	dlogits := New(n, k, h, w)
+	dlogits := ws.Get(n, k, h, w) // zeroed: ignored pixels contribute 0
 	spatial := h * w
 
 	losses := make([]float64, n)

@@ -1,12 +1,18 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // GlobalAvgPool reduces [N,C,H,W] to [N,C,1,1] — ASPP's image-level
 // pooling branch.
-func GlobalAvgPool(x *Tensor) *Tensor {
+func GlobalAvgPool(x *Tensor) *Tensor { return GlobalAvgPoolWS(x, nil) }
+
+// GlobalAvgPoolWS is GlobalAvgPool with the output drawn from ws.
+func GlobalAvgPoolWS(x *Tensor, ws *Workspace) *Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	out := New(n, c, 1, 1)
+	out := ws.GetRaw(n, c, 1, 1)
 	inv := 1 / float32(h*w)
 	Parallel(n*c, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -23,8 +29,14 @@ func GlobalAvgPool(x *Tensor) *Tensor {
 // GlobalAvgPoolBackward spreads dout [N,C,1,1] uniformly over the
 // input extent.
 func GlobalAvgPoolBackward(dout *Tensor, h, w int) *Tensor {
+	return GlobalAvgPoolBackwardWS(dout, h, w, nil)
+}
+
+// GlobalAvgPoolBackwardWS is GlobalAvgPoolBackward with the gradient
+// drawn from ws.
+func GlobalAvgPoolBackwardWS(dout *Tensor, h, w int, ws *Workspace) *Tensor {
 	n, c := dout.Dim(0), dout.Dim(1)
-	dx := New(n, c, h, w)
+	dx := ws.GetRaw(n, c, h, w)
 	inv := 1 / float32(h*w)
 	Parallel(n*c, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -40,14 +52,24 @@ func GlobalAvgPoolBackward(dout *Tensor, h, w int) *Tensor {
 
 // MaxPool2 performs 2×2/stride-2 max pooling (even H,W required) and
 // returns the pooled tensor plus argmax indices for the backward pass.
-func MaxPool2(x *Tensor) (*Tensor, []int32) {
+func MaxPool2(x *Tensor) (*Tensor, []int32) { return MaxPool2WS(x, nil, nil) }
+
+// MaxPool2WS is MaxPool2 with the output drawn from ws. argBuf, when
+// cap-sufficient, is reused for the argmax indices so steady-state
+// callers can recycle it across steps.
+func MaxPool2WS(x *Tensor, argBuf []int32, ws *Workspace) (*Tensor, []int32) {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	if h%2 != 0 || w%2 != 0 {
 		panic(fmt.Sprintf("tensor: maxpool2 needs even spatial dims, got %dx%d", h, w))
 	}
 	oh, ow := h/2, w/2
-	out := New(n, c, oh, ow)
-	arg := make([]int32, n*c*oh*ow)
+	out := ws.GetRaw(n, c, oh, ow)
+	arg := argBuf
+	if cap(arg) < n*c*oh*ow {
+		arg = make([]int32, n*c*oh*ow)
+	} else {
+		arg = arg[:n*c*oh*ow]
+	}
 	Parallel(n*c, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			in := x.Data[i*h*w : (i+1)*h*w]
@@ -74,8 +96,14 @@ func MaxPool2(x *Tensor) (*Tensor, []int32) {
 
 // MaxPool2Backward routes gradients to the argmax positions.
 func MaxPool2Backward(dout *Tensor, arg []int32, h, w int) *Tensor {
+	return MaxPool2BackwardWS(dout, arg, h, w, nil)
+}
+
+// MaxPool2BackwardWS is MaxPool2Backward with the gradient drawn
+// from ws.
+func MaxPool2BackwardWS(dout *Tensor, arg []int32, h, w int, ws *Workspace) *Tensor {
 	n, c, oh, ow := dout.Dim(0), dout.Dim(1), dout.Dim(2), dout.Dim(3)
-	dx := New(n, c, h, w)
+	dx := ws.Get(n, c, h, w) // zeroed: gradients scatter sparsely
 	Parallel(n*c, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			for j := 0; j < oh*ow; j++ {
@@ -84,6 +112,31 @@ func MaxPool2Backward(dout *Tensor, arg []int32, h, w int) *Tensor {
 		}
 	})
 	return dx
+}
+
+// bilinearAxis holds the precomputed resampling plan for one axis.
+type bilinearAxis struct {
+	lo, hi []int
+	w      []float32
+}
+
+// bilinearCache memoises axis plans by (in, out): the plan is a pure
+// function of the two lengths, and a training run resizes the same
+// handful of shapes every step, so caching keeps the hot path from
+// reallocating (and recomputing) them each call.
+var bilinearCache sync.Map // [2]int → *bilinearAxis
+
+func bilinearAxisFor(in, out int) *bilinearAxis {
+	key := [2]int{in, out}
+	if v, ok := bilinearCache.Load(key); ok {
+		return v.(*bilinearAxis)
+	}
+	lo, hi, w := bilinearWeights(in, out)
+	ax := &bilinearAxis{lo: lo, hi: hi, w: w}
+	if v, loaded := bilinearCache.LoadOrStore(key, ax); loaded {
+		return v.(*bilinearAxis)
+	}
+	return ax
 }
 
 // bilinearWeights returns the source indices and weights for resizing
@@ -118,13 +171,20 @@ func bilinearWeights(in, out int) (lo, hi []int, w []float32) {
 
 // BilinearResize resamples [N,C,H,W] to [N,C,OH,OW].
 func BilinearResize(x *Tensor, oh, ow int) *Tensor {
+	return BilinearResizeWS(x, oh, ow, nil)
+}
+
+// BilinearResizeWS is BilinearResize with the output drawn from ws and
+// the axis plans served from a process-wide cache.
+func BilinearResizeWS(x *Tensor, oh, ow int, ws *Workspace) *Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: resize to %dx%d", oh, ow))
 	}
-	ylo, yhi, wy := bilinearWeights(h, oh)
-	xlo, xhi, wx := bilinearWeights(w, ow)
-	out := New(n, c, oh, ow)
+	yax, xax := bilinearAxisFor(h, oh), bilinearAxisFor(w, ow)
+	ylo, yhi, wy := yax.lo, yax.hi, yax.w
+	xlo, xhi, wx := xax.lo, xax.hi, xax.w
+	out := ws.GetRaw(n, c, oh, ow)
 	Parallel(n*c, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			in := x.Data[i*h*w : (i+1)*h*w]
@@ -150,10 +210,17 @@ func BilinearResize(x *Tensor, oh, ow int) *Tensor {
 // BilinearResizeBackward is the adjoint of BilinearResize: it scatters
 // dout [N,C,OH,OW] back onto an [N,C,H,W] gradient.
 func BilinearResizeBackward(dout *Tensor, h, w int) *Tensor {
+	return BilinearResizeBackwardWS(dout, h, w, nil)
+}
+
+// BilinearResizeBackwardWS is BilinearResizeBackward with the gradient
+// drawn from ws.
+func BilinearResizeBackwardWS(dout *Tensor, h, w int, ws *Workspace) *Tensor {
 	n, c, oh, ow := dout.Dim(0), dout.Dim(1), dout.Dim(2), dout.Dim(3)
-	ylo, yhi, wy := bilinearWeights(h, oh)
-	xlo, xhi, wx := bilinearWeights(w, ow)
-	dx := New(n, c, h, w)
+	yax, xax := bilinearAxisFor(h, oh), bilinearAxisFor(w, ow)
+	ylo, yhi, wy := yax.lo, yax.hi, yax.w
+	xlo, xhi, wx := xax.lo, xax.hi, xax.w
+	dx := ws.Get(n, c, h, w) // zeroed: the scatter accumulates
 	Parallel(n*c, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			src := dout.Data[i*oh*ow : (i+1)*oh*ow]

@@ -18,14 +18,24 @@ import (
 type Tensor struct {
 	Shape []int
 	Data  []float32
+
+	// Workspace bookkeeping: non-nil ws marks a tensor currently on
+	// loan from an arena (see Workspace); wsIdx is its slot in the
+	// arena's outstanding list. Zero values mean "plain heap tensor".
+	ws    *Workspace
+	wsIdx int
 }
 
-// numel returns the product of dims, validating non-negativity.
+// numel returns the product of dims, validating non-negativity. The
+// panic message is a constant: formatting shape would leak every
+// variadic shape slice to the heap and cost allocation-free callers
+// (Workspace.GetRaw, the kernels' pack-panel Gets) one allocation per
+// call.
 func numel(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dim in %v", shape))
+			panic("tensor: negative dim in shape")
 		}
 		n *= d
 	}

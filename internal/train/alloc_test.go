@@ -1,0 +1,79 @@
+package train
+
+import (
+	"runtime"
+	"testing"
+
+	"segscale/internal/deeplab"
+	"segscale/internal/nn"
+	"segscale/internal/segdata"
+	"segscale/internal/tensor"
+)
+
+// trainStepAllocs measures steady-state heap allocations of one full
+// single-rank training step (dropout reseed, forward, loss, backward,
+// optimiser update, gradient zeroing) at GOMAXPROCS=1. useWS selects
+// the pooled-workspace path; false is the plain-heap baseline the
+// arena is judged against.
+func trainStepAllocs(t *testing.T, useWS bool) float64 {
+	t.Helper()
+	cfg := deeplab.DefaultConfig()
+	net := deeplab.New(cfg)
+	var ws *tensor.Workspace
+	if useWS {
+		ws = tensor.NewWorkspace()
+		net.SetWorkspace(ws)
+	}
+	params := net.Params()
+	opt := nn.NewSGD(0.05)
+	ds := segdata.New(4, cfg.InputSize, cfg.InputSize, 7)
+	x, labels := ds.Batch([]int{0, 1})
+
+	step := func() {
+		if ws != nil {
+			ws.Reset()
+		}
+		net.ReseedDropout(3)
+		net.Loss(x, labels, segdata.IgnoreLabel, true)
+		opt.Step(params)
+		nn.ZeroGrads(params)
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	// Warm the arena (and the optimiser's velocity buffers) so the
+	// measurement sees the steady state, not first-touch growth.
+	step()
+	step()
+	return testing.AllocsPerRun(3, step)
+}
+
+// TestTrainStepAllocBudget pins the steady-state allocation count of a
+// full training step with the workspace threaded through. The residue
+// is bounded and intentional: Parallel-closure headers at tensor-op
+// call sites, the loss's tiny float64 reduction buffers, the dropout
+// reseed's rand.Rand, and SplitChannels' slice-of-headers — each a
+// handful of words, none proportional to activation size. The budget
+// has slack over the measured count (18 on go1.24) purely so toolchain
+// codegen drift does not flake the test; a leaked activation blows
+// straight past it.
+func TestTrainStepAllocBudget(t *testing.T) {
+	got := trainStepAllocs(t, true)
+	t.Logf("allocs/step with workspace: %.0f", got)
+	const budget = 60
+	if got > budget {
+		t.Fatalf("steady-state train step allocates %.0f times, budget %d", got, budget)
+	}
+}
+
+// TestTrainStepAllocReduction locks in the headline claim: the pooled
+// workspace eliminates at least 90%% of the heap-baseline's per-step
+// allocations.
+func TestTrainStepAllocReduction(t *testing.T) {
+	heap := trainStepAllocs(t, false)
+	pooled := trainStepAllocs(t, true)
+	t.Logf("allocs/step: heap=%.0f pooled=%.0f (%.1f%% reduction)",
+		heap, pooled, 100*(1-pooled/heap))
+	if pooled > 0.1*heap {
+		t.Fatalf("pooled step allocates %.0f of heap baseline %.0f — under 90%% reduction", pooled, heap)
+	}
+}

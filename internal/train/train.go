@@ -32,6 +32,7 @@ import (
 	"segscale/internal/nn"
 	"segscale/internal/segdata"
 	"segscale/internal/telemetry"
+	"segscale/internal/tensor"
 	"segscale/internal/timeline"
 	"segscale/internal/topology"
 	"segscale/internal/transport"
@@ -349,6 +350,14 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 		} else {
 			net = deeplab.New(cfg.Model)
 		}
+		// Every activation and kernel scratch buffer this replica
+		// touches comes from one per-rank arena, Reset at each step
+		// boundary: after warmup a training step allocates (almost)
+		// nothing. Reuse is numerically invisible — pooled buffers are
+		// either zeroed or fully overwritten before use — so restart
+		// equivalence and the chaos byte-identity goldens are unaffected.
+		ws := tensor.NewWorkspace()
+		net.SetWorkspace(ws)
 		params := net.Params()
 		rt, err := horovod.NewRuntime(c, rs.mach, cfg.Horovod)
 		if err != nil {
@@ -404,6 +413,7 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 		shard := segdata.ShardIDs(cfg.TrainSize, cfg.World, rank)
 		accum := cfg.Horovod.AccumPasses()
 		step := startEpoch * rs.stepsPerEpoch
+		ids := make([]int, 0, cfg.BatchPerRank) // reused across steps
 
 		for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 			// Epoch-deterministic shuffle and augmentation stream,
@@ -421,10 +431,13 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 						rank, step, inc, faultinject.ErrCrashed)
 				}
 				stepSpan := probe.Span(timeline.PhaseStep, "step")
+				// Reclaim last step's activations; their contents are
+				// dead once the optimiser update has run.
+				ws.Reset()
 				// Dropout masks keyed by the global step, not by how
 				// many forwards this replica has run — restart-safe.
 				net.ReseedDropout(int64(step))
-				ids := make([]int, 0, cfg.BatchPerRank)
+				ids = ids[:0]
 				for k := 0; k < cfg.BatchPerRank; k++ {
 					ids = append(ids, shard[perm[(s*cfg.BatchPerRank+k)%len(shard)]])
 				}
@@ -474,6 +487,7 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 				return err
 			}
 			conf := evaluate(net, rs.evalSet, cfg.World, rank)
+			ws.Reset() // reclaim eval-forward activations
 			if err := rt.AllreduceCounts(conf.M); err != nil {
 				return err
 			}
