@@ -1,6 +1,6 @@
 # Mirrors .github/workflows/ci.yml so local runs and CI agree.
 
-RACE_PKGS := ./internal/transport/ ./internal/faultinject/ ./internal/tensor/ ./internal/nn/ ./internal/collective/ ./internal/telemetry/
+RACE_PKGS := ./internal/transport/ ./internal/faultinject/ ./internal/tensor/ ./internal/nn/ ./internal/collective/ ./internal/telemetry/ ./internal/obs/
 FUZZTIME  ?= 10s
 
 # Statement-coverage floor across ./... — measured 76.9% when the
@@ -9,7 +9,7 @@ FUZZTIME  ?= 10s
 COVER_FLOOR ?= 74.0
 COVER_OUT   ?= /tmp/segscale-cover.out
 
-.PHONY: build test race lint vet fuzz-smoke trace-smoke chaos-smoke cover bench-json bench-check ci
+.PHONY: build test race lint vet fuzz-smoke trace-smoke chaos-smoke obs-smoke cover bench-json bench-check ci
 
 build:
 	go build ./...
@@ -47,6 +47,11 @@ chaos-smoke:
 	go run ./cmd/summit-sim -gpus 1,6,24 -chaos-seed 1 > /tmp/segscale-chaos-b.txt
 	diff /tmp/segscale-chaos-a.txt /tmp/segscale-chaos-b.txt
 
+# obs-smoke drives the live observability plane end to end: serve,
+# scrape /metrics + /healthz, validate scraped names with seglint.
+obs-smoke:
+	./scripts/obs_smoke.sh
+
 # bench-json regenerates the committed performance baseline (full
 # timing iterations). Run it on kernel or allocation-path changes and
 # commit the result; docs/PERFORMANCE.md explains how to read it.
@@ -67,4 +72,4 @@ cover:
 		if (t+0 < f+0) { printf "FAIL: coverage %.1f%% below floor %.1f%%\n", t, f; exit 1 } \
 		printf "coverage %.1f%% >= floor %.1f%%\n", t, f }'
 
-ci: build lint test race fuzz-smoke trace-smoke chaos-smoke bench-check cover
+ci: build lint test race fuzz-smoke trace-smoke chaos-smoke obs-smoke bench-check cover

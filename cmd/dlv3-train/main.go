@@ -8,6 +8,8 @@
 //	dlv3-train [-world 4] [-epochs 20] [-batch 4] [-arch deeplab]
 //	           [-train 64] [-eval 16] [-lr 0.05] [-strong] [-seed 1]
 //	           [-trace trace.json] [-prom metrics.prom]
+//	           [-obs-addr 127.0.0.1:6060] [-flight flight.json]
+//	           [-slo 0.92] [-runs-dir results/runs]
 package main
 
 import (
@@ -47,6 +49,11 @@ func main() {
 	noSync := flag.Bool("no-syncbn", false, "disable synchronized batch norm")
 	traceOut := flag.String("trace", "", "write a per-rank Chrome trace (step-counter time base) to this file")
 	promOut := flag.String("prom", "", "write per-rank training metrics to this file in Prometheus text format")
+	promEvery := flag.Int("prom-every", 25, "with -prom, also re-export every N steps (atomic rename; 0 = final write only)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /healthz, /readyz, /debug/flight and /debug/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+	flightOut := flag.String("flight", "", "keep an always-on flight recorder and dump its window (Chrome trace) to this file at exit, on SIGQUIT, and on each rank-failure recovery")
+	slo := flag.Float64("slo", summitseg.DefaultSLO, "scaling-efficiency objective for the online monitor")
+	runsDir := flag.String("runs-dir", "", "write a run manifest (config, seed, chaos, final efficiency, alerts) under this directory (empty = off)")
 	flag.Parse()
 
 	if *strong {
@@ -55,7 +62,8 @@ func main() {
 	if *noSync {
 		cfg.SyncBN = false
 	}
-	if *traceOut != "" || *promOut != "" {
+	obsOn := *obsAddr != "" || *flightOut != "" || *runsDir != ""
+	if *traceOut != "" || *promOut != "" || obsOn {
 		cfg.Telemetry = summitseg.NewTelemetry()
 	}
 	switch {
@@ -73,6 +81,68 @@ func main() {
 		cfg.Arch, cfg.World, cfg.BatchPerRank, cfg.World*cfg.BatchPerRank, cfg.SyncBN, cfg.ScaleLRByWorld)
 	if cfg.Chaos != nil {
 		fmt.Printf("chaos armed: %s\n", cfg.Chaos)
+	}
+
+	// Live observability plane — strictly an observer: everything below
+	// hangs off nil-safe hooks and leaves the training computation
+	// untouched.
+	var (
+		mon     *summitseg.EffMonitor
+		flight  *summitseg.FlightRecorder
+		srv     *summitseg.ObsServer
+		flusher *summitseg.PromFlusher
+	)
+	if obsOn {
+		flight = cfg.Telemetry.EnableFlight(0)
+		mon = summitseg.NewEffMonitor(cfg.Telemetry, summitseg.MonitorConfig{SLO: *slo})
+	}
+	if *promOut != "" && *promEvery > 0 {
+		flusher = summitseg.NewPromFlusher(cfg.Telemetry, *promOut, *promEvery)
+	}
+	if mon != nil || flusher != nil {
+		var chain []summitseg.StepObserver
+		if mon != nil {
+			chain = append(chain, mon)
+		}
+		if flusher != nil {
+			chain = append(chain, flusher)
+		}
+		cfg.StepObs = summitseg.MultiStepObserver(chain...)
+	}
+	if *obsAddr != "" {
+		srv = summitseg.NewObsServer(summitseg.ObsServerOptions{
+			Addr: *obsAddr, Telemetry: cfg.Telemetry, Monitor: mon})
+		url, err := srv.Start()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("obs: serving on %s\n", url)
+	}
+	if obsOn {
+		flightPath := *flightOut
+		cfg.OnWorld = func(w *summitseg.TransportWorld, inc int) {
+			srv.TrackWorld(w, inc)
+			if inc == 0 {
+				return
+			}
+			mon.Event("restart", "", fmt.Sprintf("incarnation %d after rank failure", inc))
+			if flightPath != "" {
+				// Dump the pre-crash window before the new incarnation's
+				// events overwrite it.
+				path := fmt.Sprintf("%s.r%d", flightPath, inc)
+				if err := summitseg.WriteFlightTrace(flight, path); err != nil {
+					log.Printf("flight: %v", err)
+				} else {
+					fmt.Printf("flight: pre-restart window written to %s\n", path)
+				}
+			}
+		}
+	}
+	if *flightOut != "" {
+		stop := summitseg.DumpFlightOnSignal(flight, *flightOut,
+			func(err error) { log.Printf("flight: %v", err) })
+		defer stop()
 	}
 
 	start := time.Now()
@@ -107,10 +177,42 @@ func main() {
 		fmt.Printf("trace written to %s\n", *traceOut)
 	}
 	if *promOut != "" {
-		if err := writeTo(*promOut, cfg.Telemetry.WritePrometheus); err != nil {
+		// Atomic final flush (and surface any periodic-flush error).
+		err := flusher.Flush()
+		if flusher == nil {
+			err = summitseg.FlushPrometheus(cfg.Telemetry, *promOut)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("metrics written to %s\n", *promOut)
+	}
+	if *flightOut != "" {
+		if err := summitseg.WriteFlightTrace(flight, *flightOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("flight window written to %s\n", *flightOut)
+	}
+	if *runsDir != "" {
+		chaos := ""
+		if cfg.Chaos != nil {
+			chaos = cfg.Chaos.String()
+		}
+		m := summitseg.RunManifest{
+			Tool: "dlv3-train", GitRev: summitseg.GitRev(), Seed: cfg.Seed,
+			Config: map[string]any{
+				"world": cfg.World, "epochs": cfg.Epochs, "batch_per_rank": cfg.BatchPerRank,
+				"arch": cfg.Arch, "optimizer": cfg.Optimizer, "syncbn": cfg.SyncBN,
+				"base_lr": cfg.BaseLR,
+			},
+			ChaosSpec: chaos, SLO: mon.SLO(), AnchorImgPerSec: mon.Anchor(),
+			FinalEfficiency: mon.LastEfficiency(), Restarts: res.Restarts, Alerts: mon.Alerts(),
+		}
+		path, err := summitseg.WriteRunManifest(*runsDir, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run manifest written to %s\n", path)
 	}
 }
 

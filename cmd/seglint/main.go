@@ -7,6 +7,12 @@
 //	go run ./cmd/seglint ./...            # lint the whole module
 //	go run ./cmd/seglint -json ./...      # machine-readable findings
 //	go run ./cmd/seglint -list            # describe the passes
+//	go run ./cmd/seglint -prom m.prom     # validate an exported metrics file
+//
+// -prom checks a Prometheus text-format export (what -prom flags on
+// the binaries and the /metrics endpoint emit) against the same
+// naming convention the metricname pass enforces at registration
+// sites — closing the loop from source to scrape.
 //
 // Exit status: 0 when clean, 1 when findings remain, 2 on internal
 // error. Findings can be suppressed in source with recorded
@@ -14,6 +20,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +34,7 @@ import (
 	"segscale/internal/analysis/passes/nowallclock"
 	"segscale/internal/analysis/passes/seededrand"
 	"segscale/internal/analysis/passes/unitsuffix"
+	"segscale/internal/telemetry"
 )
 
 // analyzers is the multichecker's pass registry; new passes register
@@ -42,8 +50,9 @@ var analyzers = []*analysis.Analyzer{
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	promFile := flag.String("prom", "", "validate a Prometheus text-format metrics file instead of linting packages")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: seglint [-json] [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: seglint [-json] [-list] [-prom file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,12 +64,17 @@ func main() {
 		return
 	}
 
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
+	var findings []analysis.Finding
+	var err error
+	if *promFile != "" {
+		findings, err = lintProm(*promFile)
+	} else {
+		patterns := flag.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		findings, err = lint(patterns)
 	}
-
-	findings, err := lint(patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seglint:", err)
 		os.Exit(2)
@@ -87,6 +101,69 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// lintProm validates every metric name in a Prometheus text-format
+// file against the registration-site convention. Histogram series
+// suffixes (_bucket, _sum, _count) are stripped first: they belong to
+// the exposition format, not the metric's registered name.
+func lintProm(path string) ([]analysis.Finding, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var findings []analysis.Finding
+	seen := map[string]bool{}
+	report := func(line int, name, msg string) {
+		if seen[name] {
+			return // one finding per metric, not per sample
+		}
+		seen[name] = true
+		findings = append(findings, analysis.Finding{
+			Analyzer: "metricname", File: path, Line: line, Col: 1,
+			Message: fmt.Sprintf("metric %q %s", name, msg),
+		})
+	}
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		name := promSampleName(sc.Text())
+		if name == "" {
+			continue
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base = strings.TrimSuffix(base, suf)
+		}
+		if !telemetry.ValidMetricName(base) {
+			report(line, name, fmt.Sprintf(
+				"violates the naming convention: snake_case with a unit suffix from %v",
+				telemetry.MetricSuffixes))
+		}
+	}
+	return findings, sc.Err()
+}
+
+// promSampleName extracts the metric name from one exposition line:
+// the token before '{', ' ', or '\t' on sample lines, or the second
+// token of "# TYPE"/"# HELP" comments ("" for anything else).
+func promSampleName(s string) string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return ""
+	}
+	if strings.HasPrefix(s, "#") {
+		fields := strings.Fields(s)
+		if len(fields) >= 3 && (fields[1] == "TYPE" || fields[1] == "HELP") {
+			return fields[2]
+		}
+		return ""
+	}
+	if i := strings.IndexAny(s, "{ \t"); i > 0 {
+		return s[:i]
+	}
+	return ""
 }
 
 func lint(patterns []string) ([]analysis.Finding, error) {

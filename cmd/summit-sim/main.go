@@ -7,6 +7,7 @@
 //
 //	summit-sim [-model dlv3plus] [-mpi mv2gdr] [-tuned] [-gpus 1,6,12,...]
 //	           [-seed 1] [-timeline trace.json] [-prom metrics.prom]
+//	           [-obs-addr 127.0.0.1:6060] [-obs-linger 30s] [-anchor 6.7]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"segscale/internal/asciichart"
 	"segscale/pkg/summitseg"
@@ -40,6 +42,12 @@ func main() {
 	chaosSpec := flag.String("chaos-plan", "", `explicit chaos-plan spec, e.g. "seed=7;drop=0.01;slow=2*1.5" (overrides -chaos-seed)`)
 	plot := flag.Bool("plot", false, "render a throughput bar chart after the table")
 	jsonOut := flag.String("json", "", "also write results as JSON to this file")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /healthz, /readyz and /debug/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+	obsLinger := flag.Duration("obs-linger", 0, "with -obs-addr, keep serving this long after the table completes (for scraping a finished run)")
+	flightOut := flag.String("flight", "", "keep a flight recorder over the simulated steps and dump its window (Chrome trace) to this file at exit")
+	slo := flag.Float64("slo", summitseg.DefaultSLO, "scaling-efficiency objective for the online monitor")
+	anchor := flag.Float64("anchor", 6.7, "single-GPU img/s anchor for the efficiency monitor (the paper's DLv3+ V100 calibration; 0 = self-calibrate)")
+	runsDir := flag.String("runs-dir", "", "write a run manifest (config, seed, chaos, final efficiency, alerts) under this directory (empty = off)")
 	flag.Parse()
 
 	prof, err := summitseg.ModelByName(*modelName)
@@ -89,9 +97,35 @@ func main() {
 	}
 	fmt.Printf("%-6s %12s %10s %12s %12s\n", "GPUs", "img/s", "eff", "step", "exposed")
 
+	obsOn := *obsAddr != "" || *flightOut != "" || *runsDir != ""
 	var col *summitseg.Telemetry
-	if *promOut != "" {
+	if *promOut != "" || obsOn {
 		col = summitseg.NewTelemetry()
+	}
+
+	// Live observability plane: the monitor consumes every post-warmup
+	// simulated step (virtual durations), so efficiency and straggler
+	// gauges are live on /metrics while the table is still printing.
+	var (
+		mon    *summitseg.EffMonitor
+		flight *summitseg.FlightRecorder
+		srv    *summitseg.ObsServer
+	)
+	if obsOn {
+		flight = col.EnableFlight(0)
+		mon = summitseg.NewEffMonitor(col, summitseg.MonitorConfig{
+			AnchorImgPerSec: *anchor, SLO: *slo})
+	}
+	if *obsAddr != "" {
+		srv = summitseg.NewObsServer(summitseg.ObsServerOptions{
+			Addr: *obsAddr, Telemetry: col, Monitor: mon})
+		url, err := srv.Start()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		srv.SetReady(true) // no transport world to track in a simulation
+		fmt.Printf("obs: serving on %s\n", url)
 	}
 
 	var base *summitseg.SimResult
@@ -100,6 +134,9 @@ func main() {
 	for i, g := range scales {
 		opts := summitseg.SimOptions{GPUs: g, Model: prof, MPI: mpi, Horovod: hvd, Seed: *seed,
 			CyclicPlacement: *cyclic, IO: io, Telemetry: col}
+		if mon != nil {
+			opts.StepObs = mon
+		}
 		switch {
 		case fixedPlan != nil:
 			opts.Chaos = fixedPlan
@@ -121,6 +158,14 @@ func main() {
 			summitseg.FormatDuration(res.AvgStepSec), summitseg.FormatDuration(res.ExposedSec))
 		bars = append(bars, asciichart.Bar{Label: fmt.Sprintf("%d GPUs", g), Value: res.ImgPerSec})
 		all = append(all, res)
+		if col != nil && *promOut != "" {
+			// Crash-safe incremental export: each scale atomically
+			// replaces the file, so a killed sweep keeps every completed
+			// scale's metrics.
+			if err := summitseg.FlushPrometheus(col, *promOut); err != nil {
+				log.Fatal(err)
+			}
+		}
 		if opts.Timeline != nil {
 			f, err := os.Create(*timelineOut)
 			if err != nil {
@@ -139,15 +184,8 @@ func main() {
 		fmt.Println()
 		fmt.Print(asciichart.HBar(bars, 48, "%.1f img/s"))
 	}
-	if col != nil {
-		f, err := os.Create(*promOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := col.WritePrometheus(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+	if col != nil && *promOut != "" {
+		if err := summitseg.FlushPrometheus(col, *promOut); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("metrics written to %s\n", *promOut)
@@ -161,5 +199,40 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("results written to %s\n", *jsonOut)
+	}
+	if *flightOut != "" {
+		if err := summitseg.WriteFlightTrace(flight, *flightOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("flight window written to %s\n", *flightOut)
+	}
+	if *runsDir != "" {
+		chaos := ""
+		switch {
+		case fixedPlan != nil:
+			chaos = fixedPlan.String()
+		case *chaosSeed != 0:
+			chaos = fmt.Sprintf("seed=%d (derived per scale)", *chaosSeed)
+		}
+		m := summitseg.RunManifest{
+			Tool: "summit-sim", GitRev: summitseg.GitRev(), Seed: *seed,
+			Config: map[string]any{
+				"model": prof.Name, "mpi": mpi.Name, "tuned": *tuned, "fp16": *fp16,
+				"cyclic": *cyclic, "io": *withIO, "gpus": scales,
+			},
+			ChaosSpec: chaos, SLO: mon.SLO(), AnchorImgPerSec: mon.Anchor(),
+			FinalEfficiency: mon.LastEfficiency(), Alerts: mon.Alerts(),
+		}
+		path, err := summitseg.WriteRunManifest(*runsDir, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run manifest written to %s\n", path)
+	}
+	// Completion marker the obs smoke test waits on before scraping.
+	fmt.Println("summit-sim: done")
+	if srv != nil && *obsLinger > 0 {
+		fmt.Printf("obs: lingering %s for scrapes\n", *obsLinger)
+		time.Sleep(*obsLinger)
 	}
 }

@@ -11,6 +11,13 @@
 // dynamic names defeat static auditing of the metric namespace and
 // allocate in hot paths.
 //
+// The pass also sees through one level of intra-package forwarding:
+// a function that passes one of its own string parameters straight
+// through as a registrar's name argument (the shape observability
+// helpers take) is itself treated as a registrar, and its call sites
+// are held to the same constant-name rule — while the pass-through
+// call inside the forwarder is excused.
+//
 // The telemetry package itself is exempt — its internals forward
 // caller-supplied names through helper layers.
 package metricname
@@ -45,10 +52,15 @@ func run(pass *analysis.Pass) error {
 	if pass.PkgBase() == "telemetry" {
 		return nil
 	}
+	forwarders := findForwarders(pass)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
+				return true
+			}
+			if fn, idx := calledForwarder(pass, call, forwarders); fn != nil && idx < len(call.Args) {
+				checkName(pass, call.Args[idx], fn.Name())
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
@@ -58,24 +70,140 @@ func run(pass *analysis.Pass) error {
 			if !isTelemetryRegistrar(pass, sel) {
 				return true
 			}
-			arg := call.Args[0]
-			tv, ok := pass.TypesInfo.Types[arg]
-			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
-				pass.Reportf(arg.Pos(),
-					"metric name passed to %s must be a compile-time string constant so the metric namespace stays statically auditable",
-					sel.Sel.Name)
-				return true
+			if isForwardedParam(pass, call.Args[0], forwarders) {
+				return true // checked at the forwarder's own call sites
 			}
-			name := constant.StringVal(tv.Value)
-			if !telemetry.ValidMetricName(name) {
-				pass.Reportf(arg.Pos(),
-					"metric name %q violates the naming convention: snake_case with a unit suffix from %v",
-					name, telemetry.MetricSuffixes)
-			}
+			checkName(pass, call.Args[0], sel.Sel.Name)
 			return true
 		})
 	}
 	return nil
+}
+
+// checkName enforces the constant-and-convention rule on one name
+// argument of a registrar (or registrar-forwarder) named callee.
+func checkName(pass *analysis.Pass, arg ast.Expr, callee string) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(),
+			"metric name passed to %s must be a compile-time string constant so the metric namespace stays statically auditable",
+			callee)
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !telemetry.ValidMetricName(name) {
+		pass.Reportf(arg.Pos(),
+			"metric name %q violates the naming convention: snake_case with a unit suffix from %v",
+			name, telemetry.MetricSuffixes)
+	}
+}
+
+// findForwarders scans the package for functions that pass one of
+// their own string parameters directly as the name argument of a
+// telemetry registrar — one level deep, intra-package only. It maps
+// each such function to the index of the forwarded parameter.
+func findForwarders(pass *analysis.Pass) map[*types.Func]int {
+	out := map[*types.Func]int{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Params == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			params := map[types.Object]int{}
+			idx := 0
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if po := pass.TypesInfo.Defs[name]; po != nil {
+						if basic, ok := po.Type().Underlying().(*types.Basic); ok && basic.Kind() == types.String {
+							params[po] = idx
+						}
+					}
+					idx++
+				}
+			}
+			if len(params) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !registrars[sel.Sel.Name] || !isTelemetryRegistrar(pass, sel) {
+					return true
+				}
+				id, ok := call.Args[0].(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if pidx, ok := params[pass.TypesInfo.Uses[id]]; ok {
+					out[obj] = pidx
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// calledForwarder resolves a call's callee to a known forwarder,
+// returning it and the name-parameter index.
+func calledForwarder(pass *analysis.Pass, call *ast.CallExpr, fw map[*types.Func]int) (*types.Func, int) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, 0
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return nil, 0
+	}
+	if idx, ok := fw[fn]; ok {
+		return fn, idx
+	}
+	return nil, 0
+}
+
+// isForwardedParam reports whether arg is an identifier bound to a
+// parameter some forwarder passes through — the one registrar call
+// site the pass excuses.
+func isForwardedParam(pass *analysis.Pass, arg ast.Expr, fw map[*types.Func]int) bool {
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	// A parameter object's parent scope is a function body; confirm it
+	// belongs to a recorded forwarder by matching signature parameters.
+	for fn := range fw {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == v {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // isTelemetryRegistrar reports whether the selector resolves to a

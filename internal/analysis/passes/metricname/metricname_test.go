@@ -8,5 +8,5 @@ import (
 )
 
 func TestMetricName(t *testing.T) {
-	analysistest.Run(t, "testdata", metricname.Analyzer, "trainpkg", "telemetry")
+	analysistest.Run(t, "testdata", metricname.Analyzer, "trainpkg", "telemetry", "obspkg")
 }

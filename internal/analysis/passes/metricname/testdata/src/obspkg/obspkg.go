@@ -1,0 +1,41 @@
+// Package obspkg (fixture) exercises the forwarder extension the way
+// the live observability plane wraps registration: helpers that pass
+// a caller-supplied name straight through to a registrar are treated
+// as registrars themselves.
+package obspkg
+
+import "telemetry"
+
+// gauge forwards its name parameter to the registrar; the pass holds
+// its call sites to the naming rule and excuses the pass-through.
+func gauge(p *telemetry.Probe, name string) *telemetry.Gauge {
+	return p.Gauge(name)
+}
+
+// plane is a method-shaped forwarder host.
+type plane struct{ probe *telemetry.Probe }
+
+func (pl *plane) counter(name string) *telemetry.Counter {
+	return pl.probe.Counter(name)
+}
+
+// renamed takes a string param but derives the metric name itself;
+// it is NOT a forwarder and its internal constant is checked.
+func renamed(p *telemetry.Probe, lane string) {
+	p.Counter("obs_events_total").Inc()
+}
+
+func wire(p *telemetry.Probe, dynamic string) {
+	_ = gauge(p, "obs_scaling_efficiency_ratio")
+	gauge(p, "ObsEfficiency") // want "violates the naming convention"
+	gauge(p, dynamic)         // want "compile-time string constant"
+
+	pl := &plane{probe: p}
+	pl.counter("obs_alerts_total")
+	pl.counter("obs_alerts") // want "violates the naming convention"
+
+	renamed(p, dynamic) // fine: not a forwarder
+
+	// Direct registration in an instrumented package stays covered.
+	p.Gauge("obs_worst_zscore") // want "violates the naming convention"
+}

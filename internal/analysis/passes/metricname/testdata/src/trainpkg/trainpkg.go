@@ -18,17 +18,28 @@ func instrument(p *telemetry.Probe, r *telemetry.Registry, dynamic string) {
 	const queued = "queue_depth_events"
 	r.Gauge(queued)
 
-	p.Counter("TrainSteps")       // want "violates the naming convention"
-	p.Counter("train_step")       // want "violates the naming convention"
-	p.Gauge("train__fill_ratio")  // want "violates the naming convention"
-	p.Histogram("_seconds", nil)  // want "violates the naming convention"
-	r.Counter("1st_rank_total")   // want "violates the naming convention"
-	p.Counter("step-seconds")     // want "violates the naming convention"
-	p.Counter(dynamic)            // want "compile-time string constant"
+	p.Counter("TrainSteps")      // want "violates the naming convention"
+	p.Counter("train_step")      // want "violates the naming convention"
+	p.Gauge("train__fill_ratio") // want "violates the naming convention"
+	p.Histogram("_seconds", nil) // want "violates the naming convention"
+	r.Counter("1st_rank_total")  // want "violates the naming convention"
+	p.Counter("step-seconds")    // want "violates the naming convention"
+	// Passing the string parameter straight through makes instrument a
+	// forwarder: this site is excused and the rule moves to instrument's
+	// own call sites (see callsInstrument).
+	p.Counter(dynamic)
 	p.Counter("steps_" + dynamic) // want "compile-time string constant"
 	p.Gauge(pick(true))           // want "compile-time string constant"
 	//seglint:ignore metricname legacy dashboard consumes this exact name
 	p.Counter("legacySpelling")
+}
+
+// callsInstrument shows the forwarded name being audited where it is
+// actually chosen.
+func callsInstrument(p *telemetry.Probe, r *telemetry.Registry, dyn string) {
+	instrument(p, r, "lane_steps_total")
+	instrument(p, r, "LaneSteps") // want "violates the naming convention"
+	instrument(p, r, dyn)         // want "compile-time string constant"
 }
 
 func pick(a bool) string {

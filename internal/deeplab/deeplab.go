@@ -476,3 +476,9 @@ func (m *Model) Loss(x *tensor.Tensor, labels []int32, ignore int32, train bool)
 func (m *Model) Predict(x *tensor.Tensor) []int32 {
 	return tensor.ArgmaxClass(m.Forward(x, false))
 }
+
+// PredictInto is Predict writing labels into a caller-owned buffer of
+// exactly N·H·W entries, keeping pooled evaluation allocation-free.
+func (m *Model) PredictInto(x *tensor.Tensor, out []int32) []int32 {
+	return tensor.ArgmaxClassInto(m.Forward(x, false), out)
+}

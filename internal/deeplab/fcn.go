@@ -16,6 +16,10 @@ type Segmenter interface {
 	BatchNorms() []*nn.BatchNorm2D
 	Loss(x *tensor.Tensor, labels []int32, ignore int32, train bool) float64
 	Predict(x *tensor.Tensor) []int32
+	// PredictInto is Predict writing into a caller-owned label buffer
+	// of exactly N·H·W entries — with a workspace installed, the
+	// pooled evaluation path allocates nothing per batch.
+	PredictInto(x *tensor.Tensor, out []int32) []int32
 	// ReseedDropout pins any dropout layers' mask streams to the
 	// given global step, making them a pure function of (model seed,
 	// step) — the property checkpoint-restart recovery needs.
@@ -100,6 +104,11 @@ func (f *FCN) ReseedDropout(int64) {}
 
 func (f *FCN) Predict(x *tensor.Tensor) []int32 {
 	return tensor.ArgmaxClass(f.Forward(x, false))
+}
+
+// PredictInto is Predict writing into a caller-owned label buffer.
+func (f *FCN) PredictInto(x *tensor.Tensor, out []int32) []int32 {
+	return tensor.ArgmaxClassInto(f.Forward(x, false), out)
 }
 
 var (

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"syscall"
+
+	"segscale/internal/telemetry"
+)
+
+// writeFileAtomic streams write into a unique temp file in path's
+// directory, fsyncs it, and renames it over path — the checkpoint
+// durability pattern, reused so a crash mid-flush can never leave a
+// torn or empty metrics file where a complete one used to be.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a
+// crash; skipped on Windows, which cannot open directories.
+func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// FlushPrometheus atomically writes the collector's current metrics
+// to path in Prometheus text format.
+func FlushPrometheus(col *telemetry.Collector, path string) error {
+	return writeFileAtomic(path, col.WritePrometheus)
+}
+
+// WriteFlightTrace atomically dumps the flight recorder's window to
+// path as a Chrome trace. A nil recorder writes nothing and returns
+// nil.
+func WriteFlightTrace(f *telemetry.FlightRecorder, path string) error {
+	if f == nil {
+		return nil
+	}
+	return writeFileAtomic(path, f.WriteChromeTrace)
+}
+
+// PromFlusher implements telemetry.StepObserver by re-exporting the
+// collector's metrics every N observed steps — so a run that crashes
+// between epochs still leaves a usable metrics file behind. The final
+// flush (Flush) runs unconditionally at the end of a surviving run.
+type PromFlusher struct {
+	col   *telemetry.Collector
+	path  string
+	every int
+
+	mu    sync.Mutex
+	count int
+	err   error // first flush error, surfaced by Flush
+}
+
+// NewPromFlusher flushes col to path every `every` step observations
+// (every <= 0 defaults to 25).
+func NewPromFlusher(col *telemetry.Collector, path string, every int) *PromFlusher {
+	if every <= 0 {
+		every = 25
+	}
+	return &PromFlusher{col: col, path: path, every: every}
+}
+
+// ObserveStep implements telemetry.StepObserver. Flush errors are
+// remembered, not returned — an observer must never interrupt the
+// step loop — and surface from the final Flush call.
+func (p *PromFlusher) ObserveStep(lane string, step, imgs int, stepSec float64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.count++
+	if p.count%p.every != 0 {
+		return
+	}
+	if err := FlushPrometheus(p.col, p.path); err != nil && p.err == nil {
+		p.err = err
+	}
+}
+
+// Flush writes the current metrics immediately and returns the first
+// error any flush (periodic or this one) hit.
+func (p *PromFlusher) Flush() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := FlushPrometheus(p.col, p.path); err != nil && p.err == nil {
+		p.err = err
+	}
+	return p.err
+}
+
+// DumpFlightOnSignal dumps the flight recorder to path every time the
+// process receives SIGQUIT — the classic "what is this job doing
+// right now" poke, matching the Go runtime's own SIGQUIT habit of
+// dumping goroutine stacks (which this handler replaces while
+// active). The returned stop function restores default handling.
+func DumpFlightOnSignal(f *telemetry.FlightRecorder, path string, report func(err error)) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				if err := WriteFlightTrace(f, path); err != nil && report != nil {
+					report(err)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

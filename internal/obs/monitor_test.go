@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"segscale/internal/telemetry"
+)
+
+// kinds flattens an alert log for order-sensitive assertions.
+func kinds(alerts []Alert) string {
+	parts := make([]string, len(alerts))
+	for i, a := range alerts {
+		parts[i] = a.Kind
+		if a.Lane != "" {
+			parts[i] += ":" + a.Lane
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// feed pushes n virtual-duration steps on one lane.
+func feed(m *EffMonitor, lane string, n, imgs int, stepSec float64) {
+	for i := 0; i < n; i++ {
+		m.ObserveStep(lane, i, imgs, stepSec)
+	}
+}
+
+func TestMonitorEfficiencySLOHysteresis(t *testing.T) {
+	m := NewEffMonitor(nil, MonitorConfig{
+		AnchorImgPerSec: 10, SLO: 0.9, Window: 4, EveryK: 2})
+
+	feed(m, "a", 8, 1, 0.1) // 10 img/s = perfect scaling
+	if eff := m.LastEfficiency(); eff < 0.99 || eff > 1.01 {
+		t.Fatalf("efficiency at anchor rate = %v, want ~1", eff)
+	}
+	if len(m.Alerts()) != 0 {
+		t.Fatalf("unexpected alerts at full efficiency: %v", m.Alerts())
+	}
+
+	feed(m, "a", 8, 1, 0.2) // window flushes to 5 img/s = 50%
+	if eff := m.LastEfficiency(); eff > 0.51 {
+		t.Fatalf("efficiency after slowdown = %v, want ~0.5", eff)
+	}
+	// Hysteresis: a sustained breach alerts exactly once.
+	if got := kinds(m.Alerts()); got != "slo_breach" {
+		t.Fatalf("alerts after breach = %q, want one slo_breach", got)
+	}
+
+	feed(m, "a", 8, 1, 0.1)
+	if got := kinds(m.Alerts()); got != "slo_breach,slo_recovered" {
+		t.Fatalf("alerts after recovery = %q", got)
+	}
+	b, r := m.Alerts()[0], m.Alerts()[1]
+	if b.Value >= 0.9 || b.Threshold != 0.9 || r.Value < 0.9 {
+		t.Fatalf("alert measurements wrong: breach=%+v recovered=%+v", b, r)
+	}
+}
+
+func TestMonitorSelfCalibratingAnchorAndWallClock(t *testing.T) {
+	m := NewEffMonitor(nil, MonitorConfig{Window: 4, EveryK: 2})
+	clock := 0.0
+	m.nowSec = func() float64 { return clock }
+
+	// stepSec <= 0: the monitor stamps wall deltas itself; the first
+	// observation only starts the lane's clock.
+	for i := 0; i < 9; i++ {
+		m.ObserveStep("rank0", i, 2, 0)
+		clock += 0.25
+	}
+	if a := m.Anchor(); a < 7.9 || a > 8.1 {
+		t.Fatalf("self-calibrated anchor = %v, want ~8 img/s", a)
+	}
+	if eff := m.LastEfficiency(); eff < 0.99 || eff > 1.01 {
+		t.Fatalf("efficiency vs self-anchor = %v, want ~1", eff)
+	}
+
+	// A long stall (crash + restart gap) lands in the window as one
+	// huge step and drags efficiency down — the recovery-dip signal.
+	clock += 10
+	for i := 0; i < 2; i++ {
+		m.ObserveStep("rank0", 9+i, 2, 0)
+		clock += 0.25
+	}
+	if eff := m.LastEfficiency(); eff > 0.5 {
+		t.Fatalf("efficiency across a 10s stall = %v, want a deep dip", eff)
+	}
+}
+
+func TestMonitorStragglerZScores(t *testing.T) {
+	m := NewEffMonitor(nil, MonitorConfig{
+		AnchorImgPerSec: 10, SLO: 0.01, Window: 4, EveryK: 1, ZThreshold: 1.5})
+
+	// Round-robin keeps lane windows balanced; d runs at half speed.
+	for i := 0; i < 4; i++ {
+		m.ObserveStep("a", i, 1, 0.1)
+		m.ObserveStep("b", i, 1, 0.1)
+		m.ObserveStep("c", i, 1, 0.1)
+		m.ObserveStep("d", i, 1, 0.2)
+	}
+	if got := kinds(m.Alerts()); got != "straggler:d" {
+		t.Fatalf("alerts after slow lane = %q, want straggler:d", got)
+	}
+
+	// d catches up while a collapses: d must recover, a must trip.
+	for i := 0; i < 4; i++ {
+		m.ObserveStep("a", 4+i, 1, 0.5)
+		m.ObserveStep("b", 4+i, 1, 0.1)
+		m.ObserveStep("c", 4+i, 1, 0.1)
+		m.ObserveStep("d", 4+i, 1, 0.1)
+	}
+	got := kinds(m.Alerts())
+	if !strings.Contains(got, "straggler_recovered:d") || !strings.Contains(got, "straggler:a") {
+		t.Fatalf("alerts after role swap = %q, want d recovered and a straggling", got)
+	}
+}
+
+func TestMonitorStaleLaneEviction(t *testing.T) {
+	m := NewEffMonitor(nil, MonitorConfig{
+		AnchorImgPerSec: 10, SLO: 0.01, Window: 4, EveryK: 1, StaleAfter: 6})
+
+	feed(m, "rank1", 4, 1, 0.2) // 5 img/s, then goes silent (crashed)
+	feed(m, "rank0", 4, 1, 0.1)
+	// Both active: aggregate (5+10)/(10*2) = 0.75.
+	if eff := m.LastEfficiency(); eff < 0.74 || eff > 0.76 {
+		t.Fatalf("efficiency with both lanes = %v, want 0.75", eff)
+	}
+
+	// rank1 idles past StaleAfter global observations; only rank0
+	// counts afterwards.
+	feed(m, "rank0", 8, 1, 0.1)
+	if eff := m.LastEfficiency(); eff < 0.99 || eff > 1.01 {
+		t.Fatalf("efficiency after stale eviction = %v, want ~1", eff)
+	}
+}
+
+func TestMonitorLaneRanksAndGauges(t *testing.T) {
+	col := telemetry.NewCollector()
+	m := NewEffMonitor(col, MonitorConfig{AnchorImgPerSec: 10, Window: 4, EveryK: 2})
+	// One simulator lane covering a 6-GPU world at 48 img/s aggregate:
+	// per-rank 8 img/s, efficiency 0.8.
+	m.SetLaneRanks("gpus6", 6)
+	feed(m, "gpus6", 4, 48, 1.0)
+	if eff := m.LastEfficiency(); eff < 0.79 || eff > 0.81 {
+		t.Fatalf("world-lane efficiency = %v, want 0.8", eff)
+	}
+
+	var prom strings.Builder
+	if err := col.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "obs_scaling_efficiency_ratio") {
+		t.Fatalf("efficiency gauge missing from export:\n%s", prom.String())
+	}
+}
+
+func TestMonitorNilIsNoOp(t *testing.T) {
+	var m *EffMonitor
+	m.ObserveStep("a", 0, 1, 0.1) // must not panic
+	m.Event("restart", "", "x")
+	m.SetLaneRanks("a", 4)
+	if m.LastEfficiency() != 0 || m.Alerts() != nil || m.SLO() != 0 || m.Anchor() != 0 {
+		t.Fatal("nil monitor must read as zero")
+	}
+}
+
+func TestMonitorEventsAndAlertCap(t *testing.T) {
+	m := NewEffMonitor(nil, MonitorConfig{AnchorImgPerSec: 10})
+	for i := 0; i < maxAlerts+10; i++ {
+		m.Event("restart", "", "again")
+	}
+	got := m.Alerts()
+	if len(got) != maxAlerts {
+		t.Fatalf("alert log length = %d, want capped at %d", len(got), maxAlerts)
+	}
+	if got[0].Seq != 0 || got[len(got)-1].Seq != maxAlerts-1 {
+		t.Fatalf("alert seqs broken: first=%d last=%d", got[0].Seq, got[len(got)-1].Seq)
+	}
+}

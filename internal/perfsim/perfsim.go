@@ -107,6 +107,12 @@ type Config struct {
 	// event/queue-depth instruments. Nil (the default) keeps the
 	// event loop uninstrumented at one branch per site.
 	Probe *telemetry.Probe
+	// StepObs, when non-nil, is notified after each post-warmup step
+	// with the step's virtual duration (lane "gpus<N>", images =
+	// batch × GPUs) — the live efficiency monitor's feed. Purely an
+	// observer: it must not influence the simulation, and nil (the
+	// default) keeps results byte-identical.
+	StepObs telemetry.StepObserver
 }
 
 // Placement selects the MPI-rank → GPU mapping.
@@ -263,6 +269,7 @@ func Run(cfg Config) (*Result, error) {
 	now := 0.0
 	accum := cfg.Horovod.AccumPasses()
 	stepHist := cfg.Probe.Histogram("perfsim_step_seconds", stepBucketsSec)
+	obsLane := fmt.Sprintf("gpus%d", cfg.GPUs)
 	for step := 0; step < cfg.Steps; step++ {
 		recordTimeline := cfg.Timeline != nil && step == cfg.WarmupSteps
 		// With gradient accumulation only every accum-th backward
@@ -275,6 +282,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 		d := st.endSec - st.startSec
 		stepHist.Observe(d)
+		if cfg.StepObs != nil {
+			cfg.StepObs.ObserveStep(obsLane, step, batch*cfg.GPUs, d)
+		}
 		res.StepTimesSec = append(res.StepTimesSec, d)
 		res.ComputeSec += st.computeSec
 		res.NegotiateSec += st.negotiateSec

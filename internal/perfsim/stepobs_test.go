@@ -1,0 +1,65 @@
+package perfsim
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// recordingObserver captures every step notification.
+type recordingObserver struct {
+	mu    sync.Mutex
+	lanes map[string]int
+	imgs  []int
+	durs  []float64
+}
+
+func (r *recordingObserver) ObserveStep(lane string, step, imgs int, stepSec float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lanes == nil {
+		r.lanes = map[string]int{}
+	}
+	r.lanes[lane]++
+	r.imgs = append(r.imgs, imgs)
+	r.durs = append(r.durs, stepSec)
+}
+
+// TestStepObserverSeesPostWarmupSteps checks the simulator's observer
+// contract: one notification per post-warmup step on lane "gpus<N>",
+// carrying the whole world's images and the virtual step duration —
+// and that observing changes nothing about the simulated result.
+func TestStepObserverSeesPostWarmupSteps(t *testing.T) {
+	cfg := defaultSpectrum(6)
+	base := run(t, cfg)
+
+	obs := &recordingObserver{}
+	cfg.StepObs = obs
+	observed := run(t, cfg)
+
+	if observed.ImgPerSec != base.ImgPerSec || observed.AvgStepSec != base.AvgStepSec {
+		t.Fatalf("observer perturbed the simulation: %.4f vs %.4f img/s",
+			observed.ImgPerSec, base.ImgPerSec)
+	}
+
+	wantSteps := DefaultSteps - 2 // default warmup
+	if got := obs.lanes["gpus6"]; got != wantSteps || len(obs.lanes) != 1 {
+		t.Fatalf("observations = %v, want %d on lane gpus6", obs.lanes, wantSteps)
+	}
+	wantImgs := 6 * cfg.Model.BatchPerGPU
+	var sumDur float64
+	for i, n := range obs.imgs {
+		if n != wantImgs {
+			t.Fatalf("obs %d carried %d images, want %d", i, n, wantImgs)
+		}
+		if obs.durs[i] <= 0 {
+			t.Fatalf("obs %d carried non-positive virtual duration %g", i, obs.durs[i])
+		}
+		sumDur += obs.durs[i]
+	}
+	// The observed durations are the same samples the result averages.
+	avg := sumDur / float64(len(obs.durs))
+	if math.Abs(avg-base.AvgStepSec)/base.AvgStepSec > 1e-9 {
+		t.Fatalf("observed avg step %.9f != result avg %.9f", avg, base.AvgStepSec)
+	}
+}

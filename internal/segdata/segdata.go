@@ -102,16 +102,34 @@ func (d *Dataset) Len() int { return d.N }
 
 // Sample renders scene i: a [3,H,W] image and its H·W label map.
 func (d *Dataset) Sample(i int) (*tensor.Tensor, []int32) {
+	img := tensor.New(3, d.H, d.W)
+	label := make([]int32, d.H*d.W)
+	d.SampleInto(i, img, label)
+	return img, label
+}
+
+// SampleInto renders scene i into caller-owned buffers: img must be a
+// [3,H,W] tensor (its contents are fully overwritten) and label must
+// hold H·W entries. The pooled evaluation path reuses one set of
+// buffers across every batch; rendering is a pure function of
+// (seed, i), so reuse cannot change the pixels produced.
+func (d *Dataset) SampleInto(i int, img *tensor.Tensor, label []int32) {
 	if i < 0 || i >= d.N {
 		panic(fmt.Sprintf("segdata: sample %d of %d", i, d.N))
 	}
+	if len(img.Data) != 3*d.H*d.W || len(label) != d.H*d.W {
+		panic(fmt.Sprintf("segdata: sample buffers %d/%d for %dx%d", len(img.Data), len(label), d.H, d.W))
+	}
 	rng := rand.New(rand.NewSource(d.Seed*1_000_003 + int64(i)))
-	img := tensor.New(3, d.H, d.W)
-	label := make([]int32, d.H*d.W)
+	// The background pass overwrites every image value; labels start
+	// from "all background" by contract, so clear any reused buffer.
+	for p := range label {
+		label[p] = 0
+	}
 
 	if d.Style == StyleUrban {
 		d.renderUrban(rng, img, label)
-		return img, label
+		return
 	}
 
 	// Textured background (class 0): low-amplitude grey noise.
@@ -127,7 +145,6 @@ func (d *Dataset) Sample(i int) (*tensor.Tensor, []int32) {
 		class := 1 + rng.Intn(NumClasses-1)
 		d.drawObject(rng, img, label, class)
 	}
-	return img, label
 }
 
 // renderUrban paints the driving-scene layout: a sky band, a building
@@ -257,13 +274,26 @@ func (d *Dataset) Batch(ids []int) (*tensor.Tensor, []int32) {
 	n := len(ids)
 	x := tensor.New(n, 3, d.H, d.W)
 	labels := make([]int32, n*d.H*d.W)
-	per := 3 * d.H * d.W
-	for k, id := range ids {
-		img, lbl := d.Sample(id)
-		copy(x.Data[k*per:(k+1)*per], img.Data)
-		copy(labels[k*d.H*d.W:(k+1)*d.H*d.W], lbl)
-	}
+	d.BatchInto(ids, x, labels)
 	return x, labels
+}
+
+// BatchInto renders samples ids into caller-owned buffers: x must be
+// an [N,3,H,W] tensor (typically drawn raw from a workspace — every
+// element is overwritten) and labels must hold N·H·W entries. Each
+// sample is rendered in place through a view over x's data, so the
+// only per-call allocations are the views' small headers.
+func (d *Dataset) BatchInto(ids []int, x *tensor.Tensor, labels []int32) {
+	n := len(ids)
+	per := 3 * d.H * d.W
+	if len(x.Data) != n*per || len(labels) != n*d.H*d.W {
+		panic(fmt.Sprintf("segdata: batch buffers %d/%d for %d samples of %dx%d",
+			len(x.Data), len(labels), n, d.H, d.W))
+	}
+	for k, id := range ids {
+		img := tensor.FromSlice(x.Data[k*per:(k+1)*per], 3, d.H, d.W)
+		d.SampleInto(id, img, labels[k*d.H*d.W:(k+1)*d.H*d.W])
+	}
 }
 
 // ShardIDs returns the sample indices owned by `rank` of `world`

@@ -13,6 +13,7 @@ import (
 type Collector struct {
 	mu     sync.Mutex
 	probes []*Probe
+	flight *FlightRecorder
 }
 
 // NewCollector returns an empty collector.
@@ -30,13 +31,52 @@ func (c *Collector) NewProbe(lane string, clock Clock) *Probe {
 }
 
 // Attach registers an externally built probe (nil probes ignored).
+// If the collector has a flight recorder enabled, the probe's tracer
+// starts mirroring into it.
 func (c *Collector) Attach(p *Probe) {
 	if c == nil || p == nil {
 		return
 	}
 	c.mu.Lock()
 	c.probes = append(c.probes, p)
+	flight := c.flight
 	c.mu.Unlock()
+	if flight != nil {
+		p.Tracer().SetFlight(flight)
+	}
+}
+
+// EnableFlight installs a flight recorder keeping the last capacity
+// events (DefaultFlightCapacity if capacity <= 0) and attaches it to
+// every current and future probe. Idempotent: a second call returns
+// the existing recorder unchanged. Nil-safe: a nil collector returns
+// a nil (no-op) recorder.
+func (c *Collector) EnableFlight(capacity int) *FlightRecorder {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	if c.flight == nil {
+		c.flight = NewFlightRecorder(capacity)
+	}
+	flight := c.flight
+	probes := append([]*Probe(nil), c.probes...)
+	c.mu.Unlock()
+	for _, p := range probes {
+		p.Tracer().SetFlight(flight)
+	}
+	return flight
+}
+
+// Flight returns the collector's flight recorder (nil when
+// EnableFlight was never called).
+func (c *Collector) Flight() *FlightRecorder {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flight
 }
 
 // Probes returns the attached probes.

@@ -52,6 +52,20 @@ func (p *Probe) Span(phase, name string) Span {
 	return p.tracer.Start(p.lane, phase, name)
 }
 
+// Mark records an instantaneous event (a zero-duration span at the
+// current clock reading) — the flight-recorder representation of
+// discrete occurrences like counter bumps, recoveries, or alerts.
+// Counters themselves are too hot to mirror into the ring one
+// increment at a time; call sites that want an increment visible in a
+// flight dump pair the Inc with a Mark. Nil-safe.
+func (p *Probe) Mark(phase, name string) {
+	if p == nil {
+		return
+	}
+	now := p.tracer.clock.Now()
+	p.tracer.Add(p.lane, phase, name, now, now)
+}
+
 // Counter returns the named counter from the probe's registry.
 // Nil-safe: a nil probe yields a nil (no-op) counter.
 func (p *Probe) Counter(name string) *Counter {

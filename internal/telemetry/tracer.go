@@ -20,13 +20,25 @@ type SpanRecord struct {
 type Tracer struct {
 	clock Clock
 
-	mu    sync.Mutex
-	spans []SpanRecord
+	mu     sync.Mutex
+	spans  []SpanRecord
+	flight *FlightRecorder
 }
 
 // NewTracer returns a tracer reading timestamps from clock.
 func NewTracer(clock Clock) *Tracer {
 	return &Tracer{clock: clock}
+}
+
+// SetFlight mirrors every subsequently recorded span into the flight
+// recorder's ring (nil detaches). Nil-safe.
+func (t *Tracer) SetFlight(f *FlightRecorder) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.flight = f
+	t.mu.Unlock()
 }
 
 // Span is an in-flight interval returned by Start. The zero Span (and
@@ -63,7 +75,9 @@ func (s Span) End() float64 {
 	s.t.spans = append(s.t.spans, SpanRecord{
 		Lane: s.lane, Phase: s.phase, Name: s.name, Start: s.start, End: end,
 	})
+	flight := s.t.flight
 	s.t.mu.Unlock()
+	flight.Record(FlightEvent{Lane: s.lane, Phase: s.phase, Name: s.name, Start: s.start, End: end})
 	return end - s.start
 }
 
@@ -80,7 +94,9 @@ func (t *Tracer) Add(lane, phase, name string, start, end float64) {
 	}
 	t.mu.Lock()
 	t.spans = append(t.spans, SpanRecord{Lane: lane, Phase: phase, Name: name, Start: start, End: end})
+	flight := t.flight
 	t.mu.Unlock()
+	flight.Record(FlightEvent{Lane: lane, Phase: phase, Name: name, Start: start, End: end})
 }
 
 // Spans returns a copy of the recorded spans.

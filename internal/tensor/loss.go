@@ -79,9 +79,19 @@ func SoftmaxCrossEntropyWS(logits *Tensor, labels []int32, ignore int32, ws *Wor
 
 // ArgmaxClass reduces logits [N,K,H,W] to predicted labels (N·H·W).
 func ArgmaxClass(logits *Tensor) []int32 {
+	n, h, w := logits.Dim(0), logits.Dim(2), logits.Dim(3)
+	return ArgmaxClassInto(logits, make([]int32, n*h*w))
+}
+
+// ArgmaxClassInto is ArgmaxClass writing into a caller-owned buffer
+// of exactly N·H·W labels — the pooled inference path's variant,
+// which keeps steady-state evaluation allocation-free. Returns out.
+func ArgmaxClassInto(logits *Tensor, out []int32) []int32 {
 	n, k, h, w := logits.Dim(0), logits.Dim(1), logits.Dim(2), logits.Dim(3)
 	spatial := h * w
-	out := make([]int32, n*spatial)
+	if len(out) != n*spatial {
+		panic(fmt.Sprintf("tensor: argmax output %d labels for [%d,%d,%d,%d] logits", len(out), n, k, h, w))
+	}
 	Parallel(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			base := i * k * spatial

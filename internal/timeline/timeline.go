@@ -27,6 +27,7 @@ const (
 	PhaseAllgather = "MPI_ALLGATHER"
 	PhaseBarrier   = "MPI_BARRIER"
 	PhaseStep      = "TRAIN_STEP"
+	PhaseRecovery  = "RECOVERY"
 )
 
 // Event is one traced interval.

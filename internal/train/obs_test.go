@@ -1,0 +1,103 @@
+package train
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"segscale/internal/deeplab"
+	"segscale/internal/obs"
+	"segscale/internal/segdata"
+	"segscale/internal/telemetry"
+	"segscale/internal/tensor"
+	"segscale/internal/transport"
+)
+
+// TestObsPlaneDoesNotChangeResults is the observability no-op
+// contract, one level up from the telemetry test: a run with the FULL
+// live plane attached — collector, flight recorder, efficiency
+// monitor consuming every step, liveness tracking through OnWorld —
+// must produce numerically identical training results to a bare run.
+func TestObsPlaneDoesNotChangeResults(t *testing.T) {
+	cfg := fastCfg()
+	cfg.World = 2
+	cfg.Epochs = 2
+
+	bare, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	instrumented := cfg
+	instrumented.Telemetry = telemetry.NewCollector()
+	flight := instrumented.Telemetry.EnableFlight(256)
+	mon := obs.NewEffMonitor(instrumented.Telemetry, obs.MonitorConfig{EveryK: 2})
+	instrumented.StepObs = mon
+	srv := obs.NewServer(obs.ServerOptions{Telemetry: instrumented.Telemetry, Monitor: mon})
+	var worldsSeen atomic.Int32
+	instrumented.OnWorld = func(w *transport.World, inc int) {
+		srv.TrackWorld(w, inc)
+		worldsSeen.Add(1)
+	}
+	observed, err := Run(instrumented)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The plane must actually have been live, or this test proves
+	// nothing.
+	if worldsSeen.Load() != 1 {
+		t.Fatalf("OnWorld fired %d times, want 1", worldsSeen.Load())
+	}
+	if flight.Total() == 0 {
+		t.Fatal("flight recorder saw no events")
+	}
+	if mon.LastEfficiency() <= 0 {
+		t.Fatal("efficiency monitor never evaluated")
+	}
+
+	// Results must match bit-for-bit once the observer hooks themselves
+	// (pointers, funcs, NaN-holding map) are factored out.
+	a, b := *bare, *observed
+	a.Config.Telemetry, b.Config.Telemetry = nil, nil
+	a.Config.StepObs, b.Config.StepObs = nil, nil
+	a.Config.OnWorld, b.Config.OnWorld = nil, nil
+	for k := range a.FinalPerClassIOU {
+		x, y := a.FinalPerClassIOU[k], b.FinalPerClassIOU[k]
+		if x != y && !(math.IsNaN(x) && math.IsNaN(y)) {
+			t.Errorf("class %d IOU differs: %g vs %g", k, x, y)
+		}
+	}
+	a.FinalPerClassIOU, b.FinalPerClassIOU = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("observability plane changed the training result:\nbare:     %+v\nobserved: %+v", a, b)
+	}
+}
+
+// TestEvalAllocBudget pins the pooled evaluation path: rendering into
+// the workspace arena, predicting into reused label buffers. The
+// budget is per evaluate() call over a 16-image shard (4 batches) and
+// covers the intentional residue — the confusion matrix, the two
+// reused label slices, and Parallel-closure headers — none of it
+// proportional to batch or image size.
+func TestEvalAllocBudget(t *testing.T) {
+	cfg := deeplab.DefaultConfig()
+	net := deeplab.New(cfg)
+	ws := tensor.NewWorkspace()
+	net.SetWorkspace(ws)
+	ds := segdata.New(16, cfg.InputSize, cfg.InputSize, 7)
+
+	run := func() { evaluate(net, ds, 1, 0, ws) }
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	run()
+	run()
+	got := testing.AllocsPerRun(3, run)
+	t.Logf("allocs per pooled evaluate() over 16 images: %.0f", got)
+	const budget = 120
+	if got > budget {
+		t.Fatalf("pooled evaluation allocates %.0f times, budget %d", got, budget)
+	}
+}

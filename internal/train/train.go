@@ -110,6 +110,26 @@ type Config struct {
 	// default) leaves every hot path on its one-branch no-op and must
 	// not perturb results in any way.
 	Telemetry *telemetry.Collector
+	// OnWorld, when non-nil, is called once per incarnation right
+	// after the transport world is built and armed (before any rank
+	// goroutine starts), with the world and the incarnation number
+	// (0 = first attempt). The live observability plane hooks rank
+	// liveness (/healthz, /readyz) and flight-recorder dumps on
+	// recovery through it. Purely an observer: it must not touch the
+	// world beyond reading its state, and nil (the default) must not
+	// change results.
+	OnWorld func(w *transport.World, incarnation int)
+	// StepObs, when non-nil, is notified after every completed
+	// training step on every rank. The lane is "rank<N>" and — unlike
+	// the telemetry lane — stays stable across restarts, so a
+	// wall-timing observer sees the crash-to-recovery gap as one long
+	// stall on the affected ranks (the efficiency dip). Real training
+	// deliberately never reads a clock, so the notification carries
+	// stepSec = 0 and leaves wall timing to the observer (the
+	// efficiency monitor stamps arrival times itself). Implementations
+	// must be goroutine-safe; nil (the default) must not change
+	// results.
+	StepObs telemetry.StepObserver
 }
 
 // DefaultConfig returns a configuration that converges in seconds on
@@ -268,6 +288,10 @@ func Run(cfg Config) (*Result, error) {
 		}
 		restarts++
 		run.probe.Counter("recoveries_total").Inc()
+		// Leave an instantaneous RECOVERY event in the trace and the
+		// flight-recorder ring, so a post-crash dump shows where the
+		// pre-crash window ends and the restart begins.
+		run.probe.Mark(timeline.PhaseRecovery, fmt.Sprintf("restart%d: %v", restarts, err))
 		if run.savedEpoch >= 0 {
 			// Roll back to the last epoch rank 0 checkpointed.
 			startEpoch = run.savedEpoch + 1
@@ -332,11 +356,15 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 	if cfg.Chaos != nil {
 		cfg.Chaos.Arm(w)
 	}
+	if cfg.OnWorld != nil {
+		cfg.OnWorld(w, inc)
+	}
 	return w.Run(func(c *transport.Comm) error {
 		rank := c.Rank()
 		// Per-rank telemetry on a step-counter clock: deterministic,
 		// wall-clock-free, merged by the collector after the run.
-		lane := fmt.Sprintf("rank%d", rank)
+		obsLane := fmt.Sprintf("rank%d", rank)
+		lane := obsLane
 		if inc > 0 {
 			lane = fmt.Sprintf("rank%d.r%d", rank, inc)
 		}
@@ -479,6 +507,11 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 				step++
 				probe.Counter("train_steps_total").Inc()
 				probe.Histogram("train_step_ops", stepBucketsOps).Observe(stepSpan.End())
+				if cfg.StepObs != nil {
+					// Incarnation-free lane: restarts continue the same
+					// per-rank throughput series.
+					cfg.StepObs.ObserveStep(obsLane, step-1, cfg.BatchPerRank, 0)
+				}
 			}
 
 			// Global metrics: average loss, merged confusion matrix.
@@ -486,8 +519,8 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 			if err != nil {
 				return err
 			}
-			conf := evaluate(net, rs.evalSet, cfg.World, rank)
-			ws.Reset() // reclaim eval-forward activations
+			conf := evaluate(net, rs.evalSet, cfg.World, rank, ws)
+			ws.Reset() // reclaim the last eval batch's activations
 			if err := rt.AllreduceCounts(conf.M); err != nil {
 				return err
 			}
@@ -532,16 +565,32 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 }
 
 // evaluate runs this rank's slice of the eval set through the model
-// in eval mode and returns its partial confusion matrix.
-func evaluate(net deeplab.Segmenter, evalSet *segdata.Dataset, world, rank int) *metrics.Confusion {
+// in eval mode and returns its partial confusion matrix. The whole
+// path is pooled: batch images come raw from the rank's workspace
+// (every element overwritten by the renderer), label and prediction
+// buffers are reused across batches, and the arena is Reset between
+// batches — so steady-state evaluation, like the training step,
+// allocates (almost) nothing. Reuse is numerically invisible: scene
+// rendering is a pure function of (seed, id) and argmax fully
+// overwrites its output, which keeps the restart-equivalence and
+// chaos goldens bit-identical to the heap path.
+func evaluate(net deeplab.Segmenter, evalSet *segdata.Dataset, world, rank int, ws *tensor.Workspace) *metrics.Confusion {
 	conf := metrics.NewConfusion(segdata.NumClasses)
 	ids := segdata.ShardIDs(evalSet.Len(), world, rank)
 	const evalBatch = 4
+	hw := evalSet.H * evalSet.W
+	labels := make([]int32, evalBatch*hw)
+	pred := make([]int32, evalBatch*hw)
 	for lo := 0; lo < len(ids); lo += evalBatch {
 		hi := min(lo+evalBatch, len(ids))
-		x, labels := evalSet.Batch(ids[lo:hi])
-		pred := net.Predict(x)
-		conf.Update(labels, pred, segdata.IgnoreLabel)
+		n := hi - lo
+		// Reclaim the previous batch's activations; conf.Update has
+		// already consumed everything derived from them.
+		ws.Reset()
+		x := ws.GetRaw(n, 3, evalSet.H, evalSet.W)
+		evalSet.BatchInto(ids[lo:hi], x, labels[:n*hw])
+		p := net.PredictInto(x, pred[:n*hw])
+		conf.Update(labels[:n*hw], p, segdata.IgnoreLabel)
 	}
 	return conf
 }

@@ -211,6 +211,12 @@ func (w *World) failure() error {
 	return fmt.Errorf("world draining after failure of rank(s) %v: %w", dead, ErrRankFailed)
 }
 
+// Failure returns the world's terminal error — wrapping ErrRankFailed
+// and naming the dead ranks — or nil while every rank is alive. It is
+// the exported liveness view the observability plane's /healthz and
+// /readyz endpoints report from.
+func (w *World) Failure() error { return w.failure() }
+
 // FailedRanks returns the ranks that have died so far.
 func (w *World) FailedRanks() []int {
 	w.mu.Lock()

@@ -34,11 +34,13 @@ import (
 	"segscale/internal/model"
 	"segscale/internal/mpiprofile"
 	"segscale/internal/netmodel"
+	"segscale/internal/obs"
 	"segscale/internal/perfsim"
 	"segscale/internal/telemetry"
 	"segscale/internal/timeline"
 	"segscale/internal/topology"
 	"segscale/internal/train"
+	"segscale/internal/transport"
 )
 
 // Re-exported configuration types. The underlying packages carry the
@@ -75,7 +77,85 @@ type (
 	// training with checkpoint-restart recovery) or SimOptions.Chaos
 	// (performance simulation).
 	ChaosPlan = faultinject.Plan
+	// FlightRecorder is the always-on bounded ring of recent telemetry
+	// events, dumpable as a Chrome trace mid-run (see
+	// Telemetry.EnableFlight).
+	FlightRecorder = telemetry.FlightRecorder
+	// StepObserver receives per-step completion notifications from the
+	// trainer (TrainConfig.StepObs) or the simulator
+	// (SimOptions.StepObs).
+	StepObserver = telemetry.StepObserver
+	// ObsServer is the live observability HTTP server (/metrics,
+	// /healthz, /readyz, /debug/flight, /debug/alerts, /debug/pprof).
+	ObsServer = obs.Server
+	// ObsServerOptions configures NewObsServer.
+	ObsServerOptions = obs.ServerOptions
+	// EffMonitor is the online scaling-efficiency monitor with SLO
+	// alerts and straggler z-scores.
+	EffMonitor = obs.EffMonitor
+	// MonitorConfig tunes the efficiency monitor.
+	MonitorConfig = obs.MonitorConfig
+	// ObsAlert is one structured alert from the efficiency monitor.
+	ObsAlert = obs.Alert
+	// RunManifest is the per-run record written under results/runs/.
+	RunManifest = obs.Manifest
+	// PromFlusher periodically re-exports metrics to disk (atomic
+	// temp-file + rename), so a crashed run still leaves usable data.
+	PromFlusher = obs.PromFlusher
+	// TransportWorld is one incarnation of the in-process rank world —
+	// what TrainConfig.OnWorld hands to observers.
+	TransportWorld = transport.World
 )
+
+// NewObsServer builds (without starting) the observability HTTP
+// server; call its Start method to listen and serve in the
+// background, TrackWorld from a TrainConfig.OnWorld hook to feed
+// liveness, and Close when the run ends.
+func NewObsServer(o ObsServerOptions) *ObsServer { return obs.NewServer(o) }
+
+// NewEffMonitor builds an online scaling-efficiency monitor
+// publishing gauges through col (which may be nil). Attach it via
+// TrainConfig.StepObs or SimOptions.StepObs.
+func NewEffMonitor(col *Telemetry, cfg MonitorConfig) *EffMonitor {
+	return obs.NewEffMonitor(col, cfg)
+}
+
+// NewPromFlusher re-exports col's metrics to path every `every` step
+// observations. Combine with other observers via MultiStepObserver.
+func NewPromFlusher(col *Telemetry, path string, every int) *PromFlusher {
+	return obs.NewPromFlusher(col, path, every)
+}
+
+// MultiStepObserver fans step notifications out to several observers,
+// skipping nils (nil when none remain).
+func MultiStepObserver(o ...StepObserver) StepObserver { return telemetry.MultiObserver(o...) }
+
+// FlushPrometheus atomically writes col's current metrics to path in
+// Prometheus text format.
+func FlushPrometheus(col *Telemetry, path string) error { return obs.FlushPrometheus(col, path) }
+
+// WriteFlightTrace atomically dumps a flight recorder's retained
+// window to path as a Chrome trace (a nil recorder is a no-op).
+func WriteFlightTrace(f *FlightRecorder, path string) error { return obs.WriteFlightTrace(f, path) }
+
+// DumpFlightOnSignal dumps the flight recorder to path on every
+// SIGQUIT until the returned stop function runs. report (optional)
+// receives dump errors.
+func DumpFlightOnSignal(f *FlightRecorder, path string, report func(error)) (stop func()) {
+	return obs.DumpFlightOnSignal(f, path, report)
+}
+
+// WriteRunManifest writes a run manifest atomically under dir
+// (conventionally "results/runs") and returns the file path.
+func WriteRunManifest(dir string, m RunManifest) (string, error) { return obs.WriteManifest(dir, m) }
+
+// GitRev returns the VCS revision baked into the running binary, or
+// "unknown" for go-run builds.
+func GitRev() string { return obs.GitRev() }
+
+// DefaultSLO is the paper's ~92% scaling-efficiency headline — the
+// efficiency monitor's default objective.
+const DefaultSLO = obs.DefaultSLO
 
 // ParseChaosSpec parses a compact chaos-plan spec such as
 // "seed=7;drop=0.01;crash=1@40;slow=2*1.5@10-60". See
@@ -138,6 +218,10 @@ type SimOptions struct {
 	// Chaos, when non-nil, injects deterministic faults (stragglers,
 	// message drop/duplication/delay) into the simulated run.
 	Chaos *ChaosPlan
+	// StepObs, when non-nil, receives every post-warmup simulated step
+	// (lane "gpus<N>", virtual duration) — attach an EffMonitor here to
+	// watch scaling efficiency live.
+	StepObs StepObserver
 }
 
 // Simulate runs the performance simulator for one configuration.
@@ -149,12 +233,20 @@ func Simulate(opts SimOptions) (*SimResult, error) {
 	// The simulator runs on virtual time; the probe's clock only
 	// stamps span-free metrics, so the deterministic step counter is
 	// the right choice.
-	probe := opts.Telemetry.NewProbe(fmt.Sprintf("gpus%d", opts.GPUs), telemetry.NewStepClock())
+	lane := fmt.Sprintf("gpus%d", opts.GPUs)
+	probe := opts.Telemetry.NewProbe(lane, telemetry.NewStepClock())
+	// A simulated "image" is one sample on one GPU, so the lane's rank
+	// count is the GPU count — observers that normalise per-rank
+	// throughput (EffMonitor) need to know it.
+	if lr, ok := opts.StepObs.(interface{ SetLaneRanks(string, int) }); ok && lr != nil {
+		lr.SetLaneRanks(lane, opts.GPUs)
+	}
 	return perfsim.Run(perfsim.Config{
 		GPUs: opts.GPUs, Model: opts.Model, MPI: opts.MPI,
 		Horovod: opts.Horovod, Seed: opts.Seed, Steps: opts.Steps,
 		Placement: placement, IO: opts.IO,
 		Timeline: opts.Timeline, Probe: probe, Chaos: opts.Chaos,
+		StepObs: opts.StepObs,
 	})
 }
 

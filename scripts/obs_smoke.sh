@@ -1,0 +1,42 @@
+#!/bin/sh
+# obs_smoke.sh — end-to-end check of the live observability plane:
+# start summit-sim with the HTTP endpoint armed, wait for the run to
+# finish (it lingers for scrapes), curl /metrics and /healthz, and
+# validate the scraped metric names against the repository convention
+# with seglint -prom.
+set -eu
+
+log=/tmp/segscale-obs-smoke.log
+prom=/tmp/segscale-obs-smoke.prom
+: >"$log"
+
+go build -o /tmp/segscale-summit-sim ./cmd/summit-sim
+/tmp/segscale-summit-sim -gpus 1,6 -obs-addr 127.0.0.1:0 -obs-linger 60s >"$log" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+# The resolved URL is printed once the listener is up; the completion
+# marker says every scale has been simulated (gauges are final).
+for _ in $(seq 1 100); do
+    grep -q '^summit-sim: done$' "$log" && break
+    kill -0 "$pid" 2>/dev/null || { echo "summit-sim exited early:"; cat "$log"; exit 1; }
+    sleep 0.2
+done
+grep -q '^summit-sim: done$' "$log" || { echo "timed out waiting for summit-sim:"; cat "$log"; exit 1; }
+
+url=$(sed -n 's/^obs: serving on //p' "$log")
+[ -n "$url" ] || { echo "no obs URL in log:"; cat "$log"; exit 1; }
+
+curl -fsS "$url/healthz" | grep -q '^ok$' || { echo "/healthz not ok"; exit 1; }
+curl -fsS "$url/readyz" | grep -q '^ready$' || { echo "/readyz not ready"; exit 1; }
+curl -fsS "$url/metrics" >"$prom"
+grep -q '^# TYPE perfsim_step_seconds histogram' "$prom" || {
+    echo "/metrics missing perfsim histogram:"; head "$prom"; exit 1; }
+grep -q '^obs_scaling_efficiency_ratio' "$prom" || {
+    echo "/metrics missing efficiency gauge:"; head "$prom"; exit 1; }
+
+# Scraped names must satisfy the same convention the metricname pass
+# enforces at registration sites.
+go run ./cmd/seglint -prom "$prom"
+
+echo "obs smoke OK ($url)"
