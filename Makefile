@@ -24,7 +24,7 @@ vet:
 	go vet ./...
 
 lint: vet
-	go run ./cmd/seglint ./...
+	go run ./cmd/seglint -suppressions ./...
 
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/fp16/

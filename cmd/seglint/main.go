@@ -4,15 +4,27 @@
 //
 // Usage:
 //
-//	go run ./cmd/seglint ./...            # lint the whole module
-//	go run ./cmd/seglint -json ./...      # machine-readable findings
-//	go run ./cmd/seglint -list            # describe the passes
-//	go run ./cmd/seglint -prom m.prom     # validate an exported metrics file
+//	go run ./cmd/seglint ./...                # lint the whole module
+//	go run ./cmd/seglint -json ./...          # machine-readable findings
+//	go run ./cmd/seglint -list                # describe the passes
+//	go run ./cmd/seglint -facts ./...         # dump the cross-function fact database
+//	go run ./cmd/seglint -suppressions ./...  # also fail reason-less suppressions
+//	go run ./cmd/seglint -prom m.prom         # validate an exported metrics file
 //
 // -prom checks a Prometheus text-format export (what -prom flags on
 // the binaries and the /metrics endpoint emit) against the same
 // naming convention the metricname pass enforces at registration
 // sites — closing the loop from source to scrape.
+//
+// -facts prints one line per function carrying cross-function facts
+// (hot-path membership, allocation counts, map-order sensitivity,
+// workspace vend/retain summaries) in a stable order, for debugging
+// why a hotalloc/maporder/wsretain finding did or did not propagate.
+//
+// -suppressions additionally reports every //seglint:ignore /
+// file-ignore / package-ignore directive that carries no reason, as
+// unsuppressible "suppressreason" findings — CI runs this mode so
+// every suppression in the tree stays justified.
 //
 // Exit status: 0 when clean, 1 when findings remain, 2 on internal
 // error. Findings can be suppressed in source with recorded
@@ -29,11 +41,14 @@ import (
 	"strings"
 
 	"segscale/internal/analysis"
+	"segscale/internal/analysis/passes/hotalloc"
+	"segscale/internal/analysis/passes/maporder"
 	"segscale/internal/analysis/passes/metricname"
 	"segscale/internal/analysis/passes/nopanic"
 	"segscale/internal/analysis/passes/nowallclock"
 	"segscale/internal/analysis/passes/seededrand"
 	"segscale/internal/analysis/passes/unitsuffix"
+	"segscale/internal/analysis/passes/wsretain"
 	"segscale/internal/telemetry"
 )
 
@@ -45,14 +60,19 @@ var analyzers = []*analysis.Analyzer{
 	unitsuffix.Analyzer,
 	nopanic.Analyzer,
 	metricname.Analyzer,
+	hotalloc.Analyzer,
+	maporder.Analyzer,
+	wsretain.Analyzer,
 }
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	facts := flag.Bool("facts", false, "dump the cross-function fact database instead of linting")
+	checkSup := flag.Bool("suppressions", false, "also fail //seglint:ignore directives that carry no reason")
 	promFile := flag.String("prom", "", "validate a Prometheus text-format metrics file instead of linting packages")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: seglint [-json] [-list] [-prom file] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: seglint [-json] [-list] [-facts] [-suppressions] [-prom file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -73,7 +93,10 @@ func main() {
 		if len(patterns) == 0 {
 			patterns = []string{"./..."}
 		}
-		findings, err = lint(patterns)
+		findings, err = lint(patterns, *facts, *checkSup)
+		if err == nil && *facts {
+			return
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seglint:", err)
@@ -142,6 +165,9 @@ func lintProm(path string) ([]analysis.Finding, error) {
 				telemetry.MetricSuffixes))
 		}
 	}
+	// Same total order as the source-lint path, so -json/text output
+	// is byte-stable however the input was produced.
+	analysis.SortFindings(findings)
 	return findings, sc.Err()
 }
 
@@ -166,7 +192,7 @@ func promSampleName(s string) string {
 	return ""
 }
 
-func lint(patterns []string) ([]analysis.Finding, error) {
+func lint(patterns []string, dumpFacts, checkSup bool) ([]analysis.Finding, error) {
 	root, err := findModuleRoot()
 	if err != nil {
 		return nil, err
@@ -194,7 +220,19 @@ func lint(patterns []string) ([]analysis.Finding, error) {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	return analysis.Run(pkgs, analyzers, cwd)
+	// The fact database spans everything the loader has seen — the
+	// lint targets plus every repo package they transitively import —
+	// so cross-package facts are complete even when linting a subtree.
+	db := analysis.BuildFactDB(loader.Loaded())
+	if dumpFacts {
+		db.Dump(os.Stdout)
+		return nil, nil
+	}
+	return analysis.RunWith(pkgs, analyzers, analysis.Options{
+		RelTo:             cwd,
+		Facts:             db,
+		CheckSuppressions: checkSup,
+	})
 }
 
 // rebase makes relative patterns cwd-relative, matching the go tool:

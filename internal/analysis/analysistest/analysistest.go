@@ -32,22 +32,41 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads each named fixture package from testdata/src, applies the
-// analyzer, and reports any mismatch between findings and // want
-// expectations as test errors.
+// Run loads the named fixture packages from testdata/src through one
+// shared loader, builds the fact database over everything loaded
+// (including packages the fixtures import but that are not named
+// here), applies the analyzer to the named packages, and reports any
+// mismatch between findings and // want expectations as test errors.
+//
+// Because the database spans all loaded packages, fixtures can
+// exercise cross-package fact propagation: name the package holding
+// the entry points, let it import a helper package, and put // want
+// comments wherever findings should surface. Naming the helper too
+// additionally checks the findings (if any) expected inside it.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	loader := analysis.NewFixtureLoader(testdata + "/src")
+	var targets []*analysis.Package
 	for _, name := range pkgs {
 		pkg, err := loader.Load(name)
 		if err != nil {
 			t.Fatalf("loading fixture %q: %v", name, err)
 		}
-		findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a}, "")
-		if err != nil {
-			t.Fatalf("running %s on fixture %q: %v", a.Name, name, err)
+		targets = append(targets, pkg)
+	}
+	facts := analysis.BuildFactDB(loader.Loaded())
+	findings, err := analysis.RunWith(targets, []*analysis.Analyzer{a}, analysis.Options{Facts: facts})
+	if err != nil {
+		t.Fatalf("running %s on fixtures %v: %v", a.Name, pkgs, err)
+	}
+	for _, pkg := range targets {
+		var own []analysis.Finding
+		for _, fd := range findings {
+			if strings.HasPrefix(fd.File, pkg.Dir+"/") {
+				own = append(own, fd)
+			}
 		}
-		checkPackage(t, pkg, findings)
+		checkPackage(t, pkg, own)
 	}
 }
 

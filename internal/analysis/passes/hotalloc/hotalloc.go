@@ -1,0 +1,81 @@
+// Package hotalloc defines an Analyzer that enforces allocation-free
+// hot paths. A function annotated
+//
+//	//seglint:hotpath <why>
+//
+// in its doc comment — the train step, the matmul/conv kernels, the
+// eval PredictInto chain, the collective pack/unpack — and everything
+// it transitively calls must not allocate: no make/new/append, no
+// slice or map literals, no capturing closures, no goroutine launches,
+// no interface boxing, no string concatenation, no calls into external
+// functions that are not on the allocation-free whitelist. The
+// reachability comes from the whole-repo fact database, so a helper
+// three calls deep in another package is checked from the annotated
+// entry point, and each finding names the root and call chain that
+// made the site hot.
+//
+// Cold regions — panic arguments and if/case branches that end by
+// panicking or returning an error — are exempt: invariant guards and
+// error construction never run in steady state, and forcing them
+// allocation-free would only make failures less diagnosable.
+//
+// Accepted allocations (amortised pool growth, per-launch parallel
+// closures) are suppressed per site with //seglint:ignore hotalloc and
+// a reason.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"segscale/internal/analysis"
+)
+
+// Analyzer flags allocation sites reachable from //seglint:hotpath
+// roots.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "functions annotated //seglint:hotpath and everything they transitively call " +
+		"must be allocation-free; flags make/new/append/literals/closures/boxing/goroutines, " +
+		"calls into external functions assumed to allocate, and dynamic calls that cannot be verified",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	db := pass.Facts
+	if db == nil {
+		return nil // no cross-function facts: nothing can be proven hot
+	}
+	hot := db.HotSet()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			chain, isHot := hot[fn]
+			if !isHot {
+				continue
+			}
+			fi := db.Info(fn)
+			if fi == nil {
+				continue
+			}
+			via := chain.Describe()
+			for _, s := range fi.Allocs {
+				pass.Reportf(s.Pos, "%s on a hot path (%s)", s.Desc, via)
+			}
+			for _, s := range fi.ExtCalls {
+				pass.Reportf(s.Pos, "%s on a hot path (%s)", s.Desc, via)
+			}
+			for _, s := range fi.DynCalls {
+				pass.Reportf(s.Pos, "%s on a hot path cannot be verified allocation-free (%s)", s.Desc, via)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package helper
+
+// Alloc builds a fresh slice per call. It is only flagged because the
+// hot fixture package reaches it from a //seglint:hotpath root — the
+// finding lands here, at the allocation, with the chain in the
+// message.
+func Alloc(n int) []float64 {
+	return make([]float64, n) // want "make allocates on a hot path"
+}
+
+// Sum is allocation-free and safe to call from a hot path.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

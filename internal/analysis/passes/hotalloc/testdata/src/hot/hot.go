@@ -1,0 +1,48 @@
+package hot
+
+import "helper"
+
+var sink float64
+
+//seglint:hotpath fixture inner loop; must stay allocation-free
+func Step(xs []float64) {
+	buf := make([]float64, 8) // want "make allocates on a hot path"
+	_ = buf
+	ok := make([]float64, 8) //seglint:ignore hotalloc fixture proves per-site suppression
+	_ = ok
+	sink = helper.Sum(xs)
+	helper.Alloc(4) // cross-package: the finding lands in helper
+	n := 0
+	fn := func() { n++ } // want "closure capturing outer variables"
+	fn()                 // want "call through a function value"
+	spawn(xs)
+	guard(xs)
+}
+
+// spawn is hot via Step; launching a goroutine allocates its stack.
+func spawn(xs []float64) {
+	go drain(xs) // want "goroutine launch allocates"
+}
+
+func drain(xs []float64) { sink = helper.Sum(xs) }
+
+// guard panics on bad input: the branch ends in panic, so it is a cold
+// region and its allocations (the formatted message) are exempt.
+func guard(xs []float64) {
+	if len(xs) == 0 {
+		panic("hot: empty input " + "detail") // concat in a cold region: no finding
+	}
+}
+
+// Box is hot via the root below; boxing an int into any allocates.
+//
+//seglint:hotpath fixture boxing root
+func Box(n int) {
+	var v any
+	v = n // want "boxed into any"
+	_ = v
+}
+
+// NotHot is unannotated and unreachable from any root, so it may
+// allocate freely.
+func NotHot() []int { return make([]int, 3) }

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"segscale/internal/analysis/analysistest"
+	"segscale/internal/analysis/passes/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "perfsim", "detutil")
+}

@@ -1,0 +1,57 @@
+// Package perfsim shares its basename with a deterministic target
+// package, so the maporder pass is active here.
+package perfsim
+
+import (
+	"detutil"
+	"sort"
+)
+
+// Gather folds floats in map order: flagged directly.
+func Gather(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want "order-sensitive map iteration"
+		s += v
+	}
+	return s
+}
+
+// Sorted collects then sorts: allowed.
+func Sorted(m map[int]float64) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// Count folds an integer: order-insensitive, allowed.
+func Count(m map[int]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Fold reaches the order-sensitive iteration through a helper in a
+// non-deterministic package: flagged at the call site.
+func Fold(m map[string]float64) float64 {
+	return detutil.SumVals(m) // want "reaches an order-sensitive map iteration"
+}
+
+// Names calls an order-insensitive helper: allowed.
+func Names(m map[string]float64) []string {
+	return detutil.Keys(m)
+}
+
+// Smoke demonstrates a justified per-site suppression.
+func Smoke(m map[int]float64) float64 {
+	var s float64
+	//seglint:ignore maporder fixture: diagnostic-only aggregate, never committed
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

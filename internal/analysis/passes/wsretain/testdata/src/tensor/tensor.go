@@ -1,0 +1,36 @@
+// Package tensor is a minimal stand-in for the real arena: the
+// wsretain pass matches Workspace by package basename and type name,
+// so fixtures exercise the same resolution path as product code.
+package tensor
+
+// Tensor is a shaped float buffer.
+type Tensor struct {
+	Data  []float64
+	Shape []int
+}
+
+// Workspace vends tensors that are only valid until the next Reset.
+type Workspace struct{ lent []*Tensor }
+
+// NewWorkspace returns an empty arena.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Get vends a zeroed tensor.
+func (w *Workspace) Get(dims ...int) *Tensor { return w.GetRaw(dims...) }
+
+// GetRaw vends a tensor with unspecified contents.
+func (w *Workspace) GetRaw(dims ...int) *Tensor {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	t := &Tensor{Data: make([]float64, n), Shape: dims}
+	w.lent = append(w.lent, t)
+	return t
+}
+
+// Put returns a tensor early.
+func (w *Workspace) Put(t *Tensor) {}
+
+// Reset recycles every outstanding tensor.
+func (w *Workspace) Reset() { w.lent = w.lent[:0] }

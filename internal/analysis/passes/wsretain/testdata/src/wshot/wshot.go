@@ -1,0 +1,65 @@
+package wshot
+
+import (
+	"tensor"
+	"wsstash"
+)
+
+var cache *tensor.Tensor
+
+// StoreGlobal leaks a vended tensor into package-level state, which
+// survives Reset and silently aliases recycled memory.
+func StoreGlobal(ws *tensor.Workspace) {
+	t := ws.GetRaw(4)
+	cache = t // want "stored into package-level cache"
+}
+
+// Spawn leaks a vended tensor into a goroutine that may outlive the
+// step.
+func Spawn(ws *tensor.Workspace, done chan struct{}) {
+	t := ws.GetRaw(4)
+	go func() {
+		t.Data[0] = 1 // want "captured by a goroutine"
+		close(done)
+	}()
+}
+
+// VendAndReturn returns a vended tensor without Reset — legal; the
+// fact database records the "vends" fact so callers are tracked.
+func VendAndReturn(ws *tensor.Workspace) *tensor.Tensor {
+	return ws.GetRaw(8)
+}
+
+// ResetAndReturn returns a tensor it has already recycled.
+func ResetAndReturn(ws *tensor.Workspace) *tensor.Tensor {
+	t := ws.GetRaw(8)
+	ws.Reset()
+	return t // want "returned across the step boundary"
+}
+
+// Stash hands a vended tensor (obtained through the vends fact, not a
+// direct Get) to a cross-package retainer.
+func Stash(ws *tensor.Workspace) {
+	t := VendAndReturn(ws)
+	wsstash.Retain(t) // want "retains argument 0"
+}
+
+// Layer caches activations in receiver fields — the intra-step idiom
+// the pass deliberately allows (fields are re-vended every step).
+type Layer struct {
+	ws  *tensor.Workspace
+	act *tensor.Tensor
+}
+
+// Forward stores into a receiver field and returns it: no findings.
+func (l *Layer) Forward() *tensor.Tensor {
+	l.act = l.ws.GetRaw(16)
+	return l.act
+}
+
+// Justified demonstrates a per-site suppression with a reason.
+func Justified(ws *tensor.Workspace) {
+	t := ws.GetRaw(4)
+	//seglint:ignore wsretain fixture: buffer is copied before Reset in the same frame
+	cache = t
+}

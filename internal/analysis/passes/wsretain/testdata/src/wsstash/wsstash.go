@@ -1,0 +1,13 @@
+package wsstash
+
+import "tensor"
+
+var held *tensor.Tensor
+
+// Retain parks its argument in package state. The store of a plain
+// parameter is not a finding here — it becomes a "retains argument 0"
+// fact, and callers handing over arena-vended tensors are flagged at
+// the hand-off, across the package boundary.
+func Retain(t *tensor.Tensor) {
+	held = t
+}

@@ -1,0 +1,77 @@
+// Package wsretain defines an Analyzer that guards the workspace
+// arena's aliasing contract: a tensor vended by tensor.Workspace
+// (Get/GetRaw) is owned by the arena and reclaimed wholesale at the
+// next Reset, so it must not outlive the step that drew it. The pass
+// flags three escapes of vended values:
+//
+//   - stores into package-level state (directly or through fields or
+//     elements of a global), which survive Reset and silently alias
+//     recycled memory;
+//   - captures by (or arguments to) goroutines, which may still be
+//     running when Reset recycles the buffer;
+//   - returns from a function that itself calls Reset — the caller
+//     receives a tensor that is already dead.
+//
+// Returning a vended tensor without calling Reset is legal and common
+// (Conv2DWS and friends vend their outputs); the fact database records
+// it as a "vends" fact so callers' escapes are tracked too. Likewise a
+// function that stores a parameter into long-lived state exports a
+// "retains" fact, and passing a vended tensor to it is flagged at the
+// hand-off — across package boundaries. Receiver-field stores are
+// deliberately exempt: the nn layers cache vended activations in
+// fields intra-step by design, and those fields are re-vended from the
+// warm arena every step.
+package wsretain
+
+import (
+	"go/ast"
+	"go/types"
+
+	"segscale/internal/analysis"
+)
+
+// Analyzer flags workspace-vended tensors escaping the step boundary.
+var Analyzer = &analysis.Analyzer{
+	Name: "wsretain",
+	Doc: "tensors vended by tensor.Workspace must not escape the step: no package-level stores, " +
+		"no goroutine captures, no returning past the function's own Reset, no hand-off to callees " +
+		"that retain their argument",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	db := pass.Facts
+	if db == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := db.Info(fn)
+			if fi == nil {
+				continue
+			}
+			a := db.AnalyzeWorkspace(fi)
+			for _, esc := range a.Escapes {
+				if !esc.Vended {
+					continue // a retained parameter is a fact, not a finding here
+				}
+				pass.Reportf(esc.Pos, "workspace-vended tensor %s; arena memory is recycled at Reset", esc.Desc)
+			}
+			if a.CallsReset {
+				for _, pos := range a.VendedReturns {
+					pass.Reportf(pos, "workspace-vended tensor returned across the step boundary: "+
+						"%s calls Reset, so the caller receives recycled arena memory", fn.Name())
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package wsretain_test
+
+import (
+	"testing"
+
+	"segscale/internal/analysis/analysistest"
+	"segscale/internal/analysis/passes/wsretain"
+)
+
+func TestWSRetain(t *testing.T) {
+	analysistest.Run(t, "testdata", wsretain.Analyzer, "wshot", "wsstash", "tensor")
+}

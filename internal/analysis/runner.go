@@ -21,13 +21,62 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
 
+// SuppressHygieneAnalyzer is the analyzer name attached to findings
+// about the suppression comments themselves (missing reasons). These
+// findings are emitted by the runner, not a pass, and are deliberately
+// not suppressible — a suppression cannot vouch for itself.
+const SuppressHygieneAnalyzer = "suppressreason"
+
+// Options configures a lint run.
+type Options struct {
+	// RelTo, when non-empty, makes finding file paths relative to that
+	// directory.
+	RelTo string
+	// Facts is the whole-repo fact database handed to every Pass. Build
+	// it over Loader.Loaded() so cross-package facts are complete even
+	// for packages outside the lint target set.
+	Facts *FactDB
+	// CheckSuppressions additionally reports every suppression
+	// directive whose reason is empty, under SuppressHygieneAnalyzer.
+	CheckSuppressions bool
+}
+
 // Run executes every analyzer over every package, applies suppression
-// comments, and returns the surviving findings sorted by position.
-// relTo, when non-empty, makes file paths relative to that directory.
+// comments, and returns the surviving findings sorted by position. It
+// builds the fact database from the given packages alone; use RunWith
+// when the loader has seen a wider package universe.
 func Run(pkgs []*Package, analyzers []*Analyzer, relTo string) ([]Finding, error) {
+	return RunWith(pkgs, analyzers, Options{RelTo: relTo, Facts: BuildFactDB(pkgs)})
+}
+
+// RunWith is Run with explicit options.
+func RunWith(pkgs []*Package, analyzers []*Analyzer, opts Options) ([]Finding, error) {
 	var out []Finding
+	rebase := func(file string) string {
+		if opts.RelTo == "" {
+			return file
+		}
+		if rel, err := filepath.Rel(opts.RelTo, file); err == nil {
+			return rel
+		}
+		return file
+	}
 	for _, pkg := range pkgs {
 		sup := newSuppressions(pkg)
+		if opts.CheckSuppressions {
+			for _, d := range sup.Directives() {
+				if d.Reason != "" {
+					continue
+				}
+				out = append(out, Finding{
+					Analyzer: SuppressHygieneAnalyzer,
+					File:     rebase(d.Pos.Filename),
+					Line:     d.Pos.Line,
+					Col:      d.Pos.Column,
+					Message:  fmt.Sprintf("seglint:%s directive has no reason; justify the suppression", d.Kind),
+				})
+			}
+		}
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -36,6 +85,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer, relTo string) ([]Finding, error
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Facts:     opts.Facts,
 			}
 			name := a.Name
 			pass.report = func(d Diagnostic) {
@@ -43,15 +93,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer, relTo string) ([]Finding, error
 				if sup.suppressed(name, pos) {
 					return
 				}
-				file := pos.Filename
-				if relTo != "" {
-					if rel, err := filepath.Rel(relTo, file); err == nil {
-						file = rel
-					}
-				}
 				out = append(out, Finding{
 					Analyzer: name,
-					File:     file,
+					File:     rebase(pos.Filename),
 					Line:     pos.Line,
 					Col:      pos.Column,
 					Message:  d.Message,
@@ -62,8 +106,16 @@ func Run(pkgs []*Package, analyzers []*Analyzer, relTo string) ([]Finding, error
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortFindings(out)
+	return out, nil
+}
+
+// SortFindings orders findings by (file, line, col, analyzer, message)
+// — a total order, so output is byte-stable regardless of package load
+// or analyzer registration order.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -73,7 +125,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer, relTo string) ([]Finding, error
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out, nil
 }

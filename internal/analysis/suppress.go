@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -15,15 +16,26 @@ import (
 // comment) and on the line directly below it (comment-above style).
 // file-ignore covers its whole file, package-ignore the whole package.
 // The analyzer list may be "all". Reasons are free text; write one —
-// a suppression without a recorded justification is a review smell.
+// the runner's CheckSuppressions mode (seglint -suppressions, enforced
+// in CI) fails any directive whose reason is empty.
 
 const suppressPrefix = "//seglint:"
 
+// Directive is one parsed seglint suppression comment, exposed so the
+// runner can enforce reason hygiene and tests can assert on parsing.
+type Directive struct {
+	Kind      string // "ignore", "file-ignore", "package-ignore"
+	Analyzers []string
+	Reason    string
+	Pos       token.Position
+}
+
 // suppressions indexes a package's seglint ignore comments.
 type suppressions struct {
-	pkg   map[string]bool            // analyzer -> whole package
-	files map[string]map[string]bool // filename -> analyzer set
-	lines map[string]map[int]map[string]bool
+	pkg        map[string]bool            // analyzer -> whole package
+	files      map[string]map[string]bool // filename -> analyzer set
+	lines      map[string]map[int]map[string]bool
+	directives []Directive
 }
 
 func newSuppressions(p *Package) *suppressions {
@@ -44,13 +56,22 @@ func newSuppressions(p *Package) *suppressions {
 					continue
 				}
 				kind := fields[0]
+				if kind != "ignore" && kind != "file-ignore" && kind != "package-ignore" {
+					continue // hotpath and future directives are not suppressions
+				}
 				names := strings.Split(fields[1], ",")
 				pos := p.Fset.Position(c.Pos())
+				d := Directive{
+					Kind:   kind,
+					Reason: strings.TrimSpace(strings.Join(fields[2:], " ")),
+					Pos:    pos,
+				}
 				for _, name := range names {
 					name = strings.TrimSpace(name)
 					if name == "" {
 						continue
 					}
+					d.Analyzers = append(d.Analyzers, name)
 					switch kind {
 					case "ignore":
 						byLine := s.lines[pos.Filename]
@@ -73,11 +94,25 @@ func newSuppressions(p *Package) *suppressions {
 						s.pkg[name] = true
 					}
 				}
+				if len(d.Analyzers) > 0 {
+					s.directives = append(s.directives, d)
+				}
 			}
 		}
 	}
+	sort.Slice(s.directives, func(i, j int) bool {
+		a, b := s.directives[i].Pos, s.directives[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
 	return s
 }
+
+// Directives returns the package's parsed suppression comments in
+// position order.
+func (s *suppressions) Directives() []Directive { return s.directives }
 
 // suppressed reports whether a finding by the named analyzer at pos is
 // covered by an ignore comment.

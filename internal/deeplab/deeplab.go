@@ -479,6 +479,8 @@ func (m *Model) Predict(x *tensor.Tensor) []int32 {
 
 // PredictInto is Predict writing labels into a caller-owned buffer of
 // exactly N·H·W entries, keeping pooled evaluation allocation-free.
+//
+//seglint:hotpath pooled eval inference; 0-alloc with a warm workspace per TestEvalAllocBudget
 func (m *Model) PredictInto(x *tensor.Tensor, out []int32) []int32 {
 	return tensor.ArgmaxClassInto(m.Forward(x, false), out)
 }

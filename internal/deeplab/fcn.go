@@ -107,6 +107,8 @@ func (f *FCN) Predict(x *tensor.Tensor) []int32 {
 }
 
 // PredictInto is Predict writing into a caller-owned label buffer.
+//
+//seglint:hotpath pooled eval inference; 0-alloc with a warm workspace per TestEvalAllocBudget
 func (f *FCN) PredictInto(x *tensor.Tensor, out []int32) []int32 {
 	return tensor.ArgmaxClassInto(f.Forward(x, false), out)
 }

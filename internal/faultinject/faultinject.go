@@ -186,9 +186,15 @@ func (p *Plan) Validate() error {
 		return nil
 	}
 	var errs []error
-	for name, r := range map[string]float64{"drop": p.DropRate, "dup": p.DupRate, "delay": p.DelayRate} {
-		if r < 0 || r > 1 {
-			errs = append(errs, fmt.Errorf("faultinject: %s rate %g outside [0,1]", name, r))
+	// Fixed-order slice, not a map: with several bad rates the error
+	// text must not depend on map iteration order.
+	rates := []struct {
+		name string
+		r    float64
+	}{{"drop", p.DropRate}, {"dup", p.DupRate}, {"delay", p.DelayRate}}
+	for _, x := range rates {
+		if x.r < 0 || x.r > 1 {
+			errs = append(errs, fmt.Errorf("faultinject: %s rate %g outside [0,1]", x.name, x.r))
 		}
 	}
 	if total := p.DropRate + p.DupRate + p.DelayRate; total > 1 {

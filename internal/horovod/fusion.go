@@ -1,5 +1,7 @@
 package horovod
 
+//seglint:file-ignore hotalloc fusion planning is cached by Runtime.fusionPlan and re-runs only when the parameter-size vector changes — once per run, not per step
+
 import "fmt"
 
 // PlanFusion partitions tensors (given by size, in submission order)
@@ -9,32 +11,50 @@ import "fmt"
 // a group of its own. threshold ≤ 0 disables fusion (one tensor per
 // group). Each returned group is a slice of indices into sizes.
 func PlanFusion(sizes []int, threshold int) [][]int {
-	var groups [][]int
+	return PlanFusionInto(nil, sizes, threshold)
+}
+
+// PlanFusionInto is PlanFusion recycling dst's storage: the returned
+// plan reuses dst's backing array and the capacity of its previous
+// inner slices, so a caller that plans every negotiation cycle (the
+// performance simulator) allocates only while groups are still
+// growing past their high-water marks. dst may be nil.
+func PlanFusionInto(dst [][]int, sizes []int, threshold int) [][]int {
+	// spare views dst's full capacity so inner slices already emitted
+	// in earlier calls can be handed out again; out only ever grabs
+	// slot len(out), which it has not yet overwritten.
+	spare := dst[:cap(dst)]
+	out := dst[:0]
 	var cur []int
+	if len(spare) > 0 {
+		cur = spare[0][:0]
+	}
 	curBytes := 0
 	for i, s := range sizes {
 		if s < 0 {
 			panic(fmt.Sprintf("horovod: negative tensor size at %d", i))
 		}
-		if threshold <= 0 {
-			groups = append(groups, []int{i})
-			continue
-		}
-		if len(cur) > 0 && curBytes+s > threshold {
-			groups = append(groups, cur)
+		if threshold > 0 && len(cur) > 0 && curBytes+s > threshold {
+			out = append(out, cur)
 			cur, curBytes = nil, 0
+			if len(out) < len(spare) {
+				cur = spare[len(out)][:0]
+			}
 		}
 		cur = append(cur, i)
 		curBytes += s
-		if curBytes >= threshold {
-			groups = append(groups, cur)
+		if threshold <= 0 || curBytes >= threshold {
+			out = append(out, cur)
 			cur, curBytes = nil, 0
+			if len(out) < len(spare) {
+				cur = spare[len(out)][:0]
+			}
 		}
 	}
 	if len(cur) > 0 {
-		groups = append(groups, cur)
+		out = append(out, cur)
 	}
-	return groups
+	return out
 }
 
 // GroupBytes sums the sizes of one fusion group.

@@ -74,21 +74,40 @@ func (m *Model) AllreduceHierTorus(ranks []int, n int) float64 {
 }
 
 // splitByNode partitions the group into per-node sub-groups and
-// returns the node-leader ranks (lowest rank per node).
+// returns the node-leader ranks (lowest rank per node). The result
+// for the most recent rank group is memoized (callers treat it as
+// read-only): pricing one fused buffer used to rebuild this partition
+// from a map, and at 132 GPUs that map dominated the simulator's
+// allocation profile.
 func (m *Model) splitByNode(ranks []int) (groups [][]int, leaders []int) {
-	byNode := map[int][]int{}
+	if c := &m.split; len(c.ranks) == len(ranks) && len(ranks) > 0 {
+		same := true
+		for i, r := range ranks {
+			if c.ranks[i] != r {
+				same = false
+				break
+			}
+		}
+		if same {
+			return c.groups, c.leaders
+		}
+	}
+	byNode := map[int][]int{} //seglint:ignore hotalloc partition miss: recomputed only when the rank group changes, then memoized
 	var order []int
 	for _, r := range ranks {
 		n := m.Mach.Node(r)
 		if _, ok := byNode[n]; !ok {
-			order = append(order, n)
+			order = append(order, n) //seglint:ignore hotalloc partition miss path, memoized
 		}
-		byNode[n] = append(byNode[n], r)
+		byNode[n] = append(byNode[n], r) //seglint:ignore hotalloc partition miss path, memoized
 	}
 	for _, n := range order {
 		g := byNode[n]
-		groups = append(groups, g)
-		leaders = append(leaders, g[0])
+		groups = append(groups, g)      //seglint:ignore hotalloc partition miss path, memoized
+		leaders = append(leaders, g[0]) //seglint:ignore hotalloc partition miss path, memoized
 	}
+	m.split.ranks = append(m.split.ranks[:0], ranks...) //seglint:ignore hotalloc memo key copy on partition miss; capacity is retained
+	m.split.groups = groups
+	m.split.leaders = leaders
 	return groups, leaders
 }

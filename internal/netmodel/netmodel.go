@@ -34,10 +34,26 @@ const hostAlphaSec = 1.4e-6
 const negotiatePerRank = 120e-9
 
 // Model computes communication times for one (machine, MPI library)
-// pair.
+// pair. The cost methods are pure, but the model memoizes the
+// per-node partition of the most recent rank group (see splitByNode),
+// so a Model must not be shared across goroutines without external
+// locking. The performance simulator — the only repeated caller — is
+// single-threaded by design.
 type Model struct {
 	Mach topology.Machine
 	Prof *mpiprofile.Profile
+
+	// split memoizes splitByNode for the last rank group: a simulation
+	// prices thousands of collectives over the same world, and the
+	// partition is a pure function of the ranks.
+	split struct {
+		ranks   []int
+		groups  [][]int
+		leaders []int
+	}
+	// flowScratch backs ringFlowsPerNIC's per-node flow counting so
+	// pricing a fused buffer does not allocate a map per call.
+	flowScratch map[int]int
 }
 
 // New builds a model, validating its inputs.
@@ -170,7 +186,11 @@ func (m *Model) ringFlowsPerNIC(ranks []int) int {
 	if !m.spansNodes(ranks) {
 		return 0
 	}
-	out := map[int]int{}
+	if m.flowScratch == nil {
+		m.flowScratch = map[int]int{} //seglint:ignore hotalloc per-node flow counter allocated once per Model, then cleared and reused each call
+	}
+	out := m.flowScratch
+	clear(out)
 	maxFlows := 0
 	for i := range ranks {
 		j := (i + 1) % len(ranks)

@@ -263,7 +263,13 @@ func Run(cfg Config) (*Result, error) {
 		calibFactor: calib,
 		batch:       batch,
 		world:       world,
+		dsim:        des.New(),
+		tensors:     gpu.TensorReadyTimes(batch),
 	}
+	sim.dsim.MaxEvents = 5_000_000
+	sim.dsim.SetProbe(cfg.Probe)
+	sim.readySec = make([]float64, len(sim.tensors))
+	sim.sizes = make([]int, len(sim.tensors))
 
 	res := &Result{GPUs: cfg.GPUs, BatchPer: batch}
 	now := 0.0
@@ -351,6 +357,16 @@ type stepSim struct {
 	world       []int
 	step        int
 	msgSeq      uint64 // fused-buffer sequence for chaos fault draws
+
+	// Step-loop pools, reused across runStep calls so a long simulation
+	// does not allocate per step. dsim is safe to share because virtual
+	// time only moves forward: each step schedules at t0 ≥ the previous
+	// step's final event time, and Run drains the queue completely.
+	dsim     *des.Sim
+	tensors  []devsim.TensorReady // gradient schedule: pure function of batch
+	readySec []float64
+	sizes    []int
+	groups   [][]int // fusion-plan storage recycled via PlanFusionInto
 }
 
 // stepStats is one step's outcome. All durations are virtual seconds.
@@ -369,6 +385,13 @@ type stepStats struct {
 // runStep simulates one synchronous data-parallel training step
 // starting at virtual time t0. doComm gates the allreduce (false for
 // the accumulate-only passes of gradient accumulation).
+//
+// The inner loop is the simulator's hot path: a 132-GPU sweep runs it
+// hundreds of times with tens of negotiation cycles each, so per-step
+// state (DES engine, ready/size vectors, fusion-plan storage) comes
+// from the stepSim pools above.
+//
+//seglint:hotpath performance-simulator step loop: negotiation cycles, fusion planning, allreduce cost model
 func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 	cfg := s.cfg
 	batch := s.batch
@@ -394,7 +417,7 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 
 	fwd := s.gpu.ForwardTime(batch) * jmax * s.calibFactor
 	bwdDur := s.gpu.BackwardTime(batch) * jmax * s.calibFactor
-	tensors := s.gpu.TensorReadyTimes(batch)
+	tensors := s.tensors
 	st := stepStats{startSec: t0}
 
 	// Input-pipeline stall: the step cannot start until its batch is
@@ -418,8 +441,8 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 
 	// ready[i]: virtual time gradient i is available on the slowest
 	// rank (scaled by jmax).
-	ready := make([]float64, len(tensors))
-	sizes := make([]int, len(tensors))
+	ready := s.readySec
+	sizes := s.sizes
 	for i, tr := range tensors {
 		ready[i] = t0 + fwd + tr.Offset*jmax*s.calibFactor
 		sizes[i] = tr.Bytes
@@ -432,19 +455,17 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 	// thread interrupts plus (for host-staged libraries) the comm
 	// activity that serialises against the compute stream.
 	var computeDelay float64
-	computeEnd := func() float64 { return t0 + fwd + bwdDur + computeDelay }
+	computeEnd := func() float64 { return t0 + fwd + bwdDur + computeDelay } //seglint:ignore hotalloc one closure pair per simulated step drives the event loop; the per-cycle work inside allocates nothing
 
 	reduced := 0
 	next := 0 // tensors are ready in order; next unreduced index
 	var lastCommDone float64
 
-	dsim := des.New()
-	dsim.MaxEvents = 5_000_000
-	dsim.SetProbe(cfg.Probe)
+	dsim := s.dsim
 	var tick func()
 	commFree := t0
 
-	tick = func() {
+	tick = func() { //seglint:ignore hotalloc the step's negotiation-cycle callback, built once per step and rescheduled in place
 		now := dsim.Now()
 		st.cycles++
 		cfg.Probe.Counter("perfsim_cycles_total").Inc()
@@ -464,17 +485,18 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 		}
 		dNeg := netmodel.NegotiationTime(p) + float64(pending)*float64(p)*perTensor
 		st.negotiateSec += dNeg
-		if now < computeEnd() {
+		if now < computeEnd() { //seglint:ignore hotalloc call through the step-local closure; no allocation in the callee
 			computeDelay += rankInterruptSec
 		}
 		if record {
 			s.cfg.Timeline.Add("coordinator", timeline.PhaseNegotiate,
-				fmt.Sprintf("cycle%d", st.cycles), now, now+dNeg)
+				fmt.Sprintf("cycle%d", st.cycles), now, now+dNeg) //seglint:ignore hotalloc negotiate label formatting runs only while recording the single designated timeline step
 		}
 		busyUntil := now + dNeg
 
 		if pending > 0 {
-			groups := horovod.PlanFusion(sizes[next:next+pending], cfg.Horovod.FusionThreshold)
+			s.groups = horovod.PlanFusionInto(s.groups, sizes[next:next+pending], cfg.Horovod.FusionThreshold)
+			groups := s.groups
 			for _, g := range groups {
 				bytes := 0
 				for range g {
@@ -521,14 +543,14 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 				cfg.Probe.Histogram("perfsim_allreduce_seconds", commBucketsSec).Observe(arT)
 				if record {
 					s.cfg.Timeline.Add("coordinator", timeline.PhaseMemcpy,
-						fmt.Sprintf("buf%d(%dB)", st.buffers, bytes), busyUntil, busyUntil+packT)
+						fmt.Sprintf("buf%d(%dB)", st.buffers, bytes), busyUntil, busyUntil+packT) //seglint:ignore hotalloc buffer label formatting runs only while recording the single designated timeline step
 					s.cfg.Timeline.Add("coordinator", timeline.PhaseAllreduce,
-						fmt.Sprintf("buf%d(%dB)", st.buffers, bytes), busyUntil+packT, busyUntil+packT+arT)
+						fmt.Sprintf("buf%d(%dB)", st.buffers, bytes), busyUntil+packT, busyUntil+packT+arT) //seglint:ignore hotalloc buffer label formatting runs only while recording the single designated timeline step
 				}
 				busyUntil += packT + arT
 				// Host-staged libraries steal the compute stream for
 				// the staging copies and progress engine.
-				if now < computeEnd() {
+				if now < computeEnd() { //seglint:ignore hotalloc call through the step-local closure; no allocation in the callee
 					computeDelay += (packT + arT) * cfg.blockFraction()
 				}
 			}
@@ -549,7 +571,7 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 	dsim.Run()
 
 	st.computeSec = fwd + bwdDur + computeDelay
-	ce := computeEnd()
+	ce := computeEnd() //seglint:ignore hotalloc call through the step-local closure; no allocation in the callee
 	st.exposedSec = computeDelay + math.Max(0, lastCommDone-ce)
 	end := math.Max(ce, lastCommDone) + stepOverheadSec
 	st.endSec = end

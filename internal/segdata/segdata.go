@@ -120,7 +120,7 @@ func (d *Dataset) SampleInto(i int, img *tensor.Tensor, label []int32) {
 	if len(img.Data) != 3*d.H*d.W || len(label) != d.H*d.W {
 		panic(fmt.Sprintf("segdata: sample buffers %d/%d for %dx%d", len(img.Data), len(label), d.H, d.W))
 	}
-	rng := rand.New(rand.NewSource(d.Seed*1_000_003 + int64(i)))
+	rng := rand.New(rand.NewSource(d.Seed*1_000_003 + int64(i))) //seglint:ignore hotalloc per-sample deterministic RNG: rendering must stay a pure function of (seed,id) so restored runs replay identical scenes
 	// The background pass overwrites every image value; labels start
 	// from "all background" by contract, so clear any reused buffer.
 	for p := range label {
@@ -153,21 +153,9 @@ func (d *Dataset) renderUrban(rng *rand.Rand, img *tensor.Tensor, label []int32)
 	h, w := d.H, d.W
 	horizon := h/4 + rng.Intn(h/4)           // sky ends here
 	roadTop := horizon + h/6 + rng.Intn(h/6) // buildings end here
-	fillBand := func(y0, y1 int, class int) {
-		col := Palette(class)
-		for y := y0; y < y1; y++ {
-			for x := 0; x < w; x++ {
-				p := y*w + x
-				label[p] = int32(class)
-				for ch := 0; ch < 3; ch++ {
-					img.Data[ch*h*w+p] = col[ch] + float32(rng.NormFloat64()*d.NoiseStd)
-				}
-			}
-		}
-	}
-	fillBand(0, horizon, urbanSky)
-	fillBand(horizon, roadTop, urbanBuilding)
-	fillBand(roadTop, h, urbanRoad) // road = background class (dark)
+	d.fillBand(rng, img, label, 0, horizon, urbanSky)
+	d.fillBand(rng, img, label, horizon, roadTop, urbanBuilding)
+	d.fillBand(rng, img, label, roadTop, h, urbanRoad) // road = background class (dark)
 
 	// Vehicles and pedestrians sit on the road band.
 	nObj := 1 + rng.Intn(d.MaxObjects)
@@ -202,6 +190,40 @@ func (d *Dataset) renderUrban(rng *rand.Rand, img *tensor.Tensor, label []int32)
 	}
 }
 
+// fillBand paints rows [y0,y1) with the class's palette colour plus
+// grey noise. A method rather than a closure in renderUrban so the
+// urban render path stays free of per-scene closure allocations.
+func (d *Dataset) fillBand(rng *rand.Rand, img *tensor.Tensor, label []int32, y0, y1, class int) {
+	h, w := d.H, d.W
+	col := Palette(class)
+	for y := y0; y < y1; y++ {
+		for x := 0; x < w; x++ {
+			p := y*w + x
+			label[p] = int32(class)
+			for ch := 0; ch < 3; ch++ {
+				img.Data[ch*h*w+p] = col[ch] + float32(rng.NormFloat64()*d.NoiseStd)
+			}
+		}
+	}
+}
+
+// objInside reports whether pixel (y,x) falls inside an object of the
+// given shape centred at (cy,cx) with radius r. A plain function
+// rather than drawObject's former closure: the rasteriser calls it per
+// pixel, and a capturing closure would cost one heap allocation per
+// object drawn.
+func objInside(shape, cy, cx, r, y, x int) bool {
+	dy, dx := y-cy, x-cx
+	switch shape {
+	case 0: // circle
+		return dy*dy+dx*dx <= r*r
+	case 1: // rectangle
+		return abs(dy) <= r && abs(dx) <= r*3/2
+	default: // triangle (downward)
+		return dy >= -r && dy <= r && abs(dx) <= (r-dy+1)/2+1
+	}
+}
+
 // drawObject rasterises one object of the class's characteristic
 // shape (classes cycle circle/rectangle/triangle) and colour.
 func (d *Dataset) drawObject(rng *rand.Rand, img *tensor.Tensor, label []int32, class int) {
@@ -212,25 +234,13 @@ func (d *Dataset) drawObject(rng *rand.Rand, img *tensor.Tensor, label []int32, 
 	col := palette[class]
 	shape := class % 3
 
-	inside := func(y, x int) bool {
-		dy, dx := y-cy, x-cx
-		switch shape {
-		case 0: // circle
-			return dy*dy+dx*dx <= r*r
-		case 1: // rectangle
-			return abs(dy) <= r && abs(dx) <= r*3/2
-		default: // triangle (downward)
-			return dy >= -r && dy <= r && abs(dx) <= (r-dy+1)/2+1
-		}
-	}
-
 	lo, hi := -r*2, r*2
 	for y := cy + lo; y <= cy+hi; y++ {
 		if y < 0 || y >= h {
 			continue
 		}
 		for x := cx + lo; x <= cx+hi; x++ {
-			if x < 0 || x >= w || !inside(y, x) {
+			if x < 0 || x >= w || !objInside(shape, cy, cx, r, y, x) {
 				continue
 			}
 			p := y*w + x
@@ -250,13 +260,13 @@ func (d *Dataset) drawObject(rng *rand.Rand, img *tensor.Tensor, label []int32, 
 			continue
 		}
 		for x := cx + lo - 1; x <= cx+hi+1; x++ {
-			if x < 0 || x >= w || inside(y, x) {
+			if x < 0 || x >= w || objInside(shape, cy, cx, r, y, x) {
 				continue
 			}
 			touches := false
 			for _, dd := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
 				ny, nx := y+dd[0], x+dd[1]
-				if ny >= 0 && ny < h && nx >= 0 && nx < w && inside(ny, nx) {
+				if ny >= 0 && ny < h && nx >= 0 && nx < w && objInside(shape, cy, cx, r, ny, nx) {
 					touches = true
 					break
 				}
@@ -343,6 +353,9 @@ func RandomScaleCrop(rng *rand.Rand, x *tensor.Tensor, labels []int32, minScale,
 		panic(fmt.Sprintf("segdata: scale range [%g, %g]", minScale, maxScale))
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	// Label scratch shared by every sample in the batch (hoisted out of
+	// the per-image loop; the size is the same for all of them).
+	src := make([]int32, h*w) //seglint:ignore hotalloc one label scratch per augmentation call, not per image
 	for i := 0; i < n; i++ {
 		scale := minScale + rng.Float64()*(maxScale-minScale)
 		sh := max(8, int(float64(h)*scale))
@@ -371,7 +384,6 @@ func RandomScaleCrop(rng *rand.Rand, x *tensor.Tensor, labels []int32, minScale,
 		}
 
 		// Nearest-neighbour for the labels, from the same geometry.
-		src := make([]int32, h*w)
 		copy(src, labels[i*h*w:(i+1)*h*w])
 		for y := 0; y < h; y++ {
 			sy := min(sh-1, y+offY)

@@ -233,9 +233,9 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
-		c = &Counter{}
+		c = &Counter{} //seglint:ignore hotalloc first use of a metric name registers it; steady-state calls return the cached instance
 		r.counters[name] = c
-		r.order = append(r.order, registered{name, kindCounter})
+		r.order = append(r.order, registered{name, kindCounter}) //seglint:ignore hotalloc registration-order log grows once per metric name
 	}
 	return c
 }
@@ -250,9 +250,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
-		g = &Gauge{}
+		g = &Gauge{} //seglint:ignore hotalloc first use of a metric name registers it; steady-state calls return the cached instance
 		r.gauges[name] = g
-		r.order = append(r.order, registered{name, kindGauge})
+		r.order = append(r.order, registered{name, kindGauge}) //seglint:ignore hotalloc registration-order log grows once per metric name
 	}
 	return g
 }
@@ -269,11 +269,11 @@ func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
-		bounds := append([]float64(nil), buckets...)
-		sort.Float64s(bounds)
-		h = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+		bounds := append([]float64(nil), buckets...) //seglint:ignore hotalloc first use of a metric name registers it; steady-state calls return the cached instance
+		sort.Float64s(bounds)                        //seglint:ignore hotalloc first-use registration only
+		h = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)} //seglint:ignore hotalloc first-use registration only
 		r.hists[name] = h
-		r.order = append(r.order, registered{name, kindHistogram})
+		r.order = append(r.order, registered{name, kindHistogram}) //seglint:ignore hotalloc registration-order log grows once per metric name
 	}
 	return h
 }

@@ -72,7 +72,7 @@ func (s Span) End() float64 {
 		end = s.start // a non-monotonic injected clock must not corrupt the trace
 	}
 	s.t.mu.Lock()
-	s.t.spans = append(s.t.spans, SpanRecord{
+	s.t.spans = append(s.t.spans, SpanRecord{ //seglint:ignore hotalloc span log grows by design when tracing is on; the nil probe (deterministic default) never reaches it
 		Lane: s.lane, Phase: s.phase, Name: s.name, Start: s.start, End: end,
 	})
 	flight := s.t.flight
@@ -93,7 +93,7 @@ func (t *Tracer) Add(lane, phase, name string, start, end float64) {
 		end = start
 	}
 	t.mu.Lock()
-	t.spans = append(t.spans, SpanRecord{Lane: lane, Phase: phase, Name: name, Start: start, End: end})
+	t.spans = append(t.spans, SpanRecord{Lane: lane, Phase: phase, Name: name, Start: start, End: end}) //seglint:ignore hotalloc span log grows by design when tracing is on; the nil tracer (deterministic default) never reaches it
 	flight := t.flight
 	t.mu.Unlock()
 	flight.Record(FlightEvent{Lane: lane, Phase: phase, Name: name, Start: start, End: end})

@@ -138,6 +138,8 @@ func Conv2D(x, w *Tensor, spec ConvSpec) *Tensor {
 // ws (heap when nil). With a warm workspace the call is
 // allocation-free on the serial path; the returned tensor is owned by
 // ws and valid until its Reset.
+//
+//seglint:hotpath conv forward; 0-alloc with a warm workspace on the serial path
 func Conv2DWS(x, w *Tensor, spec ConvSpec, ws *Workspace) *Tensor {
 	s := spec.Canon()
 	n, _, _, _, f, cg, kh, kw, oh, ow := convCheck(x, w, s)
@@ -147,7 +149,7 @@ func Conv2DWS(x, w *Tensor, spec ConvSpec, ws *Workspace) *Tensor {
 		conv2DSamples(x, w, out, s, 0, n, fg, cg, kh, kw, oh, ow, ws)
 		return out
 	}
-	Parallel(n, func(lo, hi int) {
+	Parallel(n, func(lo, hi int) { //seglint:ignore hotalloc one closure per parallel launch; the 0-alloc budget path (GOMAXPROCS=1) bypasses it
 		conv2DSamples(x, w, out, s, lo, hi, fg, cg, kh, kw, oh, ow, ws)
 	})
 	return out
@@ -191,6 +193,8 @@ func Conv2DBackward(x, w, dout *Tensor, spec ConvSpec) (dx, dw *Tensor) {
 // depended on goroutine scheduling. (A pairwise tree reduction was
 // rejected: rebalancing the fold tree changes float associativity, so
 // it cannot be bit-identical to the serial merge it replaces.)
+//
+//seglint:hotpath conv backward; 0-alloc with a warm workspace on the serial path
 func Conv2DBackwardWS(x, w, dout *Tensor, spec ConvSpec, ws *Workspace) (dx, dw *Tensor) {
 	s := spec.Canon()
 	n, c, h, wd, f, cg, kh, kw, oh, ow := convCheck(x, w, s)
@@ -207,7 +211,7 @@ func Conv2DBackwardWS(x, w, dout *Tensor, spec ConvSpec, ws *Workspace) (dx, dw 
 	if parallelDegree(n) <= 1 {
 		convBackwardSamples(x, w, dout, dxT, partials, s, 0, n, fg, cg, kh, kw, oh, ow, ws)
 	} else {
-		Parallel(n, func(lo, hi int) {
+		Parallel(n, func(lo, hi int) { //seglint:ignore hotalloc one closure per parallel launch; the 0-alloc budget path (GOMAXPROCS=1) bypasses it
 			convBackwardSamples(x, w, dout, dxT, partials, s, lo, hi, fg, cg, kh, kw, oh, ow, ws)
 		})
 	}
@@ -215,7 +219,7 @@ func Conv2DBackwardWS(x, w, dout *Tensor, spec ConvSpec, ws *Workspace) (dx, dw 
 	if parallelDegree(psz) <= 1 {
 		mergeSamplePartials(dwd, pd, n, 0, psz)
 	} else {
-		Parallel(psz, func(lo, hi int) {
+		Parallel(psz, func(lo, hi int) { //seglint:ignore hotalloc one closure per parallel launch; the 0-alloc budget path (GOMAXPROCS=1) bypasses it
 			mergeSamplePartials(dwd, pd, n, lo, hi)
 		})
 	}

@@ -46,6 +46,8 @@ func MatMul(a, b *Tensor) *Tensor {
 // working memory is a per-worker B panel drawn from an internal pool,
 // and the serial path calls the worker directly so no closure is
 // allocated.
+//
+//seglint:hotpath dense forward/backward kernel; 0-alloc on the serial path per the step budget
 func MatMulInto(c, a, b *Tensor, accumulate bool) {
 	m, k, n := checkMatMul(a, b)
 	checkMatMulOut(c, m, n, "matmul")
@@ -54,7 +56,7 @@ func MatMulInto(c, a, b *Tensor, accumulate bool) {
 		matmulRows(cd, ad, bd, k, n, 0, m, accumulate)
 		return
 	}
-	Parallel(m, func(lo, hi int) {
+	Parallel(m, func(lo, hi int) { //seglint:ignore hotalloc one closure per parallel launch; the 0-alloc budget path (GOMAXPROCS=1) bypasses it
 		matmulRows(cd, ad, bd, k, n, lo, hi, accumulate)
 	})
 }
@@ -83,6 +85,8 @@ func matmulRows(cd, ad, bd []float32, k, n, lo, hi int, accumulate bool) {
 // input-column gradients. The worker gathers its slice of Aᵀ into a
 // contiguous strip once, then runs the same packed-panel core as
 // MatMulInto.
+//
+//seglint:hotpath conv backward input-gradient kernel; 0-alloc on the serial path
 func MatMulATInto(c, a, b *Tensor, accumulate bool) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic("tensor: matmulAT needs rank-2 inputs")
@@ -98,7 +102,7 @@ func MatMulATInto(c, a, b *Tensor, accumulate bool) {
 		matmulATRows(cd, ad, bd, k, m, n, 0, m, accumulate)
 		return
 	}
-	Parallel(m, func(lo, hi int) {
+	Parallel(m, func(lo, hi int) { //seglint:ignore hotalloc one closure per parallel launch; the 0-alloc budget path (GOMAXPROCS=1) bypasses it
 		matmulATRows(cd, ad, bd, k, m, n, lo, hi, accumulate)
 	})
 }
@@ -132,6 +136,8 @@ func matmulATRows(cd, ad, bd []float32, k, m, n, lo, hi int, accumulate bool) {
 // the micro-tile holds 4×4 running dot products in registers (the dot
 // form reuses each loaded value four times, so the larger tile pays
 // for itself here).
+//
+//seglint:hotpath conv backward weight-gradient kernel; 0-alloc on the serial path
 func MatMulBTInto(c, a, b *Tensor, accumulate bool) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic("tensor: matmulBT needs rank-2 inputs")
@@ -147,7 +153,7 @@ func MatMulBTInto(c, a, b *Tensor, accumulate bool) {
 		matmulBTRows(cd, ad, bd, k, n, 0, m, accumulate)
 		return
 	}
-	Parallel(m, func(lo, hi int) {
+	Parallel(m, func(lo, hi int) { //seglint:ignore hotalloc one closure per parallel launch; the 0-alloc budget path (GOMAXPROCS=1) bypasses it
 		matmulBTRows(cd, ad, bd, k, n, lo, hi, accumulate)
 	})
 }

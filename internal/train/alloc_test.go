@@ -50,10 +50,11 @@ func trainStepAllocs(t *testing.T, useWS bool) float64 {
 // TestTrainStepAllocBudget pins the steady-state allocation count of a
 // full training step with the workspace threaded through. The residue
 // is bounded and intentional: Parallel-closure headers at tensor-op
-// call sites, the loss's tiny float64 reduction buffers, the dropout
-// reseed's rand.Rand, and SplitChannels' slice-of-headers — each a
-// handful of words, none proportional to activation size. The budget
-// has slack over the measured count (18 on go1.24) purely so toolchain
+// call sites, the loss's tiny float64 reduction buffers, and
+// SplitChannels' slice-of-headers — each a handful of words, none
+// proportional to activation size (dropout now reseeds its generator
+// in place, so it no longer contributes). The budget
+// has slack over the measured count (16 on go1.24) purely so toolchain
 // codegen drift does not flake the test; a leaked activation blows
 // straight past it.
 func TestTrainStepAllocBudget(t *testing.T) {

@@ -439,9 +439,19 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 		}
 
 		shard := segdata.ShardIDs(cfg.TrainSize, cfg.World, rank)
-		accum := cfg.Horovod.AccumPasses()
-		step := startEpoch * rs.stepsPerEpoch
-		ids := make([]int, 0, cfg.BatchPerRank) // reused across steps
+		st := &rankStep{
+			cfg: cfg, c: c, probe: probe, obsLane: obsLane,
+			inc: inc, rank: rank,
+			net: net, ws: ws, params: params, rt: rt, opt: opt,
+			sched: rs.sched, trainSet: rs.trainSet,
+			shard: shard,
+			accum: cfg.Horovod.AccumPasses(),
+			ids:   make([]int, 0, cfg.BatchPerRank), // reused across steps
+			gstep: startEpoch * rs.stepsPerEpoch,
+			x:     tensor.New(cfg.BatchPerRank, 3, rs.trainSet.H, rs.trainSet.W),
+			labels: make([]int32,
+				cfg.BatchPerRank*rs.trainSet.H*rs.trainSet.W),
+		}
 
 		for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 			// Epoch-deterministic shuffle and augmentation stream,
@@ -453,65 +463,12 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 			rng := augRNG(cfg.Seed, rank, epoch)
 			epochLoss, batches := 0.0, 0
 			for s := 0; s < rs.stepsPerEpoch; s++ {
-				if cfg.Chaos.CrashAt(rank, step, inc) {
-					c.Kill()
-					return fmt.Errorf("chaos: rank %d crashed at step %d (incarnation %d): %w",
-						rank, step, inc, faultinject.ErrCrashed)
-				}
-				stepSpan := probe.Span(timeline.PhaseStep, "step")
-				// Reclaim last step's activations; their contents are
-				// dead once the optimiser update has run.
-				ws.Reset()
-				// Dropout masks keyed by the global step, not by how
-				// many forwards this replica has run — restart-safe.
-				net.ReseedDropout(int64(step))
-				ids = ids[:0]
-				for k := 0; k < cfg.BatchPerRank; k++ {
-					ids = append(ids, shard[perm[(s*cfg.BatchPerRank+k)%len(shard)]])
-				}
-				x, labels := rs.trainSet.Batch(ids)
-				if cfg.Augment {
-					// DeepLab's recipe: random scale jitter + crop,
-					// then random horizontal flip.
-					segdata.RandomScaleCrop(rng, x, labels, 0.75, 1.25)
-					if rng.Intn(2) == 1 {
-						segdata.FlipHoriz(x, labels)
-					}
-				}
-				fwdBwd := probe.Span(timeline.PhaseForward, "loss")
-				loss := net.Loss(x, labels, segdata.IgnoreLabel, true)
-				fwdBwd.End()
-				if err := rt.CommErr(); err != nil {
-					return err // a SyncBN reduction failed mid-forward
-				}
-				// Gradient accumulation (backward_passes_per_step):
-				// communicate and update only every accum-th pass.
-				if (s+1)%accum == 0 {
-					if accum > 1 {
-						for _, p := range params {
-							p.G.Scale(1 / float32(accum))
-						}
-					}
-					if err := rt.AllreduceGrads(params); err != nil {
-						return err
-					}
-					if cfg.GradClip > 0 {
-						nn.GlobalGradClip(params, cfg.GradClip)
-					}
-					opt.SetLR(rs.sched.LR(step))
-					opt.Step(params)
-					nn.ZeroGrads(params)
+				loss, err := st.step(s, perm, rng)
+				if err != nil {
+					return err
 				}
 				epochLoss += loss
 				batches++
-				step++
-				probe.Counter("train_steps_total").Inc()
-				probe.Histogram("train_step_ops", stepBucketsOps).Observe(stepSpan.End())
-				if cfg.StepObs != nil {
-					// Incarnation-free lane: restarts continue the same
-					// per-rank throughput series.
-					cfg.StepObs.ObserveStep(obsLane, step-1, cfg.BatchPerRank, 0)
-				}
 			}
 
 			// Global metrics: average loss, merged confusion matrix.
@@ -530,14 +487,14 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 					Loss:     avgLoss,
 					MIOU:     conf.MeanIOU(),
 					PixelAcc: conf.PixelAccuracy(),
-					LR:       rs.sched.LR(step - 1),
+					LR:       rs.sched.LR(st.gstep - 1),
 				}
 				if cfg.CheckpointPath != "" {
 					st := checkpoint.State{
 						Params:   params,
 						BNs:      net.BatchNorms(),
 						Velocity: opt.ExportState(params),
-						Meta:     &checkpoint.Meta{Epoch: epoch, Step: step},
+						Meta:     &checkpoint.Meta{Epoch: epoch, Step: st.gstep},
 					}
 					if err := checkpoint.SaveStateFile(cfg.CheckpointPath, st); err != nil {
 						return fmt.Errorf("checkpoint: %w", err)
@@ -562,6 +519,109 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 		}
 		return nil
 	})
+}
+
+// rankStep bundles one replica's per-incarnation training state so the
+// per-step body is a named function rather than the middle of a
+// closure: the hotalloc pass walks the call graph from annotated roots,
+// and a named root makes the whole step — forward/backward, fused
+// allreduce, optimiser update — verifiable as allocation-free in steady
+// state. The fields are exactly the locals the old inline loop closed
+// over; moving them here changes no operation order, so the
+// restart-equivalence and chaos goldens are untouched.
+type rankStep struct {
+	cfg      Config
+	c        *transport.Comm
+	probe    *telemetry.Probe
+	obsLane  string
+	inc      int
+	rank     int
+	net      deeplab.Segmenter
+	ws       *tensor.Workspace
+	params   []*nn.Param
+	rt       *horovod.Runtime
+	opt      nn.Optimizer
+	sched    nn.PolySchedule
+	trainSet *segdata.Dataset
+	shard    []int
+	accum    int
+	ids      []int // batch id scratch, reused across steps
+	gstep    int   // global step counter, continuous across incarnations
+
+	// Batch staging, reused across steps like the eval path's buffers:
+	// SampleInto fully overwrites the image and clears the labels, so
+	// reuse is invisible to the deterministic goldens.
+	x      *tensor.Tensor
+	labels []int32
+}
+
+// step runs one training step for this rank: chaos check, arena reset,
+// deterministic batch assembly and augmentation, forward/backward,
+// gradient accumulation with fused allreduce and the optimiser update,
+// then step accounting. The operation order is pinned by the
+// restart-equivalence goldens — do not reorder.
+//
+//seglint:hotpath per-rank training step: forward/backward, fused allreduce, optimiser update
+func (t *rankStep) step(s int, perm []int, rng *rand.Rand) (float64, error) {
+	if t.cfg.Chaos.CrashAt(t.rank, t.gstep, t.inc) {
+		t.c.Kill()
+		return 0, fmt.Errorf("chaos: rank %d crashed at step %d (incarnation %d): %w",
+			t.rank, t.gstep, t.inc, faultinject.ErrCrashed)
+	}
+	stepSpan := t.probe.Span(timeline.PhaseStep, "step")
+	// Reclaim last step's activations; their contents are
+	// dead once the optimiser update has run.
+	t.ws.Reset()
+	// Dropout masks keyed by the global step, not by how
+	// many forwards this replica has run — restart-safe.
+	t.net.ReseedDropout(int64(t.gstep))
+	t.ids = t.ids[:0]
+	for k := 0; k < t.cfg.BatchPerRank; k++ {
+		t.ids = append(t.ids, t.shard[perm[(s*t.cfg.BatchPerRank+k)%len(t.shard)]]) //seglint:ignore hotalloc id buffer capacity is fixed at BatchPerRank up front and reused every step
+	}
+	x, labels := t.x, t.labels
+	t.trainSet.BatchInto(t.ids, x, labels)
+	if t.cfg.Augment {
+		// DeepLab's recipe: random scale jitter + crop,
+		// then random horizontal flip.
+		segdata.RandomScaleCrop(rng, x, labels, 0.75, 1.25)
+		if rng.Intn(2) == 1 {
+			segdata.FlipHoriz(x, labels)
+		}
+	}
+	fwdBwd := t.probe.Span(timeline.PhaseForward, "loss")
+	loss := t.net.Loss(x, labels, segdata.IgnoreLabel, true)
+	fwdBwd.End()
+	if err := t.rt.CommErr(); err != nil {
+		return 0, err // a SyncBN reduction failed mid-forward
+	}
+	// Gradient accumulation (backward_passes_per_step):
+	// communicate and update only every accum-th pass.
+	if (s+1)%t.accum == 0 {
+		if t.accum > 1 {
+			for _, p := range t.params {
+				p.G.Scale(1 / float32(t.accum))
+			}
+		}
+		if err := t.rt.AllreduceGrads(t.params); err != nil {
+			return 0, err
+		}
+		if t.cfg.GradClip > 0 {
+			nn.GlobalGradClip(t.params, t.cfg.GradClip)
+		}
+		t.opt.SetLR(t.sched.LR(t.gstep))
+		t.opt.Step(t.params)
+		nn.ZeroGrads(t.params)
+	}
+	t.gstep++
+	t.probe.Counter("train_steps_total").Inc()
+	t.probe.Histogram("train_step_ops", stepBucketsOps).Observe(stepSpan.End())
+	if t.cfg.StepObs != nil {
+		// Incarnation-free lane: restarts continue the same
+		// per-rank throughput series.
+		t.cfg.StepObs.ObserveStep(t.obsLane, t.gstep-1, t.cfg.BatchPerRank, 0)
+	}
+	return loss, nil
 }
 
 // evaluate runs this rank's slice of the eval set through the model
