@@ -9,7 +9,7 @@ FUZZTIME  ?= 10s
 COVER_FLOOR ?= 74.0
 COVER_OUT   ?= /tmp/segscale-cover.out
 
-.PHONY: build test race lint vet fuzz-smoke trace-smoke chaos-smoke obs-smoke cover bench-json bench-check ci
+.PHONY: build test race lint vet fuzz-smoke trace-smoke chaos-smoke obs-smoke attr-smoke cover bench-json bench-check ci
 
 build:
 	go build ./...
@@ -48,9 +48,15 @@ chaos-smoke:
 	diff /tmp/segscale-chaos-a.txt /tmp/segscale-chaos-b.txt
 
 # obs-smoke drives the live observability plane end to end: serve,
-# scrape /metrics + /healthz, validate scraped names with seglint.
+# scrape /metrics + /healthz + /debug/attribution, validate scraped
+# names with seglint and the attribution ledger with seg-compare.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# attr-smoke is the regression gate's own test: a clean run against an
+# injected rank-2 straggler must fail seg-compare and blame rank 2.
+attr-smoke:
+	./scripts/attr_smoke.sh
 
 # bench-json regenerates the committed performance baseline (full
 # timing iterations). Run it on kernel or allocation-path changes and
@@ -72,4 +78,4 @@ cover:
 		if (t+0 < f+0) { printf "FAIL: coverage %.1f%% below floor %.1f%%\n", t, f; exit 1 } \
 		printf "coverage %.1f%% >= floor %.1f%%\n", t, f }'
 
-ci: build lint test race fuzz-smoke trace-smoke chaos-smoke obs-smoke bench-check cover
+ci: build lint test race fuzz-smoke trace-smoke chaos-smoke obs-smoke attr-smoke bench-check cover

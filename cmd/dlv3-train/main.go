@@ -9,7 +9,7 @@
 //	           [-train 64] [-eval 16] [-lr 0.05] [-strong] [-seed 1]
 //	           [-trace trace.json] [-prom metrics.prom]
 //	           [-obs-addr 127.0.0.1:6060] [-flight flight.json]
-//	           [-slo 0.92] [-runs-dir results/runs]
+//	           [-slo 0.92] [-runs-dir results/runs] [-attr-out ledger.json]
 package main
 
 import (
@@ -54,6 +54,7 @@ func main() {
 	flightOut := flag.String("flight", "", "keep an always-on flight recorder and dump its window (Chrome trace) to this file at exit, on SIGQUIT, and on each rank-failure recovery")
 	slo := flag.Float64("slo", summitseg.DefaultSLO, "scaling-efficiency objective for the online monitor")
 	runsDir := flag.String("runs-dir", "", "write a run manifest (config, seed, chaos, final efficiency, alerts) under this directory (empty = off)")
+	attrOut := flag.String("attr-out", "", "decompose each rank's recorded step spans into the attribution ledger and write it to this file (seg-compare's input)")
 	flag.Parse()
 
 	if *strong {
@@ -63,7 +64,7 @@ func main() {
 		cfg.SyncBN = false
 	}
 	obsOn := *obsAddr != "" || *flightOut != "" || *runsDir != ""
-	if *traceOut != "" || *promOut != "" || obsOn {
+	if *traceOut != "" || *promOut != "" || *attrOut != "" || obsOn {
 		cfg.Telemetry = summitseg.NewTelemetry()
 	}
 	switch {
@@ -175,6 +176,19 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trace written to %s\n", *traceOut)
+	}
+	if *attrOut != "" {
+		// Trace-side attribution: the recorded spans (with their message
+		// edges) become the happens-before DAG, and each TRAIN_STEP
+		// window is decomposed into the ledger's buckets.
+		l, err := summitseg.AttributeTelemetry(cfg.Telemetry)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeTo(*attrOut, l.WriteLedger); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("attribution ledger written to %s\n", *attrOut)
 	}
 	if *promOut != "" {
 		// Atomic final flush (and surface any periodic-flush error).

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteTo(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := writeTo(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "payload" {
+		t.Fatalf("content %q", data)
+	}
+	if err := writeTo(filepath.Join(path, "nope"), func(io.Writer) error { return nil }); err == nil {
+		t.Error("impossible path did not error")
+	}
+	boom := errors.New("boom")
+	if err := writeTo(filepath.Join(dir, "fail.json"), func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("exporter error not propagated: %v", err)
+	}
+}

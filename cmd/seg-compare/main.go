@@ -1,0 +1,302 @@
+// Command seg-compare is the run-comparison regression gate: it diffs
+// two runs' artifacts — step-time attribution ledgers (summit-sim
+// -attr-out, dlv3-train -attr-out, a /debug/attribution scrape) or run
+// manifests from results/runs/ — and exits nonzero when the candidate
+// regresses against the baseline. The test is deterministic: given the
+// same two files it always renders the same report and verdict, so it
+// can gate CI.
+//
+// Usage:
+//
+//	seg-compare [-rel 0.05] [-z 3] [-min-abs 1e-4] baseline.json candidate.json
+//	seg-compare -validate ledger.json
+//
+// For ledgers, every bucket's per-row samples are compared with a
+// two-sample z-test on top of a relative-delta threshold: a bucket
+// regresses only when it got slower by more than -rel, by more than
+// -min-abs seconds, and the shift clears -z pooled standard errors —
+// noise-sized wobbles pass, straggler-sized shifts fail. The report
+// also names each run's most-blamed rank, so a failing diff points at
+// who to go look at.
+//
+// -validate checks a single ledger's structural invariants (schema,
+// rank bounds, non-negative buckets summing to each row's step wall)
+// and exits nonzero on violation — the smoke tests' JSON-schema gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+
+	"segscale/internal/traceanalysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seg-compare: ")
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Exit(code)
+}
+
+// run is the whole tool behind a testable seam. The int is the process
+// exit code: 0 clean, 1 regression (or failed validation), and any
+// returned error means usage or I/O trouble.
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("seg-compare", flag.ContinueOnError)
+	validate := fs.Bool("validate", false, "validate a single ledger file instead of diffing two")
+	rel := fs.Float64("rel", 0.05, "relative worsening needed to flag a bucket")
+	zThresh := fs.Float64("z", 3, "z-score the worsening must clear to count as significant")
+	minAbs := fs.Float64("min-abs", 1e-4, "ignore bucket deltas smaller than this many seconds")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if *validate {
+		if fs.NArg() != 1 {
+			return 0, fmt.Errorf("usage: seg-compare -validate <ledger.json>")
+		}
+		return runValidate(fs.Arg(0), stdout)
+	}
+	if fs.NArg() != 2 {
+		return 0, fmt.Errorf("usage: seg-compare [flags] <baseline.json> <candidate.json>")
+	}
+	base, err := load(fs.Arg(0))
+	if err != nil {
+		return 0, err
+	}
+	cand, err := load(fs.Arg(1))
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case base.ledger != nil && cand.ledger != nil:
+		return compareLedgers(stdout, base, cand, *rel, *zThresh, *minAbs), nil
+	case base.manifest != nil && cand.manifest != nil:
+		return compareManifests(stdout, base, cand, *rel), nil
+	default:
+		return 0, fmt.Errorf("cannot compare %s (%s) against %s (%s): mixed artifact kinds",
+			base.path, base.kind(), cand.path, cand.kind())
+	}
+}
+
+func runValidate(path string, stdout io.Writer) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	l, err := traceanalysis.ReadLedger(f)
+	if err != nil {
+		// Validation failures are the tool's verdict, not its malfunction.
+		fmt.Fprintf(stdout, "INVALID %s: %v\n", path, err)
+		return 1, nil
+	}
+	fmt.Fprintf(stdout, "OK %s: schema %d, source %s, %d ranks, %d rows, buckets sum to step walls within %g\n",
+		path, l.Schema, l.Source, l.Ranks, len(l.Steps), traceanalysis.SumEpsilon)
+	return 0, nil
+}
+
+// artifact is one loaded input file: exactly one of ledger/manifest is
+// set.
+type artifact struct {
+	path     string
+	ledger   *traceanalysis.Ledger
+	manifest *manifest
+}
+
+func (a artifact) kind() string {
+	if a.ledger != nil {
+		return "ledger"
+	}
+	return "manifest"
+}
+
+// manifest mirrors the fields of obs.Manifest this tool diffs; decoded
+// structurally so seg-compare can read manifests from other builds.
+type manifest struct {
+	Tool            string  `json:"tool"`
+	GitRev          string  `json:"git_rev"`
+	Seed            int64   `json:"seed"`
+	ChaosSpec       string  `json:"chaos_spec"`
+	SLO             float64 `json:"slo"`
+	FinalEfficiency float64 `json:"final_efficiency"`
+	Restarts        int     `json:"restarts"`
+}
+
+// load sniffs the artifact kind: manifests carry "tool", ledgers carry
+// "schema" + "steps".
+func load(path string) (artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return artifact{}, err
+	}
+	var probe struct {
+		Tool   string `json:"tool"`
+		Schema *int   `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return artifact{}, fmt.Errorf("%s: %w", path, err)
+	}
+	switch {
+	case probe.Tool != "":
+		var m manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return artifact{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return artifact{path: path, manifest: &m}, nil
+	case probe.Schema != nil:
+		var l traceanalysis.Ledger
+		if err := json.Unmarshal(data, &l); err != nil {
+			return artifact{}, fmt.Errorf("%s: %w", path, err)
+		}
+		if err := l.Validate(traceanalysis.SumEpsilon); err != nil {
+			return artifact{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return artifact{path: path, ledger: &l}, nil
+	default:
+		return artifact{}, fmt.Errorf("%s: neither a run manifest nor an attribution ledger", path)
+	}
+}
+
+// stats is a sample set's mean and variance.
+type stats struct {
+	n        int
+	mean, sv float64 // sv: sample variance
+}
+
+func summarize(xs []float64) stats {
+	s := stats{n: len(xs)}
+	if s.n == 0 {
+		return s
+	}
+	for _, x := range xs {
+		s.mean += x
+	}
+	s.mean /= float64(s.n)
+	for _, x := range xs {
+		s.sv += (x - s.mean) * (x - s.mean)
+	}
+	if s.n > 1 {
+		s.sv /= float64(s.n - 1)
+	}
+	return s
+}
+
+// zScore is the two-sample z statistic for candidate mean minus
+// baseline mean; zero-variance pairs with a real delta score +Inf (an
+// exact shift of a deterministic quantity is maximally significant).
+func zScore(b, c stats) float64 {
+	d := c.mean - b.mean
+	if d == 0 {
+		return 0
+	}
+	se := math.Sqrt(b.sv/float64(b.n) + c.sv/float64(c.n))
+	if se == 0 {
+		return math.Inf(sign(d))
+	}
+	return d / se
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+func compareLedgers(w io.Writer, base, cand artifact, rel, zThresh, minAbs float64) int {
+	b, c := base.ledger, cand.ledger
+	fmt.Fprintf(w, "attribution diff: %s (%d rows) -> %s (%d rows)\n\n",
+		base.path, len(b.Steps), cand.path, len(c.Steps))
+	fmt.Fprintf(w, "%-20s %12s %12s %10s %8s %8s  %s\n",
+		"bucket", "base mean", "cand mean", "delta", "rel", "z", "verdict")
+
+	regressions := 0
+	row := func(name string, bs, cs stats) {
+		d := cs.mean - bs.mean
+		relD := 0.0
+		if bs.mean != 0 {
+			relD = d / bs.mean
+		} else if d != 0 {
+			relD = math.Inf(sign(d))
+		}
+		z := zScore(bs, cs)
+		verdict := "ok"
+		switch {
+		case d > minAbs && relD > rel && z > zThresh:
+			verdict = "REGRESSION"
+			regressions++
+		case d < -minAbs && relD < -rel && z < -zThresh:
+			verdict = "improved"
+		}
+		fmt.Fprintf(w, "%-20s %12.6f %12.6f %+10.6f %+7.1f%% %8.1f  %s\n",
+			name, bs.mean, cs.mean, d, 100*relD, z, verdict)
+	}
+	for i, name := range traceanalysis.BucketNames {
+		row(name, summarize(b.BucketSamples(i)), summarize(c.BucketSamples(i)))
+	}
+	row("step_wall", summarize(stepWalls(b)), summarize(stepWalls(c)))
+
+	fmt.Fprintf(w, "\nblame: baseline %s, candidate %s\n", blameLine(b), blameLine(c))
+	if regressions > 0 {
+		fmt.Fprintf(w, "\nRESULT: %d bucket(s) regressed\n", regressions)
+		return 1
+	}
+	fmt.Fprintf(w, "\nRESULT: no regression\n")
+	return 0
+}
+
+func stepWalls(l *traceanalysis.Ledger) []float64 {
+	out := make([]float64, 0, len(l.Steps))
+	for _, s := range l.Steps {
+		out = append(out, s.StepSec)
+	}
+	return out
+}
+
+// blameLine renders a ledger's most-blamed rank ("rank 2 (18/36
+// rows)") or "no rank blamed".
+func blameLine(l *traceanalysis.Ledger) string {
+	counts := l.BlameCounts()
+	best, bestN := -1, 0
+	for r, n := range counts {
+		if n > bestN {
+			best, bestN = r, n
+		}
+	}
+	if best < 0 {
+		return "no rank blamed"
+	}
+	return fmt.Sprintf("rank %d blamed most (%d/%d rows)", best, bestN, len(l.Steps))
+}
+
+func compareManifests(w io.Writer, base, cand artifact, rel float64) int {
+	b, c := base.manifest, cand.manifest
+	fmt.Fprintf(w, "manifest diff: %s -> %s\n", base.path, cand.path)
+	fmt.Fprintf(w, "  tool:       %s -> %s\n", b.Tool, c.Tool)
+	fmt.Fprintf(w, "  git_rev:    %s -> %s\n", b.GitRev, c.GitRev)
+	fmt.Fprintf(w, "  seed:       %d -> %d\n", b.Seed, c.Seed)
+	fmt.Fprintf(w, "  chaos_spec: %q -> %q\n", b.ChaosSpec, c.ChaosSpec)
+	fmt.Fprintf(w, "  restarts:   %d -> %d\n", b.Restarts, c.Restarts)
+	fmt.Fprintf(w, "  efficiency: %.4f -> %.4f\n", b.FinalEfficiency, c.FinalEfficiency)
+	if b.FinalEfficiency > 0 {
+		drop := (b.FinalEfficiency - c.FinalEfficiency) / b.FinalEfficiency
+		if drop > rel {
+			fmt.Fprintf(w, "\nRESULT: efficiency dropped %.1f%% (threshold %.1f%%)\n", 100*drop, 100*rel)
+			return 1
+		}
+	}
+	if c.SLO > 0 && c.FinalEfficiency > 0 && c.FinalEfficiency < c.SLO && b.FinalEfficiency >= b.SLO {
+		fmt.Fprintf(w, "\nRESULT: candidate fell below its SLO (%.3f < %.3f)\n", c.FinalEfficiency, c.SLO)
+		return 1
+	}
+	fmt.Fprintf(w, "\nRESULT: no regression\n")
+	return 0
+}

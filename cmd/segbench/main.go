@@ -16,7 +16,9 @@
 //	                                 # baseline and allocation counts must
 //	                                 # not regress; timing deltas are
 //	                                 # advisory only (CI machines vary,
-//	                                 # allocation counts do not)
+//	                                 # allocation counts do not). Entries
+//	                                 # whose baseline ran at a different
+//	                                 # GOMAXPROCS are skipped, not compared.
 //
 // Benchmark keys and shapes are identical in both modes — -fast only
 // reduces timing iterations — so a -fast run is always comparable to a
@@ -44,12 +46,17 @@ import (
 
 // schemaVersion is bumped whenever the report layout or the benchmark
 // set changes incompatibly; -check refuses to compare across versions.
-const schemaVersion = 1
+// v2: per-entry gomaxprocs.
+const schemaVersion = 2
 
 // Entry is one benchmark's measurements.
 type Entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// GOMAXPROCS the timing loop ran at. -check compares an entry
+	// against its baseline only when these match: timings from
+	// different parallelism are different experiments, not deltas.
+	GOMAXPROCS int `json:"gomaxprocs"`
 	// ImgPerSec is set for benchmarks with a natural image-throughput
 	// reading: measured for the training step, simulated for perfsim.
 	ImgPerSec float64 `json:"img_per_sec,omitempty"`
@@ -80,6 +87,7 @@ func bench(iters int, fn func()) Entry {
 	return Entry{
 		NsPerOp:     float64(time.Since(start).Nanoseconds()) / float64(iters),
 		AllocsPerOp: allocs,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -234,8 +242,18 @@ func check(cur *Report, baselinePath string) error {
 		}
 	}
 	var failed bool
+	skipped := 0
 	for name, b := range base.Benchmarks {
 		c := cur.Benchmarks[name]
+		if b.GOMAXPROCS != c.GOMAXPROCS {
+			// A baseline timed at different parallelism is a different
+			// experiment; comparing against it would gate on the
+			// machine shape, not the code.
+			skipped++
+			fmt.Fprintf(os.Stderr, "skip %s: baseline ran at GOMAXPROCS=%d, this machine at %d (not comparable)\n",
+				name, b.GOMAXPROCS, c.GOMAXPROCS)
+			continue
+		}
 		if c.AllocsPerOp > b.AllocsPerOp+allocSlack {
 			failed = true
 			fmt.Fprintf(os.Stderr, "FAIL %s: allocs/op %.0f, baseline %.0f\n",
@@ -245,6 +263,10 @@ func check(cur *Report, baselinePath string) error {
 			fmt.Fprintf(os.Stderr, "time %s: %.2fms vs baseline %.2fms (%+.1f%%, advisory)\n",
 				name, c.NsPerOp/1e6, b.NsPerOp/1e6, 100*(c.NsPerOp-b.NsPerOp)/b.NsPerOp)
 		}
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "segbench: %d/%d entries skipped on GOMAXPROCS mismatch\n",
+			skipped, len(base.Benchmarks))
 	}
 	if failed {
 		return fmt.Errorf("allocation regression against %s", baselinePath)

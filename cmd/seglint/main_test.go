@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLintPromFlagsBadNames(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	src := `# HELP perfsim_step_seconds step wall time
+# TYPE perfsim_step_seconds histogram
+perfsim_step_seconds_bucket{le="0.1"} 3
+perfsim_step_seconds_sum 0.21
+perfsim_step_seconds_count 3
+perfsim_step_p99_seconds 0.09
+# TYPE BadCamelCase gauge
+BadCamelCase 1
+no_unit_suffix{rank="0"} 2
+no_unit_suffix{rank="1"} 3
+
+# a stray comment
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lintProm(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Histogram series suffixes are stripped before validation, the
+	// quantile gauge carries a real unit suffix, and each offender is
+	// reported once however many samples it has.
+	if len(findings) != 2 {
+		t.Fatalf("findings = %d, want 2: %+v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "metricname" || f.File != path {
+			t.Errorf("finding metadata wrong: %+v", f)
+		}
+	}
+	if _, err := lintProm(filepath.Join(t.TempDir(), "nope.prom")); err == nil {
+		t.Error("missing file did not error")
+	}
+}
+
+func TestPromSampleName(t *testing.T) {
+	cases := map[string]string{
+		"metric_seconds 1":                "metric_seconds",
+		`metric_seconds{rank="0"} 2`:      "metric_seconds",
+		"metric_seconds\t3":               "metric_seconds",
+		"# TYPE metric_seconds histogram": "metric_seconds",
+		"# HELP metric_seconds help text": "metric_seconds",
+		"# EOF":                           "",
+		"# plain comment":                 "",
+		"":                                "",
+		"   ":                             "",
+	}
+	for line, want := range cases {
+		if got := promSampleName(line); got != want {
+			t.Errorf("promSampleName(%q) = %q, want %q", line, got, want)
+		}
+	}
+}
+
+func TestRebase(t *testing.T) {
+	root := "/repo"
+	sub := "/repo/internal/x"
+	cases := []struct {
+		cwd  string
+		in   []string
+		want []string
+	}{
+		{sub, []string{"."}, []string{"./internal/x"}},
+		{sub, []string{"./..."}, []string{"./internal/x/..."}},
+		{sub, []string{"segscale/internal/y"}, []string{"segscale/internal/y"}},
+		{root, []string{"./..."}, []string{"./..."}}, // cwd == root: untouched
+		{"/elsewhere", []string{"."}, []string{"."}}, // outside root: untouched
+	}
+	for _, c := range cases {
+		got := rebase(c.in, root, c.cwd)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("rebase(%v, root, %q) = %v, want %v", c.in, c.cwd, got, c.want)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@
 //	summit-sim [-model dlv3plus] [-mpi mv2gdr] [-tuned] [-gpus 1,6,12,...]
 //	           [-seed 1] [-timeline trace.json] [-prom metrics.prom]
 //	           [-obs-addr 127.0.0.1:6060] [-obs-linger 30s] [-anchor 6.7]
+//	           [-attr-out ledger.json]
 package main
 
 import (
@@ -48,6 +49,7 @@ func main() {
 	slo := flag.Float64("slo", summitseg.DefaultSLO, "scaling-efficiency objective for the online monitor")
 	anchor := flag.Float64("anchor", 6.7, "single-GPU img/s anchor for the efficiency monitor (the paper's DLv3+ V100 calibration; 0 = self-calibrate)")
 	runsDir := flag.String("runs-dir", "", "write a run manifest (config, seed, chaos, final efficiency, alerts) under this directory (empty = off)")
+	attrOut := flag.String("attr-out", "", "write the largest scale's per-(step,rank) attribution ledger to this file (seg-compare's input)")
 	flag.Parse()
 
 	prof, err := summitseg.ModelByName(*modelName)
@@ -116,9 +118,18 @@ func main() {
 		mon = summitseg.NewEffMonitor(col, summitseg.MonitorConfig{
 			AnchorImgPerSec: *anchor, SLO: *slo})
 	}
+	// Attribution rides the largest scale (like -timeline): one ledger
+	// per sweep, served live on /debug/attribution and summarised as
+	// train_step_attribution_* gauges on /metrics.
+	var attrRec *summitseg.AttributionRecorder
+	publishAttr := func() {}
+	if *attrOut != "" || obsOn {
+		attrRec = summitseg.NewAttributionRecorder("perfsim", scales[len(scales)-1])
+		publishAttr = summitseg.AttributionPublisher(col, attrRec)
+	}
 	if *obsAddr != "" {
 		srv = summitseg.NewObsServer(summitseg.ObsServerOptions{
-			Addr: *obsAddr, Telemetry: col, Monitor: mon})
+			Addr: *obsAddr, Telemetry: col, Monitor: mon, Attribution: attrRec})
 		url, err := srv.Start()
 		if err != nil {
 			log.Fatal(err)
@@ -146,9 +157,15 @@ func main() {
 		if *timelineOut != "" && i == len(scales)-1 {
 			opts.Timeline = &summitseg.Timeline{Enabled: true}
 		}
+		if attrRec != nil && i == len(scales)-1 {
+			opts.Attribution = attrRec
+		}
 		res, err := summitseg.Simulate(opts)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if opts.Attribution != nil {
+			publishAttr()
 		}
 		if base == nil {
 			base = res
@@ -199,6 +216,12 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("results written to %s\n", *jsonOut)
+	}
+	if *attrOut != "" {
+		if err := summitseg.WriteAttribution(attrRec, *attrOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("attribution ledger written to %s\n", *attrOut)
 	}
 	if *flightOut != "" {
 		if err := summitseg.WriteFlightTrace(flight, *flightOut); err != nil {

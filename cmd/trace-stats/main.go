@@ -7,6 +7,14 @@
 // Usage:
 //
 //	trace-stats [-straggler-factor 1.2] [-path 12] trace.json
+//	trace-stats -attr [-attr-out ledger.json] trace.json
+//
+// -attr switches to attribution mode: the trace's message edges are
+// assembled into a cross-rank happens-before DAG, every rank's
+// TRAIN_STEP windows are decomposed into the sum-to-100% attribution
+// buckets, and the report names which rank each waiter was blocked on.
+// -attr-out additionally writes the full ledger as canonical JSON, the
+// input format of seg-compare.
 package main
 
 import (
@@ -38,6 +46,8 @@ func run(args []string, stdout io.Writer) error {
 	factor := fs.Float64("straggler-factor", 1.2,
 		"flag lanes busier than this multiple of the median lane")
 	pathMax := fs.Int("path", 12, "critical-path steps to print (0 = all)")
+	attr := fs.Bool("attr", false, "attribution mode: decompose per-rank step windows via the happens-before DAG")
+	attrOut := fs.String("attr-out", "", "with -attr, also write the ledger JSON here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,11 +64,73 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *attr {
+		return runAttr(stdout, rec, *attrOut)
+	}
 	rep, err := traceanalysis.Analyze(rec, traceanalysis.Options{StragglerFactor: *factor})
 	if err != nil {
 		return err
 	}
 	render(stdout, rep, *pathMax)
+	return nil
+}
+
+// runAttr renders the attribution view of a trace and optionally
+// writes the ledger for seg-compare.
+func runAttr(w io.Writer, rec *timeline.Recorder, outPath string) error {
+	dag := traceanalysis.BuildDAG(rec)
+	l, err := traceanalysis.AttributeTrace(rec, dag)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "happens-before DAG: %d events, %d lanes, %d message edges, %d orphan edges\n",
+		len(dag.Events), len(dag.Lanes), dag.Stats.MessageEdges, dag.Stats.OrphanEdges())
+	if o := dag.Stats; o.OrphanEdges() > 0 {
+		fmt.Fprintf(w, "  (orphans: %d recvs without sends, %d unmatched sends, %d duplicate IDs, %d malformed)\n",
+			o.OrphanRecvs, o.UnmatchedSends, o.DuplicateEdges, o.MalformedEdges)
+	}
+	fmt.Fprintf(w, "attribution ledger: %d ranks, %d rows\n\n", l.Ranks, len(l.Steps))
+
+	fmt.Fprintln(w, "== mean step decomposition (sums to 100% of the step wall) ==")
+	means := l.BucketMeans()
+	wall := means.Sum()
+	for i, name := range traceanalysis.BucketNames {
+		pct := 0.0
+		if wall > 0 {
+			pct = 100 * means[i] / wall
+		}
+		fmt.Fprintf(w, "%-16s %10s %6.1f%%\n", name, ms(means[i]), pct)
+	}
+	fmt.Fprintf(w, "%-16s %10s\n\n", "step wall", ms(wall))
+
+	fmt.Fprintln(w, "== blame ==")
+	counts := l.BlameCounts()
+	blamed := false
+	for r, n := range counts {
+		if n == 0 {
+			continue
+		}
+		blamed = true
+		fmt.Fprintf(w, "rank %d blamed in %d/%d rows\n", r, n, len(l.Steps))
+	}
+	if !blamed {
+		fmt.Fprintln(w, "no idle waits attributable to a specific rank")
+	}
+
+	if outPath != "" {
+		out, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		if err := l.WriteLedger(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nledger written to %s\n", outPath)
+	}
 	return nil
 }
 

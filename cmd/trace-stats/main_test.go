@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"segscale/internal/timeline"
+	"segscale/internal/traceanalysis"
 )
 
 // writeTrace saves a recorder to a temp file and returns the path.
@@ -105,5 +106,95 @@ func TestRunPathElision(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "4 earlier steps elided") {
 		t.Errorf("output missing elision note:\n%s", out.String())
+	}
+}
+
+// attrTrace builds a two-rank trace with one TRAIN_STEP window per
+// rank, a paired message edge, and rank0 idling on rank1's send.
+func attrTrace() *timeline.Recorder {
+	rec := timeline.New()
+	edge := timeline.Edge{Src: 1, Dst: 0, Seq: 0, Inc: 0}.String()
+	rec.Add("rank0", timeline.PhaseStep, "step", 0, 10)
+	rec.Add("rank0", timeline.PhaseForward, "fwd", 0, 3)
+	rec.AddEdge("rank0", timeline.PhaseRecv, "recv", edge, 3, 9)
+	rec.Add("rank0", timeline.PhaseAllreduce, "buf0", 9, 10)
+	rec.Add("rank1", timeline.PhaseStep, "step", 0, 10)
+	rec.Add("rank1", timeline.PhaseForward, "fwd", 0, 8)
+	rec.AddEdge("rank1", timeline.PhaseSend, "send", edge, 8, 9)
+	rec.Add("rank1", timeline.PhaseAllreduce, "buf0", 9, 10)
+	return rec
+}
+
+func TestRunAttrMode(t *testing.T) {
+	path := writeTrace(t, attrTrace())
+	out := filepath.Join(t.TempDir(), "ledger.json")
+	var buf strings.Builder
+	if err := run([]string{"-attr", "-attr-out", out, path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"happens-before DAG:", "1 message edges",
+		"attribution ledger: 2 ranks, 2 rows",
+		"== mean step decomposition",
+		"idle_wait",
+		"rank 1 blamed in 1/2 rows",
+		"ledger written to " + out,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("attr output missing %q:\n%s", want, s)
+		}
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	l, err := traceanalysis.ReadLedger(f)
+	if err != nil {
+		t.Fatalf("written ledger invalid: %v", err)
+	}
+	if l.Ranks != 2 || len(l.Steps) != 2 {
+		t.Fatalf("ledger shape: ranks %d rows %d", l.Ranks, len(l.Steps))
+	}
+}
+
+func TestRunAttrNoBlame(t *testing.T) {
+	// No message edges and no idle: the blame section must say so.
+	rec := timeline.New()
+	rec.Add("rank0", timeline.PhaseStep, "step", 0, 2)
+	rec.Add("rank0", timeline.PhaseForward, "fwd", 0, 2)
+	path := writeTrace(t, rec)
+	var buf strings.Builder
+	if err := run([]string{"-attr", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no idle waits attributable") {
+		t.Errorf("output missing no-blame line:\n%s", buf.String())
+	}
+}
+
+func TestRunAttrNoStepWindows(t *testing.T) {
+	rec := timeline.New()
+	rec.Add("rank0", timeline.PhaseForward, "fwd", 0, 1)
+	path := writeTrace(t, rec)
+	var buf strings.Builder
+	if err := run([]string{"-attr", path}, &buf); err == nil {
+		t.Fatal("trace without TRAIN_STEP windows: want error")
+	}
+}
+
+func TestRunAttrOrphanReport(t *testing.T) {
+	// A recv with no matching send must be reported, not fatal.
+	rec := timeline.New()
+	rec.Add("rank0", timeline.PhaseStep, "step", 0, 2)
+	rec.AddEdge("rank0", timeline.PhaseRecv, "recv", "1>0#5.0", 0, 1)
+	path := writeTrace(t, rec)
+	var buf strings.Builder
+	if err := run([]string{"-attr", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 recvs without sends") {
+		t.Errorf("output missing orphan breakdown:\n%s", buf.String())
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"segscale/internal/telemetry"
+	"segscale/internal/traceanalysis"
 	"segscale/internal/transport"
 )
 
@@ -23,6 +24,9 @@ type ServerOptions struct {
 	Telemetry *telemetry.Collector
 	// Monitor feeds /debug/alerts and the readiness detail. May be nil.
 	Monitor *EffMonitor
+	// Attribution feeds /debug/attribution: a live snapshot of the
+	// run's step-time attribution ledger. May be nil.
+	Attribution *traceanalysis.LedgerRecorder
 }
 
 // Server is the live observability endpoint of a run:
@@ -58,6 +62,7 @@ func NewServer(opts ServerOptions) *Server {
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/debug/flight", s.handleFlight)
 	s.mux.HandleFunc("/debug/alerts", s.handleAlerts)
+	s.mux.HandleFunc("/debug/attribution", s.handleAttribution)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -139,7 +144,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, "segscale observability\n\n/metrics\n/healthz\n/readyz\n/debug/flight\n/debug/alerts\n/debug/pprof/\n")
+	fmt.Fprint(w, "segscale observability\n\n/metrics\n/healthz\n/readyz\n/debug/flight\n/debug/alerts\n/debug/attribution\n/debug/pprof/\n")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -195,6 +200,19 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := f.WriteChromeTrace(w); err != nil {
+		fmt.Fprintf(w, "\n# render error: %v\n", err)
+	}
+}
+
+func (s *Server) handleAttribution(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Attribution == nil {
+		http.Error(w, "attribution disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// The snapshot is the same canonical form seg-compare reads from
+	// disk, so a live scrape can be diffed against a saved baseline.
+	if err := s.opts.Attribution.Ledger().WriteLedger(w); err != nil {
 		fmt.Fprintf(w, "\n# render error: %v\n", err)
 	}
 }

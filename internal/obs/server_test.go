@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"segscale/internal/telemetry"
+	"segscale/internal/traceanalysis"
 	"segscale/internal/transport"
 )
 
@@ -156,4 +157,37 @@ func TestServerStartServesAndCloses(t *testing.T) {
 	var nilServer *Server
 	nilServer.TrackWorld(nil, 0) // nil receiver must be safe
 	nilServer.SetReady(true)
+}
+
+func TestServerAttributionEndpoint(t *testing.T) {
+	rec := traceanalysis.NewLedgerRecorder("perfsim", 2)
+	var b traceanalysis.BucketSet
+	b[traceanalysis.BucketForward] = 1.5
+	b[traceanalysis.BucketIdleWait] = 0.5
+	rec.Record(traceanalysis.StepAttribution{
+		Step: 0, Rank: 0, StepSec: b.Sum(), Buckets: b,
+		BlameRank: 1, BlameEdge: "1>0#0.0",
+	})
+	s := NewServer(ServerOptions{Attribution: rec})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := scrape(t, ts, "/debug/attribution")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/attribution: %d", code)
+	}
+	l, err := traceanalysis.ReadLedger(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("endpoint did not serve a valid ledger: %v", err)
+	}
+	if l.Ranks != 2 || len(l.Steps) != 1 || l.Steps[0].BlameRank != 1 {
+		t.Fatalf("served ledger %+v", l)
+	}
+
+	// Disabled: no recorder configured.
+	off := httptest.NewServer(NewServer(ServerOptions{}).Handler())
+	defer off.Close()
+	if code, _ := scrape(t, off, "/debug/attribution"); code != http.StatusNotFound {
+		t.Fatalf("disabled attribution endpoint: %d, want 404", code)
+	}
 }

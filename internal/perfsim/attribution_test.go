@@ -1,0 +1,152 @@
+package perfsim
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"segscale/internal/faultinject"
+	"segscale/internal/horovod"
+	"segscale/internal/model"
+	"segscale/internal/mpiprofile"
+	"segscale/internal/traceanalysis"
+)
+
+// -update-attribution regenerates the committed golden ledger. Run
+// after an intentional model change:
+//
+//	go test ./internal/perfsim -run TestAttributionGolden -update-attribution
+var updateAttribution = flag.Bool("update-attribution", false, "rewrite testdata/attribution_golden.json")
+
+// goldenConfig is the pinned run behind the attribution golden: small
+// enough to be fast, multi-rank and multi-step enough to exercise
+// blame edges and per-step variation.
+func goldenConfig() Config {
+	return Config{
+		GPUs: 4, Model: model.DLv3Plus(), MPI: mpiprofile.MV2GDR(),
+		Horovod: horovod.Default(), Seed: 11, Steps: 6, WarmupSteps: 2,
+	}
+}
+
+// TestAttributionGolden pins the exact bytes of the seeded run's
+// ledger: attribution is an analytic function of the simulation, so
+// the same seed must yield the identical file — any drift is either an
+// intentional model change (regenerate with -update-attribution) or a
+// regression the gate exists to catch.
+func TestAttributionGolden(t *testing.T) {
+	rec := traceanalysis.NewLedgerRecorder("perfsim", 4)
+	cfg := goldenConfig()
+	cfg.Attribution = rec
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := rec.Ledger().WriteLedger(&got); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "attribution_golden.json")
+	if *updateAttribution {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("attribution ledger drifted from %s (len %d vs %d); regenerate with -update-attribution if the change is intentional",
+			golden, got.Len(), len(want))
+	}
+}
+
+// TestAttributionSumsExactly: every row's buckets must sum to its step
+// wall time, and the per-step wall must match what the simulator
+// reported for that step.
+func TestAttributionSumsExactly(t *testing.T) {
+	rec := traceanalysis.NewLedgerRecorder("perfsim", 4)
+	cfg := goldenConfig()
+	cfg.Attribution = rec
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := rec.Ledger()
+	if err := l.Validate(traceanalysis.SumEpsilon); err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(res.StepTimesSec) * cfg.GPUs
+	if len(l.Steps) != wantRows {
+		t.Fatalf("ledger has %d rows, want %d (post-warmup steps × ranks)", len(l.Steps), wantRows)
+	}
+	for _, row := range l.Steps {
+		if row.Buckets.Sum() != row.StepSec {
+			t.Fatalf("step %d rank %d: bucket sum %.17g != StepSec %.17g",
+				row.Step, row.Rank, row.Buckets.Sum(), row.StepSec)
+		}
+		simStep := res.StepTimesSec[row.Step-cfg.WarmupSteps]
+		if math.Abs(row.StepSec-simStep) > 1e-9 {
+			t.Fatalf("step %d rank %d: ledger wall %.12g vs simulated %.12g",
+				row.Step, row.Rank, row.StepSec, simStep)
+		}
+	}
+}
+
+// TestAttributionBlamesChaosStraggler: under a chaos plan that slows
+// rank 2's compute 1.5×, rank 2 must be the modal blamed rank and must
+// never blame anyone (the pacer does not wait on itself).
+func TestAttributionBlamesChaosStraggler(t *testing.T) {
+	plan, err := faultinject.ParseSpec("seed=1;slow=2*1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := traceanalysis.NewLedgerRecorder("perfsim", 4)
+	cfg := goldenConfig()
+	cfg.Steps, cfg.Chaos, cfg.Attribution = 12, plan, rec
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	l := rec.Ledger()
+	counts := l.BlameCounts()
+	for r, c := range counts {
+		if r != 2 && c > counts[2] {
+			t.Fatalf("blame counts %v: rank %d out-blamed the chaos straggler rank 2", counts, r)
+		}
+	}
+	if counts[2] == 0 {
+		t.Fatalf("blame counts %v: straggler rank 2 never blamed", counts)
+	}
+	for _, row := range l.Steps {
+		if row.Rank == 2 && row.BlameRank == 2 {
+			t.Fatal("pacing rank blamed itself")
+		}
+		if row.BlameRank >= 0 && row.BlameEdge == "" {
+			t.Fatal("blamed row missing its blame edge")
+		}
+	}
+}
+
+// TestAttributionNilRecorderUnchanged: attaching a recorder must not
+// perturb the simulation (observer contract).
+func TestAttributionNilRecorderUnchanged(t *testing.T) {
+	plain, err := Run(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := goldenConfig()
+	cfg.Attribution = traceanalysis.NewLedgerRecorder("perfsim", 4)
+	observed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.AvgStepSec != observed.AvgStepSec || plain.ImgPerSec != observed.ImgPerSec {
+		t.Fatalf("attribution recorder changed results: %.12g vs %.12g img/s",
+			plain.ImgPerSec, observed.ImgPerSec)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"segscale/internal/telemetry"
 	"segscale/internal/timeline"
 	"segscale/internal/topology"
+	"segscale/internal/traceanalysis"
 	"segscale/internal/transport"
 )
 
@@ -113,6 +114,14 @@ type Config struct {
 	// observer: it must not influence the simulation, and nil (the
 	// default) keeps results byte-identical.
 	StepObs telemetry.StepObserver
+	// Attribution, when non-nil, receives one ledger row per
+	// (post-warmup step, rank): the rank's step wall time decomposed
+	// into buckets that sum to it exactly, with idle waits blamed on
+	// the step's pacing (slowest-jitter) rank. The simulator knows the
+	// model analytically, so the rows are exact and — for a fixed seed
+	// — byte-identical across runs, which is what the regression-gate
+	// golden pins. Purely an observer: nil changes nothing.
+	Attribution *traceanalysis.LedgerRecorder
 }
 
 // Placement selects the MPI-rank → GPU mapping.
@@ -270,6 +279,7 @@ func Run(cfg Config) (*Result, error) {
 	sim.dsim.SetProbe(cfg.Probe)
 	sim.readySec = make([]float64, len(sim.tensors))
 	sim.sizes = make([]int, len(sim.tensors))
+	sim.jitFactor = make([]float64, cfg.GPUs)
 
 	res := &Result{GPUs: cfg.GPUs, BatchPer: batch}
 	now := 0.0
@@ -290,6 +300,9 @@ func Run(cfg Config) (*Result, error) {
 		stepHist.Observe(d)
 		if cfg.StepObs != nil {
 			cfg.StepObs.ObserveStep(obsLane, step, batch*cfg.GPUs, d)
+		}
+		if cfg.Attribution != nil {
+			sim.attribute(cfg.Attribution, step, st)
 		}
 		res.StepTimesSec = append(res.StepTimesSec, d)
 		res.ComputeSec += st.computeSec
@@ -367,6 +380,10 @@ type stepSim struct {
 	readySec []float64
 	sizes    []int
 	groups   [][]int // fusion-plan storage recycled via PlanFusionInto
+	// jitFactor holds the most recent step's per-rank jitter multipliers — the raw
+	// material of per-rank attribution, kept out of the hot step loop's
+	// allocation budget by pooling.
+	jitFactor []float64
 }
 
 // stepStats is one step's outcome. All durations are virtual seconds.
@@ -410,6 +427,7 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 			j *= cfg.SlowFactor
 		}
 		j *= cfg.Chaos.StragglerFactor(r, stepIdx)
+		s.jitFactor[r] = j
 		if j > jmax {
 			jmax = j
 		}
@@ -576,6 +594,67 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 	end := math.Max(ce, lastCommDone) + stepOverheadSec
 	st.endSec = end
 	return st
+}
+
+// attribute converts one finished step into per-rank ledger rows. It
+// runs outside the hot step loop (once per post-warmup step, only when
+// a recorder is attached) and reads the pooled per-rank jitter draws
+// runStep left behind.
+//
+// The decomposition mirrors runStep's own timing algebra, so the
+// buckets sum to the step's wall time exactly:
+//
+//	wall = stall + (fwd+bwd)·jmax + computeDelay + exposedTail + overhead
+//
+// Rank r's row replaces (fwd+bwd)·jmax with its own compute
+// (fwd+bwd)·j_r plus an idle_wait of (jmax−j_r)·(fwd+bwd) — the time r
+// stood blocked on the step's pacing rank, which is who the blame edge
+// names. The exposed tail (communication compute could not hide) is
+// split wire-first into allreduce_wire and pack, matching how the tail
+// actually ends in the model; whatever the modelled comm cannot explain
+// (cycle-tick quantisation, negotiation gaps) stays in exposed_comm.
+func (s *stepSim) attribute(rec *traceanalysis.LedgerRecorder, step int, st stepStats) {
+	// Same expression order as runStep, so the float rounding matches.
+	fwdj := s.gpu.ForwardTime(s.batch) * s.calibFactor
+	bwdj := s.gpu.BackwardTime(s.batch) * s.calibFactor
+	jmax, pace := 1.0, -1
+	for r, j := range s.jitFactor {
+		if j > jmax {
+			jmax, pace = j, r
+		}
+	}
+	delay := st.computeSec - (fwdj+bwdj)*jmax
+	if delay < 0 {
+		delay = 0 // float dust from re-deriving computeDelay
+	}
+	tail := st.exposedSec - delay
+	if tail < 0 {
+		tail = 0
+	}
+	wire := math.Min(st.allreduceSec, tail)
+	pack := math.Min(st.packSec, tail-wire)
+	for r, j := range s.jitFactor {
+		var b traceanalysis.BucketSet
+		b[traceanalysis.BucketDataStall] = st.dataStallSec
+		b[traceanalysis.BucketForward] = fwdj * j
+		b[traceanalysis.BucketBackward] = bwdj * j
+		b[traceanalysis.BucketInterrupts] = delay
+		b[traceanalysis.BucketPack] = pack
+		b[traceanalysis.BucketWire] = wire
+		b[traceanalysis.BucketIdleWait] = (jmax - j) * (fwdj + bwdj)
+		b[traceanalysis.BucketExposed] = tail - wire - pack
+		b[traceanalysis.BucketOverhead] = stepOverheadSec
+		row := traceanalysis.StepAttribution{
+			Step: step, Rank: r, StepSec: b.Sum(), Buckets: b, BlameRank: -1,
+		}
+		if pace >= 0 && pace != r && b[traceanalysis.BucketIdleWait] > 0 {
+			row.BlameRank = pace
+			// A synthetic edge in the standard form: the pacing rank's
+			// gradient contribution is the message rank r waited on.
+			row.BlameEdge = timeline.Edge{Src: pace, Dst: r, Seq: uint64(step)}.String()
+		}
+		rec.Record(row)
+	}
 }
 
 // recordCompute writes the compute lanes of the timeline.

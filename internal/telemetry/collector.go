@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
 	"sync"
 )
@@ -113,6 +114,43 @@ type HistSnapshot struct {
 	Counts []uint64  `json:"counts"`
 	Sum    float64   `json:"sum"`
 	Total  uint64    `json:"total"`
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts by linear interpolation within the owning bucket — see
+// Histogram.Quantile for the edge cases.
+func (h *HistSnapshot) Quantile(q float64) float64 {
+	if h == nil || h.Total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Total)
+	var cum uint64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += c
+		if c == 0 || float64(cum) < rank {
+			continue
+		}
+		if i == len(h.Bounds) {
+			// +Inf bucket: the buckets cannot resolve past the last
+			// finite bound.
+			if len(h.Bounds) == 0 {
+				return math.NaN()
+			}
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		return lo + (h.Bounds[i]-lo)*(rank-float64(prev))/float64(c)
+	}
+	return math.NaN() // unreachable: cum == Total >= rank by the end
 }
 
 // merge adds o bucket-wise; histograms with different bounds cannot

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 
 	"segscale/internal/timeline"
 )
@@ -18,7 +19,7 @@ import (
 func (c *Collector) Timeline() *timeline.Recorder {
 	rec := timeline.New()
 	for _, s := range c.Spans() {
-		rec.Add(s.Lane, s.Phase, s.Name, s.Start, s.End)
+		rec.AddEdge(s.Lane, s.Phase, s.Name, s.Edge, s.Start, s.End)
 	}
 	return rec
 }
@@ -44,6 +45,9 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		switch m.Kind {
 		case "histogram":
 			if err := writePromHistogram(w, m.Name, m.Hist); err != nil {
+				return err
+			}
+			if err := writePromQuantiles(w, m.Name, m.Hist); err != nil {
 				return err
 			}
 		default:
@@ -92,6 +96,42 @@ func writePromHistogram(w io.Writer, name string, h *HistSnapshot) error {
 	}
 	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Total)
 	return err
+}
+
+// promQuantiles are the pre-rendered quantile gauges every exported
+// histogram gets alongside its raw buckets — the at-a-glance numbers a
+// scrape without a PromQL engine (obs_smoke.sh, curl) needs.
+var promQuantiles = []struct {
+	tag string
+	q   float64
+}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}}
+
+// writePromQuantiles renders a histogram's estimated quantiles as
+// derived gauges, the quantile tag spliced in before the unit suffix:
+// perfsim_step_seconds -> perfsim_step_p99_seconds.
+func writePromQuantiles(w io.Writer, name string, h *HistSnapshot) error {
+	for _, pq := range promQuantiles {
+		v := h.Quantile(pq.q)
+		if math.IsNaN(v) {
+			continue // empty histogram, or only a +Inf bucket
+		}
+		qn := quantileName(name, pq.tag)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", qn, qn, promFloat(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// quantileName splices the quantile tag in before the metric's unit
+// suffix, keeping the derived name convention-clean.
+func quantileName(name, tag string) string {
+	for _, s := range MetricSuffixes {
+		if strings.HasSuffix(name, s) {
+			return name[:len(name)-len(s)] + "_" + tag + s
+		}
+	}
+	return name + "_" + tag
 }
 
 func promFloat(v float64) string {

@@ -61,6 +61,10 @@ func TestWritePrometheus(t *testing.T) {
 		`collective_allreduce_ops_bucket{le="+Inf"} 2`,
 		"collective_allreduce_ops_sum 6",
 		"collective_allreduce_ops_count 2",
+		"# TYPE collective_allreduce_p50_ops gauge",
+		"collective_allreduce_p50_ops 5.5",
+		"collective_allreduce_p95_ops 9.54", // 1 + 9*0.95, modulo float dust
+		"collective_allreduce_p99_ops 9.91",
 		"train_steps_total 2",
 	} {
 		if !strings.Contains(out, want) {

@@ -9,12 +9,15 @@ import (
 
 // FlightEvent is one entry in the flight recorder: a finished span or
 // an instantaneous mark (Start == End), in the owning clock's units.
+// Edge mirrors the span's message-edge attribute, so a flight dump
+// keeps the causal structure trace analysis needs.
 type FlightEvent struct {
 	Lane  string
 	Phase string
 	Name  string
 	Start float64
 	End   float64
+	Edge  string
 }
 
 // FlightRecorder is a bounded ring buffer of the most recent telemetry
@@ -127,7 +130,7 @@ func (f *FlightRecorder) Total() uint64 {
 func (f *FlightRecorder) WriteChromeTrace(w io.Writer) error {
 	rec := &timeline.Recorder{Enabled: true}
 	for _, ev := range f.Snapshot() {
-		rec.Add(ev.Lane, ev.Phase, ev.Name, ev.Start, ev.End)
+		rec.AddEdge(ev.Lane, ev.Phase, ev.Name, ev.Edge, ev.Start, ev.End)
 	}
 	return rec.WriteChromeTrace(w)
 }

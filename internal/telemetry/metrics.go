@@ -149,6 +149,22 @@ func (h *Histogram) Snapshot() (counts []uint64, sum float64, total uint64) {
 	return append([]uint64(nil), h.counts...), h.sum, h.total
 }
 
+// Quantile returns the q-quantile (q in [0, 1]) of the recorded
+// distribution, estimated by linear interpolation within the owning
+// bucket — the same estimate PromQL's histogram_quantile computes from
+// the exported buckets. NaN for an empty histogram or when the
+// quantile lands in the +Inf bucket of a bound-less histogram; the
+// last finite bound when it lands in the +Inf bucket otherwise (the
+// estimate cannot exceed what the buckets resolve). Nil-safe.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	counts, _, total := h.Snapshot()
+	hs := HistSnapshot{Bounds: h.Bounds(), Counts: counts, Total: total}
+	return hs.Quantile(q)
+}
+
 // ExpBuckets returns n exponential bucket bounds starting at lo with
 // the given growth factor — the shape latency and size distributions
 // want.

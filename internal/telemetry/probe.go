@@ -52,6 +52,16 @@ func (p *Probe) Span(phase, name string) Span {
 	return p.tracer.Start(p.lane, phase, name)
 }
 
+// EdgeSpan opens a span carrying a message-edge attribute on this
+// probe's lane — the transport stamps "src>dst#seq.inc" edges onto its
+// send and recv spans through it. Nil-safe.
+func (p *Probe) EdgeSpan(phase, name, edge string) Span {
+	if p == nil {
+		return Span{}
+	}
+	return p.tracer.StartEdge(p.lane, phase, name, edge)
+}
+
 // Mark records an instantaneous event (a zero-duration span at the
 // current clock reading) — the flight-recorder representation of
 // discrete occurrences like counter bumps, recoveries, or alerts.

@@ -228,3 +228,72 @@ func TestMetricSuffixesDocumented(t *testing.T) {
 		t.Fatalf("MetricSuffixes changed: %s", joined)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry("rank0")
+	h := r.Histogram("step_seconds", []float64{1, 2, 4, 8})
+	// 10 observations in (1,2], 10 in (2,4]: p50 at the boundary, p95
+	// and p99 interpolated inside the (2,4] bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+		h.Observe(3)
+	}
+	cases := []struct{ q, want float64 }{
+		{0.5, 2},      // rank 10 exhausts the (1,2] bucket exactly
+		{0.95, 3.8},   // 1 + 2 + (19-10)/10 * 2
+		{0.99, 3.96},  // 1 + 2 + (19.8-10)/10 * 2
+		{0, 1},        // rank 0 clamps to the owning bucket's low edge
+		{1, 4},        // all mass within the finite bounds
+		{-0.5, 1},     // clamped to 0
+		{1.5, 4},      // clamped to 1
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Error("nil histogram quantile not NaN")
+	}
+	r := NewRegistry("rank0")
+	empty := r.Histogram("empty_seconds", []float64{1, 2})
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty histogram quantile not NaN")
+	}
+	if !math.IsNaN(empty.Quantile(math.NaN())) {
+		t.Error("NaN q not NaN")
+	}
+	// All mass beyond the last finite bound: the estimate saturates at
+	// that bound rather than inventing a value.
+	over := r.Histogram("over_seconds", []float64{1, 2})
+	over.Observe(100)
+	if got := over.Quantile(0.5); got != 2 {
+		t.Errorf("overflow-bucket quantile = %v, want last bound 2", got)
+	}
+	// No finite bounds at all: nothing to interpolate against.
+	unbounded := r.Histogram("unbounded_seconds", nil)
+	unbounded.Observe(3)
+	if !math.IsNaN(unbounded.Quantile(0.5)) {
+		t.Error("bound-less histogram quantile not NaN")
+	}
+}
+
+func TestQuantileName(t *testing.T) {
+	cases := map[string]string{
+		"perfsim_step_seconds":    "perfsim_step_p99_seconds",
+		"transport_sent_bytes":    "transport_sent_p99_bytes",
+		"collective_allreduce_ops": "collective_allreduce_p99_ops",
+	}
+	for in, want := range cases {
+		if got := quantileName(in, "p99"); got != want {
+			t.Errorf("quantileName(%q) = %q, want %q", in, got, want)
+		}
+		if !ValidMetricName(quantileName(in, "p50")) {
+			t.Errorf("derived name %q breaks the convention", quantileName(in, "p50"))
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -28,7 +29,50 @@ const (
 	PhaseBarrier   = "MPI_BARRIER"
 	PhaseStep      = "TRAIN_STEP"
 	PhaseRecovery  = "RECOVERY"
+	PhaseSend      = "MPI_SEND"
+	PhaseRecv      = "MPI_RECV"
 )
+
+// Edge identifies one message crossing the transport: the sending
+// rank, the receiving rank, the per-(src,dst)-pair sequence number,
+// and the world incarnation the message belongs to. A send span and
+// its matching recv span carry the same Edge, which is what lets
+// trace analysis stitch per-rank event lists into a cross-rank
+// happens-before DAG — the causal structure per-lane timestamps
+// (step-counter clocks are not comparable across ranks) cannot give.
+type Edge struct {
+	Src int
+	Dst int
+	Seq uint64
+	Inc int
+}
+
+// String renders the edge in the compact "src>dst#seq.inc" form that
+// rides span attributes and round-trips through Chrome trace args.
+func (e Edge) String() string {
+	return fmt.Sprintf("%d>%d#%d.%d", e.Src, e.Dst, e.Seq, e.Inc)
+}
+
+// ParseEdge parses the "src>dst#seq.inc" form. Malformed input is an
+// error, never a panic: edges come from trace files, which analysis
+// must survive in degraded form.
+func ParseEdge(s string) (Edge, error) {
+	var e Edge
+	gt := strings.IndexByte(s, '>')
+	hash := strings.IndexByte(s, '#')
+	dot := strings.LastIndexByte(s, '.')
+	if gt <= 0 || hash <= gt || dot <= hash {
+		return e, fmt.Errorf("timeline: malformed edge %q", s)
+	}
+	src, err1 := strconv.Atoi(s[:gt])
+	dst, err2 := strconv.Atoi(s[gt+1 : hash])
+	seq, err3 := strconv.ParseUint(s[hash+1:dot], 10, 64)
+	inc, err4 := strconv.Atoi(s[dot+1:])
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || src < 0 || dst < 0 || inc < 0 {
+		return e, fmt.Errorf("timeline: malformed edge %q", s)
+	}
+	return Edge{Src: src, Dst: dst, Seq: seq, Inc: inc}, nil
+}
 
 // Event is one traced interval.
 type Event struct {
@@ -37,6 +81,9 @@ type Event struct {
 	Name  string  // free-form detail (tensor/buffer name)
 	Start float64 // seconds
 	End   float64
+	// Edge, when non-empty, is the message-edge attribute ("src>dst#seq.inc")
+	// linking this span to its cross-rank counterpart (PhaseSend/PhaseRecv).
+	Edge string
 }
 
 // Recorder accumulates events.
@@ -51,13 +98,19 @@ func New() *Recorder { return &Recorder{Enabled: true} }
 
 // Add records one interval (no-op when disabled).
 func (r *Recorder) Add(lane, phase, name string, start, end float64) {
+	r.AddEdge(lane, phase, name, "", start, end)
+}
+
+// AddEdge records one interval carrying a message-edge attribute
+// (no-op when disabled; an empty edge is a plain Add).
+func (r *Recorder) AddEdge(lane, phase, name, edge string, start, end float64) {
 	if r == nil || !r.Enabled {
 		return
 	}
 	if end < start {
 		panic(fmt.Sprintf("timeline: event %q ends (%g) before start (%g)", name, end, start))
 	}
-	r.Events = append(r.Events, Event{Lane: lane, Phase: phase, Name: name, Start: start, End: end}) //seglint:ignore hotalloc the event log grows by design while recording; the simulator records one designated step per run
+	r.Events = append(r.Events, Event{Lane: lane, Phase: phase, Name: name, Start: start, End: end, Edge: edge}) //seglint:ignore hotalloc the event log grows by design while recording; the simulator records one designated step per run
 }
 
 // Breakdown sums durations per phase.
@@ -107,6 +160,14 @@ type chromeEvent struct {
 	Dur  float64 `json:"dur"` // microseconds
 	PID  int     `json:"pid"`
 	TID  int     `json:"tid"`
+	// Args carries span attributes; chrome://tracing shows them in the
+	// event detail pane, and ReadChromeTrace round-trips them.
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeArgs is the attribute payload of one trace event.
+type chromeArgs struct {
+	Edge string `json:"edge,omitempty"`
 }
 
 // ReadChromeTrace parses a Chrome trace-event JSON stream written by
@@ -130,7 +191,11 @@ func ReadChromeTrace(r io.Reader) (*Recorder, error) {
 		// WriteChromeTrace stores the event name as "PHASE:name";
 		// undo that so names round-trip.
 		name := strings.TrimPrefix(e.Name, e.Cat+":")
-		rec.Add(fmt.Sprintf("tid%d", e.TID), e.Cat, name, start, start+e.Dur/1e6)
+		edge := ""
+		if e.Args != nil {
+			edge = e.Args.Edge
+		}
+		rec.AddEdge(fmt.Sprintf("tid%d", e.TID), e.Cat, name, edge, start, start+e.Dur/1e6)
 	}
 	return rec, nil
 }
@@ -153,7 +218,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	}
 	out := make([]chromeEvent, 0, len(r.Events))
 	for _, e := range r.Events {
-		out = append(out, chromeEvent{
+		ce := chromeEvent{
 			Name: e.Phase + ":" + e.Name,
 			Cat:  e.Phase,
 			Ph:   "X",
@@ -161,7 +226,11 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			Dur:  (e.End - e.Start) * 1e6,
 			PID:  0,
 			TID:  lanes[e.Lane],
-		})
+		}
+		if e.Edge != "" {
+			ce.Args = &chromeArgs{Edge: e.Edge}
+		}
+		out = append(out, ce)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

@@ -109,3 +109,53 @@ func TestChromeTraceFormat(t *testing.T) {
 		t.Fatal("lanes share a tid")
 	}
 }
+
+func TestEdgeStringParseRoundTrip(t *testing.T) {
+	e := Edge{Src: 4, Dst: 0, Seq: 129, Inc: 2}
+	s := e.String()
+	if s != "4>0#129.2" {
+		t.Fatalf("Edge.String() = %q", s)
+	}
+	got, err := ParseEdge(s)
+	if err != nil {
+		t.Fatalf("ParseEdge(%q): %v", s, err)
+	}
+	if got != e {
+		t.Fatalf("round trip %+v != %+v", got, e)
+	}
+}
+
+func TestParseEdgeMalformed(t *testing.T) {
+	for _, s := range []string{
+		"", ">", "1>2", "1>2#3", "1>2#3.", "a>2#3.0", "1>b#3.0",
+		"1>2#c.0", "1>2#3.d", "-1>2#3.0", "1>-2#3.0", "1>2#3.-1",
+		"#3.0", "1>#3.0", "1>2#.0",
+	} {
+		if _, err := ParseEdge(s); err == nil {
+			t.Errorf("ParseEdge(%q): want error, got nil", s)
+		}
+	}
+}
+
+func TestChromeTraceEdgeRoundTrip(t *testing.T) {
+	rec := New()
+	rec.AddEdge("rank0", PhaseSend, "send", "0>1#5.0", 1, 2)
+	rec.Add("rank0", PhaseForward, "fwd", 0, 1)
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	var edges []string
+	for _, e := range back.Events {
+		if e.Edge != "" {
+			edges = append(edges, e.Edge)
+		}
+	}
+	if len(edges) != 1 || edges[0] != "0>1#5.0" {
+		t.Fatalf("edges after round trip = %v, want [0>1#5.0]", edges)
+	}
+}

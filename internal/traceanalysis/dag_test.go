@@ -1,0 +1,139 @@
+package traceanalysis
+
+import (
+	"testing"
+
+	"segscale/internal/timeline"
+)
+
+// twoRankTrace builds a minimal clean trace: rank0 sends to rank1,
+// each lane has a step window around its activity.
+func twoRankTrace() *timeline.Recorder {
+	rec := timeline.New()
+	rec.Add("rank0", timeline.PhaseStep, "step", 0, 4)
+	rec.Add("rank0", timeline.PhaseForward, "fwd", 0, 2)
+	rec.AddEdge("rank0", timeline.PhaseSend, "send", "0>1#0.0", 2, 3)
+	rec.Add("rank1", timeline.PhaseStep, "step", 0, 4)
+	rec.Add("rank1", timeline.PhaseForward, "fwd", 0, 1)
+	rec.AddEdge("rank1", timeline.PhaseRecv, "recv", "0>1#0.0", 1, 3)
+	return rec
+}
+
+func TestBuildDAGMatchesEdges(t *testing.T) {
+	d := BuildDAG(twoRankTrace())
+	if d.Stats.MessageEdges != 1 {
+		t.Fatalf("MessageEdges = %d, want 1", d.Stats.MessageEdges)
+	}
+	if got := d.Stats.OrphanEdges(); got != 0 {
+		t.Fatalf("OrphanEdges = %d, want 0", got)
+	}
+	pair, ok := d.Matched["0>1#0.0"]
+	if !ok {
+		t.Fatal("edge 0>1#0.0 not matched")
+	}
+	send, recv := pair[0], pair[1]
+	if d.Events[send].Lane != "rank0" || d.Events[recv].Lane != "rank1" {
+		t.Fatalf("matched pair lanes = %q, %q", d.Events[send].Lane, d.Events[recv].Lane)
+	}
+	// Causality: rank0's forward happens before rank1's recv, through
+	// program order on rank0 and the message edge.
+	var fwd0 int = -1
+	for i, e := range d.Events {
+		if e.Lane == "rank0" && e.Phase == timeline.PhaseForward {
+			fwd0 = i
+		}
+	}
+	if !d.Reaches(fwd0, recv) {
+		t.Error("rank0 forward should happen-before rank1 recv via the message edge")
+	}
+	if d.Reaches(recv, fwd0) {
+		t.Error("happens-before must not run backwards through a message edge")
+	}
+}
+
+func TestBuildDAGLanes(t *testing.T) {
+	d := BuildDAG(twoRankTrace())
+	if len(d.Lanes) != 2 || d.Lanes[0] != "rank0" || d.Lanes[1] != "rank1" {
+		t.Fatalf("Lanes = %v", d.Lanes)
+	}
+}
+
+// TestBuildDAGRecvWithoutSend: a recv whose edge has no recorded send
+// (sender crashed before its span flushed) degrades to an orphan, not
+// a panic, and the rest of the DAG survives.
+func TestBuildDAGRecvWithoutSend(t *testing.T) {
+	rec := twoRankTrace()
+	rec.AddEdge("rank1", timeline.PhaseRecv, "recv", "0>1#9.0", 3, 3.5)
+	d := BuildDAG(rec)
+	if d.Stats.OrphanRecvs != 1 {
+		t.Fatalf("OrphanRecvs = %d, want 1", d.Stats.OrphanRecvs)
+	}
+	if d.Stats.MessageEdges != 1 {
+		t.Fatalf("MessageEdges = %d, want 1 (clean edge must survive)", d.Stats.MessageEdges)
+	}
+	if d.Stats.OrphanEdges() != 1 {
+		t.Fatalf("OrphanEdges = %d, want 1", d.Stats.OrphanEdges())
+	}
+}
+
+// TestBuildDAGDuplicateEdgeIDs: reused edge IDs (trace corruption or a
+// duplicated flight dump) are counted and skipped; first claim wins.
+func TestBuildDAGDuplicateEdgeIDs(t *testing.T) {
+	rec := twoRankTrace()
+	rec.AddEdge("rank0", timeline.PhaseSend, "send", "0>1#0.0", 3, 3.5) // dup send
+	rec.AddEdge("rank1", timeline.PhaseRecv, "recv", "0>1#0.0", 3.5, 4) // dup recv
+	d := BuildDAG(rec)
+	if d.Stats.DuplicateEdges != 2 {
+		t.Fatalf("DuplicateEdges = %d, want 2", d.Stats.DuplicateEdges)
+	}
+	if d.Stats.MessageEdges != 1 {
+		t.Fatalf("MessageEdges = %d, want 1", d.Stats.MessageEdges)
+	}
+}
+
+// TestBuildDAGCrashedIncarnation: edges from different incarnations
+// never pair even with equal (src,dst,seq) — the incarnation label is
+// part of the edge identity — so a pre-crash send cannot satisfy a
+// post-restart recv.
+func TestBuildDAGCrashedIncarnation(t *testing.T) {
+	rec := timeline.New()
+	rec.AddEdge("rank0", timeline.PhaseSend, "send", "0>1#0.0", 0, 1) // incarnation 0, then crash
+	rec.AddEdge("rank1.r1", timeline.PhaseRecv, "recv", "0>1#0.1", 2, 3)
+	d := BuildDAG(rec)
+	if d.Stats.MessageEdges != 0 {
+		t.Fatalf("MessageEdges = %d, want 0 across incarnations", d.Stats.MessageEdges)
+	}
+	if d.Stats.OrphanRecvs != 1 || d.Stats.UnmatchedSends != 1 {
+		t.Fatalf("OrphanRecvs = %d, UnmatchedSends = %d, want 1 and 1",
+			d.Stats.OrphanRecvs, d.Stats.UnmatchedSends)
+	}
+	if d.Stats.OrphanEdges() != 2 {
+		t.Fatalf("OrphanEdges = %d, want 2", d.Stats.OrphanEdges())
+	}
+}
+
+// TestBuildDAGMalformedEdges: unparseable edge attributes are counted,
+// skipped, and never panic.
+func TestBuildDAGMalformedEdges(t *testing.T) {
+	rec := twoRankTrace()
+	rec.AddEdge("rank0", timeline.PhaseSend, "send", "not-an-edge", 3, 3.5)
+	rec.AddEdge("rank1", timeline.PhaseRecv, "recv", ">>##..", 3, 3.5)
+	d := BuildDAG(rec)
+	if d.Stats.MalformedEdges != 2 {
+		t.Fatalf("MalformedEdges = %d, want 2", d.Stats.MalformedEdges)
+	}
+	if d.Stats.MessageEdges != 1 {
+		t.Fatalf("MessageEdges = %d, want 1", d.Stats.MessageEdges)
+	}
+}
+
+func TestBuildDAGEmpty(t *testing.T) {
+	d := BuildDAG(nil)
+	if len(d.Events) != 0 || len(d.Lanes) != 0 {
+		t.Fatalf("empty DAG has events %d lanes %d", len(d.Events), len(d.Lanes))
+	}
+	d = BuildDAG(timeline.New())
+	if d.Stats.OrphanEdges() != 0 {
+		t.Fatal("empty trace must have no orphans")
+	}
+}

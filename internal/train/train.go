@@ -353,6 +353,9 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 	if err != nil {
 		return err
 	}
+	// Label the world so message-edge IDs from this incarnation's
+	// traffic never pair with edges recorded before a crash-restart.
+	w.SetIncarnation(inc)
 	if cfg.Chaos != nil {
 		cfg.Chaos.Arm(w)
 	}

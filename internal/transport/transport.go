@@ -120,6 +120,12 @@ func (mb *mailbox) scan(tag int) int {
 // World owns the mailboxes for a fixed set of ranks.
 type World struct {
 	n int
+	// inc is the world incarnation stamped into message-edge IDs
+	// ("src>dst#seq.inc"). The training loop's recovery path creates a
+	// fresh World per incarnation and labels it via SetIncarnation, so
+	// edges from traffic before and after a crash-restart never pair up
+	// in trace analysis. Set before traffic starts; zero by default.
+	inc int
 	// boxes[dst][src] is the queue for src→dst traffic.
 	boxes [][]*mailbox
 
@@ -172,6 +178,14 @@ func NewWorld(n int) (*World, error) {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.n }
+
+// SetIncarnation labels this world with the recovery incarnation its
+// traffic belongs to; the label rides every message-edge ID the
+// instrumented send/recv paths stamp. Call before traffic starts.
+func (w *World) SetIncarnation(inc int) { w.inc = inc }
+
+// Incarnation returns the world's incarnation label.
+func (w *World) Incarnation() int { return w.inc }
 
 // Comm returns rank r's endpoint.
 func (w *World) Comm(r int) *Comm {
@@ -311,6 +325,17 @@ func (c *Comm) Send(dst, tag int, data []float32) error {
 	mb.nextSeq++
 	mb.mu.Unlock()
 
+	// The send span carries the message's edge ID; the matching recv
+	// span on the destination rank stamps the identical ID, which is
+	// what lets trace analysis pair them into a happens-before edge.
+	// Failed sends abandon the span unrecorded: a message that never
+	// entered the mailbox must not fabricate causality.
+	var sp telemetry.Span
+	if c.probe != nil {
+		sp = c.probe.EdgeSpan(timeline.PhaseSend, "send",
+			timeline.Edge{Src: c.rank, Dst: dst, Seq: seq, Inc: c.w.inc}.String())
+	}
+
 	fault := FaultNone
 	if inj := c.w.inj; inj != nil {
 		for attempt := 0; ; attempt++ {
@@ -342,6 +367,7 @@ func (c *Comm) Send(dst, tag int, data []float32) error {
 	}
 	c.sends.Inc()
 	c.sentBytes.Add(float64(4 * len(data)))
+	sp.End()
 	return nil
 }
 
@@ -397,6 +423,10 @@ func (c *Comm) Recv(src, tag int) ([]float32, error) {
 		return nil, fmt.Errorf("transport: recv from rank %d outside world of %d", src, c.w.n)
 	}
 	mb := c.w.boxes[c.rank][src]
+	// The recv span's edge ID is known only once a message is taken
+	// (the seq travels with the message), so it is stamped just before
+	// End. Failed recvs abandon the span: no message, no edge.
+	sp := c.probe.Span(timeline.PhaseRecv, "recv")
 	timeout, stop := c.opTimer()
 	defer stop()
 	for {
@@ -406,6 +436,10 @@ func (c *Comm) Recv(src, tag int) ([]float32, error) {
 			mb.mu.Unlock()
 			c.recvs.Inc()
 			c.recvBytes.Add(float64(4 * len(m.data)))
+			if c.probe != nil {
+				sp.SetEdge(timeline.Edge{Src: src, Dst: c.rank, Seq: m.seq, Inc: c.w.inc}.String())
+				sp.End()
+			}
 			return m.data, nil
 		}
 		notify := mb.notify

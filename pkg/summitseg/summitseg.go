@@ -22,6 +22,7 @@ package summitseg
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"segscale/internal/checkpoint"
@@ -39,6 +40,7 @@ import (
 	"segscale/internal/telemetry"
 	"segscale/internal/timeline"
 	"segscale/internal/topology"
+	"segscale/internal/traceanalysis"
 	"segscale/internal/train"
 	"segscale/internal/transport"
 )
@@ -222,6 +224,63 @@ type SimOptions struct {
 	// (lane "gpus<N>", virtual duration) — attach an EffMonitor here to
 	// watch scaling efficiency live.
 	StepObs StepObserver
+	// Attribution, when non-nil, receives per-(step, rank) attribution
+	// ledger rows: each rank's step wall time decomposed into buckets
+	// that sum to it exactly, with idle waits blamed on the pacing
+	// rank. Serve live via ObsServerOptions.Attribution, persist with
+	// WriteAttribution, diff with seg-compare.
+	Attribution *AttributionRecorder
+}
+
+// AttributionRecorder accumulates step-time attribution rows (see
+// SimOptions.Attribution and ObsServerOptions.Attribution).
+type AttributionRecorder = traceanalysis.LedgerRecorder
+
+// AttributionLedger is the serialised attribution table seg-compare
+// consumes.
+type AttributionLedger = traceanalysis.Ledger
+
+// NewAttributionRecorder returns a recorder for a run with the given
+// source label ("perfsim", "trace") and rank count.
+func NewAttributionRecorder(source string, ranks int) *AttributionRecorder {
+	return traceanalysis.NewLedgerRecorder(source, ranks)
+}
+
+// AttributionPublisher attaches an "attribution" metrics lane to col
+// and returns a refresh function: each call re-derives the
+// train_step_attribution_* gauges (cumulative seconds per bucket plus
+// a row counter) from the recorder's current ledger, keeping /metrics
+// live. A nil collector or recorder yields a no-op.
+func AttributionPublisher(col *Telemetry, rec *AttributionRecorder) func() {
+	if col == nil || rec == nil {
+		return func() {}
+	}
+	reg := col.NewProbe("attribution", telemetry.NewStepClock()).Metrics()
+	return func() { rec.Publish(reg) }
+}
+
+// AttributeTelemetry assembles the collector's recorded spans into the
+// cross-rank happens-before DAG and decomposes every rank's TRAIN_STEP
+// window into the attribution buckets — the trace-side route to the
+// same ledger the simulator records natively, used by dlv3-train
+// -attr-out and trace-stats -attr.
+func AttributeTelemetry(col *Telemetry) (*AttributionLedger, error) {
+	rec := col.Timeline()
+	return traceanalysis.AttributeTrace(rec, traceanalysis.BuildDAG(rec))
+}
+
+// WriteAttribution writes the recorder's ledger to path as canonical
+// JSON (sorted rows, deterministic bytes for deterministic runs).
+func WriteAttribution(rec *AttributionRecorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.Ledger().WriteLedger(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Simulate runs the performance simulator for one configuration.
@@ -246,7 +305,7 @@ func Simulate(opts SimOptions) (*SimResult, error) {
 		Horovod: opts.Horovod, Seed: opts.Seed, Steps: opts.Steps,
 		Placement: placement, IO: opts.IO,
 		Timeline: opts.Timeline, Probe: probe, Chaos: opts.Chaos,
-		StepObs: opts.StepObs,
+		StepObs: opts.StepObs, Attribution: opts.Attribution,
 	})
 }
 

@@ -1,7 +1,11 @@
 package summitseg
 
 import (
+	"os"
+	"path/filepath"
+
 	"math"
+	"segscale/internal/traceanalysis"
 	"testing"
 )
 
@@ -192,5 +196,79 @@ func contains(s, sub string) bool {
 func TestFormatDuration(t *testing.T) {
 	if s := FormatDuration(0.001234); s == "" || math.IsNaN(0) {
 		t.Fatalf("format: %q", s)
+	}
+}
+
+func TestAttributionFacade(t *testing.T) {
+	mpi, _ := MPIByName("mv2gdr")
+	prof, _ := ModelByName("dlv3plus")
+	rec := NewAttributionRecorder("perfsim", 6)
+	col := NewTelemetry()
+	publish := AttributionPublisher(col, rec)
+	if _, err := Simulate(SimOptions{
+		GPUs: 6, Model: prof, MPI: mpi, Horovod: DefaultHorovod(),
+		Seed: 1, Steps: 3, Attribution: rec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Steps=3 with the default 2 warmup steps leaves one measured
+	// step, one ledger row per rank.
+	if got := rec.Len(); got != 6 {
+		t.Fatalf("recorder rows = %d, want 6", got)
+	}
+	l := rec.Ledger()
+	if err := l.Validate(0); err != nil {
+		t.Fatalf("simulated ledger invalid: %v", err)
+	}
+	publish()
+
+	path := filepath.Join(t.TempDir(), "ledger.json")
+	if err := WriteAttribution(rec, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	back, err := traceanalysis.ReadLedger(f)
+	if err != nil {
+		t.Fatalf("written ledger unreadable: %v", err)
+	}
+	if back.Ranks != 6 || len(back.Steps) != 6 || back.Source != "perfsim" {
+		t.Fatalf("round-trip ledger %d ranks %d rows source %q", back.Ranks, len(back.Steps), back.Source)
+	}
+	if err := WriteAttribution(rec, filepath.Join(path, "nope")); err == nil {
+		t.Error("WriteAttribution to an impossible path succeeded")
+	}
+
+	// Nil sides of the publisher must degrade to a no-op.
+	AttributionPublisher(nil, rec)()
+	AttributionPublisher(col, nil)()
+}
+
+func TestAttributeTelemetryFacade(t *testing.T) {
+	cfg := DefaultTraining()
+	cfg.Model.InputSize = 16
+	cfg.Model.Width = 6
+	cfg.Model.DeepBlocks = 1
+	cfg.Model.AtrousRates = [3]int{1, 2, 3}
+	cfg.Epochs = 1
+	cfg.TrainSize = 4
+	cfg.EvalSize = 2
+	col := NewTelemetry()
+	cfg.Telemetry = col
+	if _, err := Train(cfg); err != nil {
+		t.Fatal(err)
+	}
+	l, err := AttributeTelemetry(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(0); err != nil {
+		t.Fatalf("trace-side ledger invalid: %v", err)
+	}
+	if len(l.Steps) == 0 || l.Source != "trace" {
+		t.Fatalf("ledger %d rows source %q", len(l.Steps), l.Source)
 	}
 }

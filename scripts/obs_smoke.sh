@@ -1,13 +1,15 @@
 #!/bin/sh
 # obs_smoke.sh — end-to-end check of the live observability plane:
 # start summit-sim with the HTTP endpoint armed, wait for the run to
-# finish (it lingers for scrapes), curl /metrics and /healthz, and
-# validate the scraped metric names against the repository convention
-# with seglint -prom.
+# finish (it lingers for scrapes), curl /metrics and /healthz, validate
+# the scraped metric names against the repository convention with
+# seglint -prom, and validate the /debug/attribution ledger's schema
+# (buckets summing to each row's step wall) with seg-compare -validate.
 set -eu
 
 log=/tmp/segscale-obs-smoke.log
 prom=/tmp/segscale-obs-smoke.prom
+attr=/tmp/segscale-obs-smoke-attr.json
 : >"$log"
 
 go build -o /tmp/segscale-summit-sim ./cmd/summit-sim
@@ -35,8 +37,19 @@ grep -q '^# TYPE perfsim_step_seconds histogram' "$prom" || {
 grep -q '^obs_scaling_efficiency_ratio' "$prom" || {
     echo "/metrics missing efficiency gauge:"; head "$prom"; exit 1; }
 
+grep -q '^perfsim_step_p99_seconds' "$prom" || {
+    echo "/metrics missing p99 quantile gauge:"; head "$prom"; exit 1; }
+grep -q '^train_step_attribution_rows_events' "$prom" || {
+    echo "/metrics missing attribution gauges:"; head "$prom"; exit 1; }
+
 # Scraped names must satisfy the same convention the metricname pass
 # enforces at registration sites.
 go run ./cmd/seglint -prom "$prom"
+
+# The live attribution snapshot must be a structurally valid ledger:
+# known schema, in-range ranks, non-negative buckets that sum to each
+# row's step wall within epsilon — seg-compare -validate is that gate.
+curl -fsS "$url/debug/attribution" >"$attr"
+go run ./cmd/seg-compare -validate "$attr"
 
 echo "obs smoke OK ($url)"
