@@ -1,6 +1,6 @@
 # Mirrors .github/workflows/ci.yml so local runs and CI agree.
 
-RACE_PKGS := ./internal/transport/ ./internal/faultinject/ ./internal/tensor/ ./internal/nn/ ./internal/collective/ ./internal/telemetry/ ./internal/obs/
+RACE_PKGS := ./internal/transport/ ./internal/faultinject/ ./internal/tensor/ ./internal/nn/ ./internal/collective/ ./internal/horovod/ ./internal/telemetry/ ./internal/obs/
 FUZZTIME  ?= 10s
 
 # Statement-coverage floor across ./... — measured 76.9% when the
@@ -9,7 +9,7 @@ FUZZTIME  ?= 10s
 COVER_FLOOR ?= 74.0
 COVER_OUT   ?= /tmp/segscale-cover.out
 
-.PHONY: build test race lint vet fuzz-smoke trace-smoke chaos-smoke obs-smoke attr-smoke cover bench-json bench-check ci
+.PHONY: build test race lint vet fuzz-smoke trace-smoke chaos-smoke obs-smoke attr-smoke elastic-smoke cover bench-json bench-check ci
 
 build:
 	go build ./...
@@ -19,6 +19,7 @@ test:
 
 race:
 	go test -race $(RACE_PKGS)
+	go test -race -run 'TestElastic' ./internal/train/
 
 vet:
 	go vet ./...
@@ -58,6 +59,12 @@ obs-smoke:
 attr-smoke:
 	./scripts/attr_smoke.sh
 
+# elastic-smoke drives the elastic-membership story end to end:
+# crash -> shrink -> regrow on the real trainer, byte-identical across
+# reruns, then the seg-compare hier-vs-flat A/B gate at 1056 ranks.
+elastic-smoke:
+	./scripts/elastic_smoke.sh
+
 # bench-json regenerates the committed performance baseline (full
 # timing iterations). Run it on kernel or allocation-path changes and
 # commit the result; docs/PERFORMANCE.md explains how to read it.
@@ -78,4 +85,4 @@ cover:
 		if (t+0 < f+0) { printf "FAIL: coverage %.1f%% below floor %.1f%%\n", t, f; exit 1 } \
 		printf "coverage %.1f%% >= floor %.1f%%\n", t, f }'
 
-ci: build lint test race fuzz-smoke trace-smoke chaos-smoke obs-smoke attr-smoke bench-check cover
+ci: build lint test race fuzz-smoke trace-smoke chaos-smoke obs-smoke attr-smoke elastic-smoke bench-check cover

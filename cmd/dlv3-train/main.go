@@ -7,6 +7,7 @@
 //
 //	dlv3-train [-world 4] [-epochs 20] [-batch 4] [-arch deeplab]
 //	           [-train 64] [-eval 16] [-lr 0.05] [-strong] [-seed 1]
+//	           [-elastic] [-rejoin-epoch 5]
 //	           [-trace trace.json] [-prom metrics.prom]
 //	           [-obs-addr 127.0.0.1:6060] [-flight flight.json]
 //	           [-slo 0.92] [-runs-dir results/runs] [-attr-out ledger.json]
@@ -42,7 +43,9 @@ func main() {
 	flag.Float64Var(&cfg.GradClip, "clip", 0, "global gradient-norm clip (0 = off)")
 	flag.StringVar(&cfg.CheckpointPath, "ckpt", "", "checkpoint file written each epoch")
 	flag.StringVar(&cfg.ResumeFrom, "resume", "", "checkpoint file to resume from")
-	flag.IntVar(&cfg.MaxRestarts, "max-restarts", 2, "checkpoint-restart budget after rank failures")
+	flag.IntVar(&cfg.MaxRestarts, "max-restarts", 2, "checkpoint-restart budget after rank failures (with -elastic: shrink budget)")
+	flag.BoolVar(&cfg.Elastic, "elastic", false, "elastic membership: a failed rank shrinks the world in place and the survivors continue, no checkpoint restart")
+	flag.IntVar(&cfg.RejoinEpoch, "rejoin-epoch", 0, "with -elastic, regrow dead ranks back into the world at this epoch boundary (0 = never)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "derive a recoverable chaos plan (message faults + straggler) from this seed (0 = off)")
 	chaosSpec := flag.String("chaos-plan", "", `explicit chaos-plan spec, e.g. "seed=7;drop=0.01;crash=1@40" (overrides -chaos-seed)`)
 	strong := flag.Bool("strong", false, "strong scaling: keep effective batch fixed (disables LR scaling)")
@@ -151,15 +154,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-6s %10s %8s %8s %8s\n", "epoch", "loss", "mIOU", "pixAcc", "lr")
-	for _, e := range res.History {
-		fmt.Printf("%-6d %10.4f %7.2f%% %7.2f%% %8.4f\n",
-			e.Epoch, e.Loss, 100*e.MIOU, 100*e.PixelAcc, e.LR)
+	if cfg.Elastic {
+		// The world column makes shrink/regrow transitions visible.
+		fmt.Printf("%-6s %6s %10s %8s %8s %8s\n", "epoch", "world", "loss", "mIOU", "pixAcc", "lr")
+		for _, e := range res.History {
+			fmt.Printf("%-6d %6d %10.4f %7.2f%% %7.2f%% %8.4f\n",
+				e.Epoch, e.World, e.Loss, 100*e.MIOU, 100*e.PixelAcc, e.LR)
+		}
+	} else {
+		fmt.Printf("%-6s %10s %8s %8s %8s\n", "epoch", "loss", "mIOU", "pixAcc", "lr")
+		for _, e := range res.History {
+			fmt.Printf("%-6d %10.4f %7.2f%% %7.2f%% %8.4f\n",
+				e.Epoch, e.Loss, 100*e.MIOU, 100*e.PixelAcc, e.LR)
+		}
 	}
 	fmt.Printf("final mIOU %.2f%% (fwIOU %.2f%%, pixel accuracy %.2f%%, best %.2f%% @epoch %d) in %s\n",
 		100*res.FinalMIOU, 100*res.FinalFwIOU, 100*res.FinalAcc,
 		100*res.BestMIOU, res.BestEpoch, time.Since(start).Round(time.Millisecond))
-	if res.Restarts > 0 {
+	if cfg.Elastic {
+		if res.Shrinks > 0 || res.Regrows > 0 {
+			fmt.Printf("elastic: %d shrink(s), %d regrow(s) — no checkpoint restart\n",
+				res.Shrinks, res.Regrows)
+		}
+	} else if res.Restarts > 0 {
 		fmt.Printf("recovered from %d rank failure(s) via checkpoint restart\n", res.Restarts)
 	}
 

@@ -38,6 +38,7 @@ import (
 	"segscale/internal/horovod"
 	"segscale/internal/model"
 	"segscale/internal/mpiprofile"
+	"segscale/internal/netmodel"
 	"segscale/internal/nn"
 	"segscale/internal/perfsim"
 	"segscale/internal/segdata"
@@ -176,6 +177,33 @@ func benchPerfsim(iters int) Entry {
 	return e
 }
 
+// benchPerfsimHier runs the 1056-rank (176-node) sweep with the
+// topology-aware two-level allreduce — the scale the hierarchical path
+// exists for. The allocation budget pins the simulator's fusion-plan
+// and node-partition caches: a per-step miss at 1056 ranks would blow
+// the count immediately.
+func benchPerfsimHier(iters int) Entry {
+	hvd := horovod.Default()
+	hvd.Algorithm = netmodel.AlgHierTwoLevel
+	cfg := perfsim.Config{
+		GPUs:    1056,
+		Model:   model.DLv3Plus(),
+		MPI:     mpiprofile.MV2GDR(),
+		Horovod: hvd,
+		Seed:    1,
+	}
+	var simImgs float64
+	e := bench(iters, func() {
+		res, err := perfsim.Run(cfg)
+		if err != nil {
+			fatalf("perfsim hier: %v", err)
+		}
+		simImgs = res.ImgPerSec
+	})
+	e.ImgPerSec = simImgs
+	return e
+}
+
 func fill(d []float32, seed uint32) {
 	s := seed
 	for i := range d {
@@ -203,6 +231,7 @@ func run(fast bool) *Report {
 	r.Benchmarks["conv2d_bwd_ws"] = benchConv(iters, true)
 	r.Benchmarks["train_step_rank0"] = benchTrainStep(iters)
 	r.Benchmarks["perfsim_132gpu"] = benchPerfsim(iters)
+	r.Benchmarks["perfsim_1056gpu_hier"] = benchPerfsimHier(iters)
 
 	r.Derived["matmul_speedup_vs_ref"] =
 		r.Benchmarks["matmul_ref_256x2304x1089"].NsPerOp /

@@ -58,6 +58,7 @@ func TestRunFastReportShape(t *testing.T) {
 	for _, name := range []string{
 		"matmul_tiled_256x2304x1089", "matmul_ref_256x2304x1089",
 		"conv2d_fwd_ws", "conv2d_bwd_ws", "train_step_rank0", "perfsim_132gpu",
+		"perfsim_1056gpu_hier",
 	} {
 		e, ok := r.Benchmarks[name]
 		if !ok {
@@ -74,6 +75,9 @@ func TestRunFastReportShape(t *testing.T) {
 	if r.Benchmarks["train_step_rank0"].ImgPerSec <= 0 ||
 		r.Benchmarks["perfsim_132gpu"].ImgPerSec <= 0 {
 		t.Error("img/s readings missing")
+	}
+	if hier := r.Benchmarks["perfsim_1056gpu_hier"].ImgPerSec; hier <= r.Benchmarks["perfsim_132gpu"].ImgPerSec {
+		t.Errorf("1056-rank hier throughput %.1f img/s not above 132-GPU flat %.1f", hier, r.Benchmarks["perfsim_132gpu"].ImgPerSec)
 	}
 	if r.Derived["matmul_speedup_vs_ref"] <= 0 {
 		t.Error("derived speedup missing")

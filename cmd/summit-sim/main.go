@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	summit-sim [-model dlv3plus] [-mpi mv2gdr] [-tuned] [-gpus 1,6,12,...]
+//	summit-sim [-model dlv3plus] [-mpi mv2gdr] [-tuned] [-alg hier-2level]
+//	           [-gpus 1,6,12,...]
 //	           [-seed 1] [-timeline trace.json] [-prom metrics.prom]
 //	           [-obs-addr 127.0.0.1:6060] [-obs-linger 30s] [-anchor 6.7]
 //	           [-attr-out ledger.json]
@@ -32,6 +33,7 @@ func main() {
 	modelName := flag.String("model", "dlv3plus", "model profile: dlv3plus or resnet50")
 	mpiName := flag.String("mpi", "mv2gdr", "MPI profile: spectrum or mv2gdr")
 	tuned := flag.Bool("tuned", false, "use the tuned Horovod knobs instead of defaults")
+	algName := flag.String("alg", "", `allreduce algorithm: auto, ring, recursive-doubling, rabenseifner, hier-leader, hier-torus, hier-2level (empty = the profile's pick)`)
 	gpuList := flag.String("gpus", "", "comma-separated GPU counts (default: the paper's 1,6,...,132)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	timelineOut := flag.String("timeline", "", "write a Chrome trace of one step to this file (largest scale)")
@@ -65,6 +67,13 @@ func main() {
 		hvd = summitseg.TunedHorovod()
 	}
 	hvd.FP16Compression = *fp16
+	if *algName != "" {
+		alg, err := summitseg.AlgorithmByName(*algName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hvd.Algorithm = alg
+	}
 	var io *summitseg.IOConfig
 	if *withIO {
 		c := summitseg.DefaultIO()
@@ -91,7 +100,7 @@ func main() {
 		}
 	}
 
-	fmt.Printf("model=%s mpi=%s tuned=%v\n", prof.Name, mpi.Name, *tuned)
+	fmt.Printf("model=%s mpi=%s tuned=%v alg=%s\n", prof.Name, mpi.Name, *tuned, hvd.Algorithm)
 	if fixedPlan != nil {
 		fmt.Printf("chaos armed: %s\n", fixedPlan)
 	} else if *chaosSeed != 0 {

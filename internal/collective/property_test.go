@@ -7,17 +7,47 @@ import (
 	"testing/quick"
 
 	"segscale/internal/faultinject"
+	"segscale/internal/topology"
 	"segscale/internal/transport"
 )
 
-// allAlgorithms maps the flat allreduce implementations under test.
+// allAlgorithms maps the allreduce implementations under test: the
+// four flat algorithms plus the two-level hierarchical compositions.
+// The hierarchical entries derive node groups from the exact machine
+// for the world size (so prime worlds become 1 rank/node); the
+// "-torus" and "-leader" variants pin the composition with synthetic
+// link specs (zero latency forces the ring pick and the torus path;
+// a huge α forces the latency-lean pick and the leader path), since
+// the real Summit specs would otherwise choose by buffer size alone.
 func allAlgorithms() map[string]allreduceFn {
 	return map[string]allreduceFn{
 		"naive": AllreduceNaive,
 		"ring":  AllreduceRing,
 		"rd":    AllreduceRecursiveDoubling,
 		"rab":   AllreduceRabenseifner,
+		"hier-2level": func(c *transport.Comm, group []int, buf []float32) error {
+			return AllreduceHierTwoLevel(c, topology.ExactFor(len(group)), buf)
+		},
+		"hier-torus": func(c *transport.Comm, group []int, buf []float32) error {
+			ringSpec := topology.LinkSpec{AlphaSec: 0, BWBytesPerSec: 1e12}
+			return AllreduceHierGroups(c, exactNodeGroups(group), ringSpec, ringSpec, buf)
+		},
+		"hier-leader": func(c *transport.Comm, group []int, buf []float32) error {
+			treeSpec := topology.LinkSpec{AlphaSec: 1, BWBytesPerSec: 1e12}
+			return AllreduceHierGroups(c, exactNodeGroups(group), treeSpec, treeSpec, buf)
+		},
 	}
+}
+
+// exactNodeGroups partitions an identity rank group into the node
+// groups of its exact machine layout.
+func exactNodeGroups(group []int) [][]int {
+	mach := topology.ExactFor(len(group))
+	groups := make([][]int, mach.Nodes)
+	for n := range groups {
+		groups[n] = mach.NodeRanks(n)
+	}
+	return groups
 }
 
 // runAllreduceWorld executes one allreduce over a fresh world —
@@ -77,8 +107,8 @@ func TestPropertyAllreduceMatchesReference(t *testing.T) {
 		fn := fn
 		t.Run(name, func(t *testing.T) {
 			prop := func(seed int64, pRaw, nRaw uint16) bool {
-				p := 1 + int(pRaw%9)  // 1..9 ranks
-				n := int(nRaw % 300)  // 0..299 elements (empty allowed)
+				p := 1 + int(pRaw%9) // 1..9 ranks
+				n := int(nRaw % 300) // 0..299 elements (empty allowed)
 				ins, _ := makeInputs(p, n, seed)
 				outs := runAllreduceWorld(t, fn, ins, nil)
 				want := refSum(ins)

@@ -26,6 +26,15 @@ type Runtime struct {
 	world []int
 	fused []float32 // reusable fusion buffer
 
+	// members maps comm rank → original machine slot: the identity for
+	// a full world, the ascending survivor slots for an elastic one.
+	members []int
+	// nodeGroups partitions comm ranks by the machine node their
+	// member slot lives on — the partition every hierarchical
+	// allreduce runs over, prebuilt so the step path never rebuilds it.
+	nodeGroups [][]int
+	elastic    bool
+
 	// Fusion-plan cache: the grouping is a pure function of the
 	// parameter-size vector and the threshold, and the trainer submits
 	// an identically-shaped list every step, so the plan is computed
@@ -62,7 +71,13 @@ func NewRuntime(c *transport.Comm, mach topology.Machine, cfg Config) (*Runtime,
 	for i := range world {
 		world[i] = i
 	}
-	return &Runtime{Comm: c, Mach: mach, Cfg: cfg, world: world, probe: c.Probe()}, nil
+	return &Runtime{
+		Comm: c, Mach: mach, Cfg: cfg,
+		world:      world,
+		members:    world,
+		nodeGroups: nodeGroupsFor(mach, world),
+		probe:      c.Probe(),
+	}, nil
 }
 
 // Rank returns this runtime's rank.
@@ -213,7 +228,17 @@ func unpackFused(params []*nn.Param, group []int, buf []float32) {
 func (r *Runtime) allreduce(buf []float32) error {
 	switch r.Cfg.ResolveAlgorithm() {
 	case netmodel.AlgHierLeader:
+		if r.elastic {
+			// The classic leader hierarchy assumes a full machine; an
+			// elastic world runs the group form over the survivor
+			// partition instead.
+			intra, inter := topology.SummitLinkSpecs()
+			return collective.AllreduceHierGroups(r.Comm, r.nodeGroups, intra, inter, buf)
+		}
 		return collective.AllreduceHierLeader(r.Comm, r.Mach, buf)
+	case netmodel.AlgHierTwoLevel:
+		intra, inter := topology.SummitLinkSpecs()
+		return collective.AllreduceHierGroups(r.Comm, r.nodeGroups, intra, inter, buf)
 	case netmodel.AlgRecursiveDoubling:
 		return collective.AllreduceRecursiveDoubling(r.Comm, r.world, buf)
 	case netmodel.AlgRabenseifner:

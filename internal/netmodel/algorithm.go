@@ -19,6 +19,9 @@ const (
 	AlgHierLeader
 	// AlgHierTorus is the two-level reduce-scatter/ring/allgather.
 	AlgHierTorus
+	// AlgHierTwoLevel is the topology-aware two-level allreduce: each
+	// level's algorithm is picked from the machine's link parameters.
+	AlgHierTwoLevel
 )
 
 var algNames = map[Algorithm]string{
@@ -28,6 +31,7 @@ var algNames = map[Algorithm]string{
 	AlgRabenseifner:      "rabenseifner",
 	AlgHierLeader:        "hier-leader",
 	AlgHierTorus:         "hier-torus",
+	AlgHierTwoLevel:      "hier-2level",
 }
 
 func (a Algorithm) String() string {
@@ -49,7 +53,7 @@ func AlgorithmByName(s string) (Algorithm, error) {
 
 // Algorithms lists the concrete (non-auto) algorithms.
 func Algorithms() []Algorithm {
-	return []Algorithm{AlgRing, AlgRecursiveDoubling, AlgRabenseifner, AlgHierLeader, AlgHierTorus}
+	return []Algorithm{AlgRing, AlgRecursiveDoubling, AlgRabenseifner, AlgHierLeader, AlgHierTorus, AlgHierTwoLevel}
 }
 
 // smallMessageLimit is the size below which latency-optimal
@@ -84,6 +88,8 @@ func (m *Model) Allreduce(alg Algorithm, ranks []int, n int) float64 {
 		return m.AllreduceHierLeader(ranks, n)
 	case AlgHierTorus:
 		return m.AllreduceHierTorus(ranks, n)
+	case AlgHierTwoLevel:
+		return m.AllreduceHierTwoLevel(ranks, n)
 	default:
 		panic("netmodel: unresolved algorithm")
 	}

@@ -73,6 +73,131 @@ func (m *Model) AllreduceHierTorus(ranks []int, n int) float64 {
 	return intraRS + inter + intraAG
 }
 
+// LevelSpecs derives the α–β link specs of the two hierarchy levels
+// from the MPI profile, for the per-level algorithm choice. The intra
+// spec uses the worst intra-node hop (X-Bus once a node group spans
+// both triads, NVLink otherwise); the inter spec is the GPU-direct IB
+// path.
+func (m *Model) LevelSpecs() (intra, inter topology.LinkSpec) {
+	ik := topology.LinkNVLink
+	if m.Mach.GPUsPer > topology.GPUsPerTriad {
+		ik = topology.LinkXBus
+	}
+	a, bw := m.LinkParams(ik)
+	intra = topology.LinkSpec{AlphaSec: a, BWBytesPerSec: bw}
+	a, bw = m.LinkParams(topology.LinkIB)
+	inter = topology.LinkSpec{AlphaSec: a, BWBytesPerSec: bw}
+	return intra, inter
+}
+
+// AllreduceHierTwoLevel prices the topology-aware two-level allreduce
+// implemented by collective.AllreduceHierTwoLevel: the per-level
+// algorithm is picked from the machine's link parameters (the same
+// PickLevelAlg decision the data-carrying code makes), then the levels
+// compose either as the torus (even groups, ring intra pick) or as the
+// leader hierarchy. The pick depends on the buffer size, so a fusion
+// sweep moves through latency-lean and bandwidth-lean regimes exactly
+// as the real implementation would.
+func (m *Model) AllreduceHierTwoLevel(ranks []int, n int) float64 {
+	groups, leaders := m.splitByNode(ranks)
+	if len(groups) <= 1 {
+		return m.AllreduceRing(ranks, n)
+	}
+	intraSpec, interSpec := m.LevelSpecs()
+	g0 := len(groups[0])
+	even := true
+	for _, g := range groups {
+		if len(g) != g0 {
+			even = false
+			break
+		}
+	}
+	nodes := len(groups)
+	if even && topology.PickLevelAlg(intraSpec, g0, n/4) == topology.LevelRing {
+		shard := (n + g0 - 1) / g0
+		var intraRS, intraAG float64
+		for _, grp := range groups {
+			if t := m.ReduceScatterRing(grp, n); t > intraRS {
+				intraRS = t
+			}
+			if t := m.AllgatherRing(grp, n); t > intraAG {
+				intraAG = t
+			}
+		}
+		interAlg := topology.PickLevelAlg(interSpec, nodes, shard/4)
+		return intraRS + m.torusInterCost(interAlg, nodes, shard, g0) + intraAG
+	}
+	var intraReduce, intraBcast float64
+	for _, g := range groups {
+		if t := m.ReduceScatterRing(g, n) + m.AllgatherRing(g, n); t > intraReduce {
+			intraReduce = t
+		}
+		if t := m.Bcast(g, n); t > intraBcast {
+			intraBcast = t
+		}
+	}
+	var inter float64
+	switch topology.PickLevelAlg(interSpec, len(leaders), n/4) {
+	case topology.LevelRecursiveDoubling:
+		inter = m.AllreduceRecursiveDoubling(leaders, n)
+	case topology.LevelRabenseifner:
+		inter = m.AllreduceRabenseifner(leaders, n)
+	default:
+		inter = m.AllreduceRing(leaders, n)
+	}
+	return intraReduce + inter + intraBcast
+}
+
+// torusInterCost prices the concurrent inter-node phase of the torus
+// composition: one allreduce of `shard` bytes over `nodes` ranks per
+// local index, all `flows` of them sharing each NIC.
+func (m *Model) torusInterCost(alg topology.LevelAlg, nodes, shard, flows int) float64 {
+	if nodes <= 1 || shard == 0 {
+		return 0
+	}
+	pow := 1
+	for pow*2 <= nodes {
+		pow *= 2
+	}
+	switch alg {
+	case topology.LevelRecursiveDoubling:
+		total := 0.0
+		if pow != nodes {
+			total += 2 * (m.xferShared(topology.LinkIB, shard, flows) + m.reduceTime(shard))
+		}
+		for dist := 1; dist < pow; dist *= 2 {
+			total += m.xferShared(topology.LinkIB, shard, flows) + m.reduceTime(shard)
+		}
+		return total
+	case topology.LevelRabenseifner:
+		total := 0.0
+		if pow != nodes {
+			total += 2 * (m.xferShared(topology.LinkIB, shard, flows) + m.reduceTime(shard))
+		}
+		payload := shard / 2
+		for dist := 1; dist < pow; dist *= 2 {
+			total += m.xferShared(topology.LinkIB, payload, flows) + m.reduceTime(payload)
+			payload /= 2
+			if payload == 0 {
+				payload = 1
+			}
+		}
+		payload = shard / pow
+		if payload == 0 {
+			payload = 1
+		}
+		for dist := pow / 2; dist >= 1; dist /= 2 {
+			total += m.xferShared(topology.LinkIB, payload, flows)
+			payload *= 2
+		}
+		return total
+	default: // ring
+		seg := (shard + nodes - 1) / nodes
+		step := m.xferShared(topology.LinkIB, seg, flows)
+		return float64(nodes-1)*(step+m.reduceTime(seg)) + float64(nodes-1)*step
+	}
+}
+
 // splitByNode partitions the group into per-node sub-groups and
 // returns the node-leader ranks (lowest rank per node). The result
 // for the most recent rank group is memoized (callers treat it as

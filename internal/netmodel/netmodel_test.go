@@ -311,3 +311,58 @@ func TestRingFlowsContiguousPlacement(t *testing.T) {
 		t.Errorf("strided ring should congest the NIC, got %d flows", got)
 	}
 }
+
+func TestHierTwoLevelBeatsFlatRingAt1056(t *testing.T) {
+	// The 176-node × 6-GPU sweep past the paper's 132 GPUs: the flat
+	// ring pays 2·1055 IB latencies per allreduce, the topology-aware
+	// two-level composition pays two NVLink ring phases plus a log-
+	// depth inter-node phase. It must win across the fused-buffer
+	// regime, and must also beat the fixed-algorithm hierarchical
+	// variants at the paper's fusion threshold (the per-level pick is
+	// the point of the algorithm).
+	m := worldModel(176, mpiprofile.MV2GDR())
+	ranks := m.WorldRanks()
+	for _, n := range []int{1 * MiB, 16 * MiB, 64 * MiB} {
+		flat := m.AllreduceRing(ranks, n)
+		two := m.AllreduceHierTwoLevel(ranks, n)
+		if two >= flat {
+			t.Errorf("hier-2level (%g) not faster than flat ring (%g) at %d bytes", two, flat, n)
+		}
+	}
+	n := 64 * MiB
+	two := m.AllreduceHierTwoLevel(ranks, n)
+	if leader := m.AllreduceHierLeader(ranks, n); two >= leader {
+		t.Errorf("hier-2level (%g) not faster than hier-leader (%g) at %d bytes", two, leader, n)
+	}
+}
+
+func TestHierTwoLevelSingleNodeFallsBack(t *testing.T) {
+	m := worldModel(1, mpiprofile.MV2GDR())
+	ranks := m.WorldRanks()
+	n := 16 * MiB
+	if got, want := m.AllreduceHierTwoLevel(ranks, n), m.AllreduceRing(ranks, n); got != want {
+		t.Errorf("hier-2level single node: got %g want ring %g", got, want)
+	}
+}
+
+func TestLevelSpecsMatchProfile(t *testing.T) {
+	prof := mpiprofile.MV2GDR()
+	m := worldModel(2, prof)
+	intra, inter := m.LevelSpecs()
+	if !intra.Valid() || !inter.Valid() {
+		t.Fatalf("invalid level specs: %+v / %+v", intra, inter)
+	}
+	// Full 6-GPU nodes span both triads, so the intra spec must be
+	// X-Bus class, not NVLink class.
+	if intra.AlphaSec != prof.LatIntraXBus {
+		t.Errorf("intra alpha %g, want X-Bus %g", intra.AlphaSec, prof.LatIntraXBus)
+	}
+	if inter.BWBytesPerSec != prof.BWInter {
+		t.Errorf("inter bandwidth %g, want %g", inter.BWBytesPerSec, prof.BWInter)
+	}
+	triad := MustNew(topology.Machine{Nodes: 2, GPUsPer: 3}, prof)
+	intra, _ = triad.LevelSpecs()
+	if intra.AlphaSec != prof.LatIntraNVLink {
+		t.Errorf("triad intra alpha %g, want NVLink %g", intra.AlphaSec, prof.LatIntraNVLink)
+	}
+}

@@ -1,0 +1,85 @@
+package perfsim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"segscale/internal/horovod"
+	"segscale/internal/model"
+	"segscale/internal/mpiprofile"
+	"segscale/internal/netmodel"
+	"segscale/internal/traceanalysis"
+)
+
+// hierGoldenConfig mirrors goldenConfig but spans two nodes (12 GPUs)
+// and forces the two-level allreduce, so the committed ledger pins the
+// hierarchical path's per-bucket breakdown — the baseline `seg-compare`
+// gates hier-vs-flat A/B runs against.
+func hierGoldenConfig() Config {
+	hvd := horovod.Default()
+	hvd.Algorithm = netmodel.AlgHierTwoLevel
+	return Config{
+		GPUs: 12, Model: model.DLv3Plus(), MPI: mpiprofile.MV2GDR(),
+		Horovod: hvd, Seed: 11, Steps: 6, WarmupSteps: 2,
+	}
+}
+
+// TestAttributionHierGolden pins the exact ledger bytes of the seeded
+// hierarchical run, same contract as TestAttributionGolden (regenerate
+// with -update-attribution after an intentional model change).
+func TestAttributionHierGolden(t *testing.T) {
+	cfg := hierGoldenConfig()
+	rec := traceanalysis.NewLedgerRecorder("perfsim", cfg.GPUs)
+	cfg.Attribution = rec
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := rec.Ledger().WriteLedger(&got); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "attribution_hier_golden.json")
+	if *updateAttribution {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("hier attribution ledger drifted from %s (len %d vs %d); regenerate with -update-attribution if the change is intentional",
+			golden, got.Len(), len(want))
+	}
+}
+
+// TestAttributionHierSumsExactly: the hierarchical path must honor the
+// same exact-bucket-accounting invariant as the flat one.
+func TestAttributionHierSumsExactly(t *testing.T) {
+	cfg := hierGoldenConfig()
+	rec := traceanalysis.NewLedgerRecorder("perfsim", cfg.GPUs)
+	cfg.Attribution = rec
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := rec.Ledger()
+	if err := l.Validate(traceanalysis.SumEpsilon); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(res.StepTimesSec) * cfg.GPUs; len(l.Steps) != want {
+		t.Fatalf("ledger has %d rows, want %d", len(l.Steps), want)
+	}
+	for _, row := range l.Steps {
+		if row.Buckets.Sum() != row.StepSec {
+			t.Fatalf("step %d rank %d: bucket sum %.17g != StepSec %.17g",
+				row.Step, row.Rank, row.Buckets.Sum(), row.StepSec)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package topology
+
+import "fmt"
+
+// LinkSpec is the quantitative α–β description of one level of the
+// machine hierarchy: the per-message latency and per-flow bandwidth of
+// the links that level's ranks communicate over. It is deliberately a
+// plain value type — netmodel derives specs from an MPI profile, tests
+// construct them directly — so the per-level algorithm choice can be
+// made (and unit-tested) without a network model in the loop.
+type LinkSpec struct {
+	// AlphaSec is the per-message startup latency in seconds.
+	AlphaSec float64
+	// BWBytesPerSec is the sustained per-flow bandwidth in bytes/s.
+	BWBytesPerSec float64
+}
+
+// Valid reports whether the spec is usable for cost comparison.
+func (l LinkSpec) Valid() bool {
+	return l.AlphaSec >= 0 && l.BWBytesPerSec > 0
+}
+
+// elemSec returns the wire time of one float32 element.
+func (l LinkSpec) elemSec() float64 { return 4 / l.BWBytesPerSec }
+
+// SummitLinkSpecs returns nominal specs for the two levels of a
+// Summit node hierarchy under a GPU-direct MPI (MVAPICH2-GDR-like
+// numbers): intra-node NVLink2 and inter-node dual-rail EDR IB.
+func SummitLinkSpecs() (intra, inter LinkSpec) {
+	intra = LinkSpec{AlphaSec: 2.2e-6, BWBytesPerSec: 44e9}
+	inter = LinkSpec{AlphaSec: 4.5e-6, BWBytesPerSec: 20.5e9}
+	return intra, inter
+}
+
+// LevelAlg names the allreduce algorithm run at one level of a
+// hierarchical (two-level) allreduce.
+type LevelAlg int
+
+const (
+	// LevelRing is the bandwidth-optimal reduce-scatter/allgather ring.
+	LevelRing LevelAlg = iota
+	// LevelRecursiveDoubling is the log-p latency-optimal exchange.
+	LevelRecursiveDoubling
+	// LevelRabenseifner is recursive-halving reduce-scatter followed
+	// by recursive-doubling allgather.
+	LevelRabenseifner
+)
+
+func (a LevelAlg) String() string {
+	switch a {
+	case LevelRing:
+		return "ring"
+	case LevelRecursiveDoubling:
+		return "recursive-doubling"
+	case LevelRabenseifner:
+		return "rabenseifner"
+	default:
+		return fmt.Sprintf("LevelAlg(%d)", int(a))
+	}
+}
+
+// levelAlgs is the fixed evaluation order for PickLevelAlg; ties go to
+// the earliest entry so the choice is deterministic.
+var levelAlgs = [...]LevelAlg{LevelRing, LevelRecursiveDoubling, LevelRabenseifner}
+
+// ceilLog2 returns ⌈log2 p⌉ for p ≥ 1.
+func ceilLog2(p int) int {
+	steps := 0
+	for pow := 1; pow < p; pow <<= 1 {
+		steps++
+	}
+	return steps
+}
+
+func isPow2(p int) bool { return p > 0 && p&(p-1) == 0 }
+
+// LevelCost returns the α–β model cost in seconds of running alg over
+// p ranks on an n-element float32 buffer across links l. Non-power-of-
+// two counts pay the MPICH fold penalty for the doubling/halving
+// algorithms: the surplus ranks first fold into a power-of-two subset
+// and receive the result back afterwards, two extra full-vector
+// transfers (Thakur et al.). That penalty is what lets the ring win a
+// 6-GPU NVLink level despite its 2(p−1) message count.
+func LevelCost(l LinkSpec, alg LevelAlg, p, n int) float64 {
+	if p <= 1 || n <= 0 {
+		return 0
+	}
+	alpha := l.AlphaSec
+	tau := l.elemSec()
+	fp, fn := float64(p), float64(n)
+	full := alpha + fn*tau
+	switch alg {
+	case LevelRing:
+		// reduce-scatter + allgather, each p−1 steps of n/p elements.
+		return 2*(fp-1)*alpha + 2*(fp-1)/fp*fn*tau
+	case LevelRecursiveDoubling:
+		cost := float64(ceilLog2(p)) * full
+		if !isPow2(p) {
+			cost += 2 * full
+		}
+		return cost
+	case LevelRabenseifner:
+		cost := 2*float64(ceilLog2(p))*alpha + 2*(fp-1)/fp*fn*tau
+		if !isPow2(p) {
+			cost += 2 * full
+		}
+		return cost
+	default:
+		panic(fmt.Sprintf("topology: unknown level algorithm %v", alg))
+	}
+}
+
+// PickLevelAlg returns the cheapest level algorithm under LevelCost
+// for p ranks reducing n float32 elements over links l. The choice is
+// deterministic: ties break toward ring, then recursive doubling.
+// Degenerate levels (p ≤ 1) cost nothing and return ring.
+func PickLevelAlg(l LinkSpec, p, n int) LevelAlg {
+	best := LevelRing
+	bestCost := LevelCost(l, best, p, n)
+	for _, alg := range levelAlgs[1:] {
+		if c := LevelCost(l, alg, p, n); c < bestCost {
+			best, bestCost = alg, c
+		}
+	}
+	return best
+}

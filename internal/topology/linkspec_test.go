@@ -1,0 +1,148 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSummitLinkSpecs(t *testing.T) {
+	intra, inter := SummitLinkSpecs()
+	for _, spec := range []struct {
+		name string
+		l    LinkSpec
+	}{{"intra", intra}, {"inter", inter}} {
+		if !spec.l.Valid() {
+			t.Errorf("%s spec %+v invalid", spec.name, spec.l)
+		}
+	}
+	if intra.AlphaSec >= inter.AlphaSec {
+		t.Errorf("NVLink latency %.3g not below IB latency %.3g", intra.AlphaSec, inter.AlphaSec)
+	}
+	if intra.BWBytesPerSec <= inter.BWBytesPerSec {
+		t.Errorf("NVLink bandwidth %.3g not above IB bandwidth %.3g", intra.BWBytesPerSec, inter.BWBytesPerSec)
+	}
+}
+
+func TestLevelAlgString(t *testing.T) {
+	cases := map[LevelAlg]string{
+		LevelRing:              "ring",
+		LevelRecursiveDoubling: "recursive-doubling",
+		LevelRabenseifner:      "rabenseifner",
+		LevelAlg(99):           "LevelAlg(99)",
+	}
+	for alg, want := range cases {
+		if got := alg.String(); got != want {
+			t.Errorf("LevelAlg(%d).String() = %q, want %q", int(alg), got, want)
+		}
+	}
+}
+
+// TestPickLevelAlgSummitLevels pins the selection at the two real
+// Summit levels across the message-size regimes the fusion runtime
+// produces. The analytic crossovers under LevelCost sit at
+// n ≈ 1.5·α/τ (ring vs recursive doubling, intra) and at
+// n ≈ 166·α/τ (ring vs Rabenseifner, 176-node inter level); rows sit
+// ≥10% away from each boundary so the table is robust to small
+// constant tweaks in SummitLinkSpecs.
+func TestPickLevelAlgSummitLevels(t *testing.T) {
+	intra, inter := SummitLinkSpecs()
+	cases := []struct {
+		name string
+		l    LinkSpec
+		p, n int
+		want LevelAlg
+	}{
+		// Intra-node NVLink, 6 GPUs (non-power-of-two): latency-lean
+		// recursive doubling for small buffers, bandwidth-optimal ring
+		// once the fold penalty outweighs the saved message count.
+		{"intra-6gpu-tiny", intra, 6, 1_000, LevelRecursiveDoubling},
+		{"intra-6gpu-below-crossover", intra, 6, 30_000, LevelRecursiveDoubling},
+		{"intra-6gpu-above-crossover", intra, 6, 45_000, LevelRing},
+		{"intra-6gpu-fused-buffer", intra, 6, 1 << 20, LevelRing},
+		// Power-of-two intra-node groups: no fold penalty, so the
+		// log-p algorithms match the ring's bandwidth with fewer
+		// messages. At p=2 a single exchange is optimal.
+		{"intra-2gpu-large", intra, 2, 1 << 20, LevelRecursiveDoubling},
+		{"intra-4gpu-large", intra, 4, 1 << 20, LevelRabenseifner},
+		// Inter-node IB, 176 nodes (the 1056-rank sweep): recursive
+		// doubling small, Rabenseifner mid, ring only once the
+		// non-power-of-two fold penalty dominates 350 ring latencies.
+		{"inter-176node-small", inter, 176, 10_000, LevelRecursiveDoubling},
+		{"inter-176node-mid", inter, 176, 1 << 20, LevelRabenseifner},
+		{"inter-176node-huge", inter, 176, 8 << 20, LevelRing},
+		// Power-of-two node count: no fold penalty, Rabenseifner holds
+		// at any size.
+		{"inter-128node-huge", inter, 128, 8 << 20, LevelRabenseifner},
+		// Degenerate levels cost nothing; ring by convention.
+		{"single-rank", intra, 1, 1 << 20, LevelRing},
+	}
+	for _, c := range cases {
+		if got := PickLevelAlg(c.l, c.p, c.n); got != c.want {
+			t.Errorf("%s: PickLevelAlg(p=%d, n=%d) = %v, want %v", c.name, c.p, c.n, got, c.want)
+		}
+	}
+}
+
+// TestPickLevelAlgLatencyCrossover walks the same (p, n) point across
+// link specs whose latency straddles the ring/recursive-doubling
+// boundary α* = 2nτ/3: NVLink-class latency picks the ring, a link
+// with IB-class startup cost on the same wire flips to recursive
+// doubling. This is the NVLink≈IB crossover the hierarchical
+// allreduce relies on to choose different algorithms per level.
+func TestPickLevelAlgLatencyCrossover(t *testing.T) {
+	const bw = 44e9
+	const p, n = 6, 30_000
+	// τ = 4/bw ⇒ α* = (2/3)·n·τ ≈ 1.82µs for these parameters.
+	cases := []struct {
+		name  string
+		alpha float64
+		want  LevelAlg
+	}{
+		{"below-boundary", 1.5e-6, LevelRing},
+		{"above-boundary", 2.2e-6, LevelRecursiveDoubling},
+		{"ib-class-latency", 4.5e-6, LevelRecursiveDoubling},
+	}
+	for _, c := range cases {
+		l := LinkSpec{AlphaSec: c.alpha, BWBytesPerSec: bw}
+		if got := PickLevelAlg(l, p, n); got != c.want {
+			t.Errorf("%s: PickLevelAlg(α=%.3g, p=%d, n=%d) = %v, want %v", c.name, c.alpha, p, n, got, c.want)
+		}
+	}
+}
+
+// TestPropertyPickLevelAlgIsArgmin: the pick is always a minimiser of
+// LevelCost, and no algorithm undercuts it.
+func TestPropertyPickLevelAlgIsArgmin(t *testing.T) {
+	prop := func(alphaRaw, bwRaw uint16, pRaw, nRaw uint32) bool {
+		l := LinkSpec{
+			AlphaSec:      float64(alphaRaw) * 1e-8, // 0 .. 655µs
+			BWBytesPerSec: 1e9 + float64(bwRaw)*1e6, // 1 .. ~66 GB/s
+		}
+		p := 1 + int(pRaw%2048)
+		n := 1 + int(nRaw%(64<<20))
+		picked := PickLevelAlg(l, p, n)
+		best := LevelCost(l, picked, p, n)
+		for _, alg := range []LevelAlg{LevelRing, LevelRecursiveDoubling, LevelRabenseifner} {
+			if LevelCost(l, alg, p, n) < best {
+				return false
+			}
+		}
+		return best >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLevelCostDegenerate: single-rank and empty reductions are free.
+func TestLevelCostDegenerate(t *testing.T) {
+	intra, _ := SummitLinkSpecs()
+	for _, alg := range []LevelAlg{LevelRing, LevelRecursiveDoubling, LevelRabenseifner} {
+		if c := LevelCost(intra, alg, 1, 1<<20); c != 0 {
+			t.Errorf("%v: p=1 cost %g, want 0", alg, c)
+		}
+		if c := LevelCost(intra, alg, 8, 0); c != 0 {
+			t.Errorf("%v: n=0 cost %g, want 0", alg, c)
+		}
+	}
+}

@@ -100,8 +100,24 @@ type Config struct {
 	// MaxRestarts bounds how many times Run rebuilds the world after a
 	// recoverable failure (rank crash, delivery failure, timeout)
 	// before giving up and returning the error. Zero disables
-	// recovery.
+	// recovery. In elastic mode the same budget bounds shrink
+	// transitions (scheduled regrows are free).
 	MaxRestarts int
+	// Elastic switches crash recovery from checkpoint-restart to
+	// elastic membership: when a rank dies, the survivors re-form a
+	// smaller world in place — model replicas, optimiser state, and
+	// the global step carry over, data shards rebalance
+	// deterministically over the remaining ranks — and training
+	// continues from the top of the interrupted epoch without reading
+	// a checkpoint. The elastic driver is a separate code path; the
+	// default path's operation order (pinned by the
+	// restart-equivalence goldens) is untouched.
+	Elastic bool
+	// RejoinEpoch, when positive, schedules a regrow: if the world is
+	// short-handed when that epoch begins, the dead slots rejoin, get
+	// state-synced from a survivor, and the full world finishes the
+	// run. Requires Elastic.
+	RejoinEpoch int
 	// Telemetry, when non-nil, collects per-rank spans and metrics
 	// for the whole run: each rank gets a probe on a deterministic
 	// step-counter clock (lane "rank<N>", suffixed ".r<K>" for the
@@ -179,6 +195,17 @@ func (c Config) validate() error {
 	if c.MaxRestarts < 0 {
 		return fmt.Errorf("train: negative restart budget %d", c.MaxRestarts)
 	}
+	if c.RejoinEpoch != 0 {
+		if !c.Elastic {
+			return fmt.Errorf("train: RejoinEpoch=%d without Elastic", c.RejoinEpoch)
+		}
+		if c.RejoinEpoch < 0 || c.RejoinEpoch >= c.Epochs {
+			return fmt.Errorf("train: RejoinEpoch=%d outside (0, %d)", c.RejoinEpoch, c.Epochs)
+		}
+	}
+	if c.Elastic && c.ResumeFrom != "" {
+		return fmt.Errorf("train: Elastic and ResumeFrom are mutually exclusive")
+	}
 	if c.Chaos != nil {
 		if err := c.Chaos.Validate(); err != nil {
 			return fmt.Errorf("train: %w", err)
@@ -197,6 +224,10 @@ type EpochStats struct {
 	MIOU     float64
 	PixelAcc float64
 	LR       float64
+	// World is the number of ranks that trained this epoch — constant
+	// for a fixed world, dipping after a shrink and recovering after a
+	// regrow in an elastic run.
+	World int
 }
 
 // Result is the outcome of a run.
@@ -217,6 +248,11 @@ type Result struct {
 	// Restarts counts how many times the world was rebuilt after a
 	// recoverable failure (0 for an unfailed run).
 	Restarts int
+	// Shrinks / Regrows count elastic membership transitions: worlds
+	// re-formed smaller after a rank death, and scheduled rejoins back
+	// to full size. Both zero outside elastic mode.
+	Shrinks int
+	Regrows int
 }
 
 // stepBucketsOps spaces the per-rank step-duration histogram from 1
@@ -273,38 +309,54 @@ func Run(cfg Config) (*Result, error) {
 		stepsPerEpoch: stepsPerEpoch,
 		history:       make([]EpochStats, cfg.Epochs),
 		savedEpoch:    -1,
+		doneEpoch:     -1,
 		probe:         cfg.Telemetry.NewProbe("train", telemetry.NewStepClock()),
+	}
+	if cfg.Elastic {
+		m, err := transport.NewMembership(cfg.World)
+		if err != nil {
+			return nil, fmt.Errorf("train: %w", err)
+		}
+		run.members = m
+		run.replicas = make(map[int]*replica)
 	}
 
 	restarts := 0
-	startEpoch := 0
-	for {
-		err := run.incarnation(startEpoch, restarts)
-		if err == nil {
-			break
-		}
-		if !recoverable(err) || restarts >= cfg.MaxRestarts {
+	if cfg.Elastic {
+		if err := run.runElastic(); err != nil {
 			return nil, fmt.Errorf("train: %w", err)
 		}
-		restarts++
-		run.probe.Counter("recoveries_total").Inc()
-		// Leave an instantaneous RECOVERY event in the trace and the
-		// flight-recorder ring, so a post-crash dump shows where the
-		// pre-crash window ends and the restart begins.
-		run.probe.Mark(timeline.PhaseRecovery, fmt.Sprintf("restart%d: %v", restarts, err))
-		if run.savedEpoch >= 0 {
-			// Roll back to the last epoch rank 0 checkpointed.
-			startEpoch = run.savedEpoch + 1
-		} else {
-			// Failed before the first checkpoint (or none configured):
-			// cold restart from scratch, which is just as deterministic.
-			startEpoch = 0
+		restarts = run.shrinks + run.regrows
+	} else {
+		startEpoch := 0
+		for {
+			err := run.incarnation(startEpoch, restarts)
+			if err == nil {
+				break
+			}
+			if !recoverable(err) || restarts >= cfg.MaxRestarts {
+				return nil, fmt.Errorf("train: %w", err)
+			}
+			restarts++
+			run.probe.Counter("recoveries_total").Inc()
+			// Leave an instantaneous RECOVERY event in the trace and the
+			// flight-recorder ring, so a post-crash dump shows where the
+			// pre-crash window ends and the restart begins.
+			run.probe.Mark(timeline.PhaseRecovery, fmt.Sprintf("restart%d: %v", restarts, err))
+			if run.savedEpoch >= 0 {
+				// Roll back to the last epoch rank 0 checkpointed.
+				startEpoch = run.savedEpoch + 1
+			} else {
+				// Failed before the first checkpoint (or none configured):
+				// cold restart from scratch, which is just as deterministic.
+				startEpoch = 0
+			}
 		}
 	}
 
 	res := &Result{Config: cfg, History: run.history,
 		FinalPerClassIOU: run.finalPerClass, FinalFwIOU: run.finalFw,
-		Restarts: restarts}
+		Restarts: restarts, Shrinks: run.shrinks, Regrows: run.regrows}
 	last := run.history[len(run.history)-1]
 	res.FinalMIOU = last.MIOU
 	res.FinalAcc = last.PixelAcc
@@ -341,6 +393,16 @@ type runState struct {
 	savedEpoch int
 
 	probe *telemetry.Probe
+
+	// Elastic-mode state (see elastic.go): the membership over the
+	// original slots, the long-lived per-slot replicas that carry
+	// model/optimiser state across world transitions, the last epoch
+	// comm rank 0 fully recorded, and the transition counters.
+	members   *transport.Membership
+	replicas  map[int]*replica
+	doneEpoch int
+	shrinks   int
+	regrows   int
 }
 
 // incarnation builds one world and trains epochs [startEpoch, Epochs).
@@ -491,6 +553,7 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 					MIOU:     conf.MeanIOU(),
 					PixelAcc: conf.PixelAccuracy(),
 					LR:       rs.sched.LR(st.gstep - 1),
+					World:    cfg.World,
 				}
 				if cfg.CheckpointPath != "" {
 					st := checkpoint.State{

@@ -180,6 +180,15 @@ func DefaultHorovod() HorovodConfig { return horovod.Default() }
 // DLv3+ workload.
 func TunedHorovod() HorovodConfig { return core.TunedCandidate().Candidate.Horovod }
 
+// Algorithm names an allreduce implementation strategy for
+// HorovodConfig.Algorithm.
+type Algorithm = netmodel.Algorithm
+
+// AlgorithmByName parses an allreduce algorithm name: "auto", "ring",
+// "recursive-doubling", "rabenseifner", "hier-leader", "hier-torus",
+// or "hier-2level" (the topology-aware two-level composition).
+func AlgorithmByName(name string) (Algorithm, error) { return netmodel.AlgorithmByName(name) }
+
 // MPIByName returns a built-in MPI profile ("spectrum" or "mv2gdr").
 func MPIByName(name string) (*MPIProfile, error) { return mpiprofile.ByName(name) }
 

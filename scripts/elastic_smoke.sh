@@ -1,0 +1,61 @@
+#!/bin/sh
+# elastic_smoke.sh — end-to-end check of the elastic-membership story
+# and the hierarchical-vs-flat A/B gate:
+#  1. crash -> shrink -> regrow: dlv3-train with crash=3@20 and
+#     -rejoin-epoch 5 must shrink the world 4->3 at epoch 3, regrow
+#     3->4 at epoch 5, and finish without a checkpoint restart;
+#  2. the elastic transcript must be byte-identical across same-seed
+#     reruns (the no-checkpoint determinism contract);
+#  3. gate: at 1056 ranks the topology-aware two-level allreduce must
+#     pass seg-compare against the flat-ring baseline, and the flat
+#     ring as candidate must FAIL against the hierarchical baseline —
+#     the gate has to see the direction of the win, not just a diff.
+set -eu
+
+train=/tmp/segscale-dlv3-train
+sim=/tmp/segscale-summit-sim
+cmp_bin=/tmp/segscale-seg-compare
+run_a=/tmp/segscale-elastic-a.txt
+run_b=/tmp/segscale-elastic-b.txt
+ring=/tmp/segscale-attr-ring1056.json
+hier=/tmp/segscale-attr-hier1056.json
+
+go build -o "$train" ./cmd/dlv3-train
+go build -o "$sim" ./cmd/summit-sim
+go build -o "$cmp_bin" ./cmd/seg-compare
+
+# 1+2: crash -> shrink -> regrow, twice, byte-identical transcripts.
+elastic_run() {
+    "$train" -world 4 -batch 1 -epochs 6 -train 24 -eval 8 \
+        -elastic -rejoin-epoch 5 -max-restarts 2 -chaos-plan "crash=3@20" "$@"
+}
+# The final summary line carries real wall-clock time; normalize it so
+# the comparison is over the training transcript only.
+elastic_run | sed 's/ in [0-9a-zµ.]*$/ in X/' >"$run_a"
+elastic_run | sed 's/ in [0-9a-zµ.]*$/ in X/' >"$run_b"
+cmp -s "$run_a" "$run_b" || {
+    echo "elastic run is not byte-deterministic across same-seed reruns:"
+    diff "$run_a" "$run_b" || true; exit 1; }
+
+grep -q '^3  *3 ' "$run_a" || {
+    echo "world did not shrink to 3 ranks at epoch 3:"; cat "$run_a"; exit 1; }
+grep -q '^5  *4 ' "$run_a" || {
+    echo "world did not regrow to 4 ranks at epoch 5:"; cat "$run_a"; exit 1; }
+grep -q 'elastic: 1 shrink(s), 1 regrow(s) — no checkpoint restart' "$run_a" || {
+    echo "missing elastic shrink/regrow summary:"; cat "$run_a"; exit 1; }
+grep -q 'via checkpoint restart' "$run_a" && {
+    echo "elastic run fell back to checkpoint restart:"; cat "$run_a"; exit 1; }
+
+# 3: hier-vs-flat A/B gate at 1056 ranks (176 nodes x 6 GPUs). The
+# 1 ms per-bucket floor keeps the gate on step-level effects.
+"$sim" -gpus 1056 -seed 11 -alg ring -attr-out "$ring" >/dev/null
+"$sim" -gpus 1056 -seed 11 -alg hier-2level -attr-out "$hier" >/dev/null
+"$cmp_bin" -validate "$ring"
+"$cmp_bin" -validate "$hier"
+"$cmp_bin" -min-abs 0.001 "$ring" "$hier" >/dev/null || {
+    echo "hierarchical allreduce regressed against the flat-ring baseline"; exit 1; }
+if "$cmp_bin" -min-abs 0.001 "$hier" "$ring" >/dev/null; then
+    echo "seg-compare failed to flag the flat ring against the hierarchical baseline"; exit 1
+fi
+
+echo "elastic smoke OK (shrink 4->3 @3, regrow 3->4 @5, deterministic; hier beats flat at 1056)"
