@@ -1,6 +1,6 @@
 # Mirrors .github/workflows/ci.yml so local runs and CI agree.
 
-RACE_PKGS := ./internal/transport/ ./internal/faultinject/ ./internal/tensor/ ./internal/nn/ ./internal/collective/ ./internal/horovod/ ./internal/telemetry/ ./internal/obs/
+RACE_PKGS := ./internal/transport/ ./internal/faultinject/ ./internal/tensor/ ./internal/nn/ ./internal/collective/ ./internal/horovod/ ./internal/telemetry/ ./internal/obs/ ./internal/fp16/
 FUZZTIME  ?= 10s
 
 # Statement-coverage floor across ./... — measured 76.9% when the
@@ -9,7 +9,7 @@ FUZZTIME  ?= 10s
 COVER_FLOOR ?= 74.0
 COVER_OUT   ?= /tmp/segscale-cover.out
 
-.PHONY: build test race lint vet fuzz-smoke trace-smoke chaos-smoke obs-smoke attr-smoke elastic-smoke cover bench-json bench-check ci
+.PHONY: build test race lint vet fuzz-smoke trace-smoke chaos-smoke obs-smoke attr-smoke elastic-smoke fp16-smoke cover bench-json bench-check ci
 
 build:
 	go build ./...
@@ -19,7 +19,7 @@ test:
 
 race:
 	go test -race $(RACE_PKGS)
-	go test -race -run 'TestElastic' ./internal/train/
+	go test -race -run 'TestElastic|TestMixedPrecision' ./internal/train/
 
 vet:
 	go vet ./...
@@ -65,6 +65,13 @@ attr-smoke:
 elastic-smoke:
 	./scripts/elastic_smoke.sh
 
+# fp16-smoke drives the mixed-precision story end to end: same-seed
+# -fp16 reruns must be byte-identical, then the seg-compare
+# fp32-vs-fp16 A/B gate at 1056 ranks (the compressed wire must win,
+# and the gate must see the direction).
+fp16-smoke:
+	./scripts/fp16_smoke.sh
+
 # bench-json regenerates the committed performance baseline (full
 # timing iterations). Run it on kernel or allocation-path changes and
 # commit the result; docs/PERFORMANCE.md explains how to read it.
@@ -85,4 +92,4 @@ cover:
 		if (t+0 < f+0) { printf "FAIL: coverage %.1f%% below floor %.1f%%\n", t, f; exit 1 } \
 		printf "coverage %.1f%% >= floor %.1f%%\n", t, f }'
 
-ci: build lint test race fuzz-smoke trace-smoke chaos-smoke obs-smoke attr-smoke elastic-smoke bench-check cover
+ci: build lint test race fuzz-smoke trace-smoke chaos-smoke obs-smoke attr-smoke elastic-smoke fp16-smoke bench-check cover

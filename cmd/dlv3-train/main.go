@@ -48,6 +48,8 @@ func main() {
 	flag.IntVar(&cfg.RejoinEpoch, "rejoin-epoch", 0, "with -elastic, regrow dead ranks back into the world at this epoch boundary (0 = never)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "derive a recoverable chaos plan (message faults + straggler) from this seed (0 = off)")
 	chaosSpec := flag.String("chaos-plan", "", `explicit chaos-plan spec, e.g. "seed=7;drop=0.01;crash=1@40" (overrides -chaos-seed)`)
+	fp16 := flag.Bool("fp16", false, "mixed precision: binary16 gradient allreduce with fp32 master weights and dynamic loss scaling")
+	lossScale := flag.Float64("loss-scale", 0, "with -fp16, initial loss scale (power of two; 0 = default 1024)")
 	strong := flag.Bool("strong", false, "strong scaling: keep effective batch fixed (disables LR scaling)")
 	noSync := flag.Bool("no-syncbn", false, "disable synchronized batch norm")
 	traceOut := flag.String("trace", "", "write a per-rank Chrome trace (step-counter time base) to this file")
@@ -60,6 +62,9 @@ func main() {
 	attrOut := flag.String("attr-out", "", "decompose each rank's recorded step spans into the attribution ledger and write it to this file (seg-compare's input)")
 	flag.Parse()
 
+	if *fp16 {
+		summitseg.EnableMixedPrecision(&cfg, *lossScale)
+	}
 	if *strong {
 		cfg.ScaleLRByWorld = false
 	}

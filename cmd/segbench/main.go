@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"segscale/internal/deeplab"
+	"segscale/internal/fp16"
 	"segscale/internal/horovod"
 	"segscale/internal/model"
 	"segscale/internal/mpiprofile"
@@ -48,7 +49,8 @@ import (
 // schemaVersion is bumped whenever the report layout or the benchmark
 // set changes incompatibly; -check refuses to compare across versions.
 // v2: per-entry gomaxprocs.
-const schemaVersion = 2
+// v3: fp16 encode/decode wire-cast kernels.
+const schemaVersion = 3
 
 // Entry is one benchmark's measurements.
 type Entry struct {
@@ -204,6 +206,40 @@ func benchPerfsimHier(iters int) Entry {
 	return e
 }
 
+// fp16Elems is the wire-buffer size the compression kernels are
+// judged at: the fusion buffer's worth of gradient elements
+// (16 MiB of fp32, the Horovod default fusion threshold).
+const fp16Elems = 4 << 20
+
+// benchFP16Encode measures the binary16 pack cast over one fusion
+// buffer. The kernel must be allocation-free: it runs once per
+// fused group per step on the allreduce critical path.
+func benchFP16Encode(iters int) Entry {
+	src := make([]float32, fp16Elems)
+	dst := make([]uint16, fp16Elems)
+	fill(src, 6)
+	return bench(iters, func() {
+		if err := fp16.Encode(src, dst); err != nil {
+			fatalf("fp16 encode: %v", err)
+		}
+	})
+}
+
+// benchFP16Decode measures the matching unpack cast.
+func benchFP16Decode(iters int) Entry {
+	f := make([]float32, fp16Elems)
+	h := make([]uint16, fp16Elems)
+	fill(f, 7)
+	if err := fp16.Encode(f, h); err != nil {
+		fatalf("fp16 encode: %v", err)
+	}
+	return bench(iters, func() {
+		if err := fp16.Decode(h, f); err != nil {
+			fatalf("fp16 decode: %v", err)
+		}
+	})
+}
+
 func fill(d []float32, seed uint32) {
 	s := seed
 	for i := range d {
@@ -232,6 +268,8 @@ func run(fast bool) *Report {
 	r.Benchmarks["train_step_rank0"] = benchTrainStep(iters)
 	r.Benchmarks["perfsim_132gpu"] = benchPerfsim(iters)
 	r.Benchmarks["perfsim_1056gpu_hier"] = benchPerfsimHier(iters)
+	r.Benchmarks["fp16_encode_4m"] = benchFP16Encode(iters)
+	r.Benchmarks["fp16_decode_4m"] = benchFP16Decode(iters)
 
 	r.Derived["matmul_speedup_vs_ref"] =
 		r.Benchmarks["matmul_ref_256x2304x1089"].NsPerOp /

@@ -5,7 +5,10 @@
 // subnormals, infinities and NaN.
 package fp16
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 const (
 	expMask16  = 0x7C00
@@ -24,7 +27,15 @@ func FromFloat32(f float32) uint16 {
 	switch {
 	case exp == 0xFF: // Inf / NaN
 		if frac != 0 {
-			return sign | expMask16 | 0x200 | uint16(frac>>13) | 1 // quiet NaN, payload preserved-ish
+			// NaN: the top 10 payload bits survive the truncation
+			// unchanged; the quiet bit is forced only when truncation
+			// would leave an all-zero payload, which would otherwise
+			// read back as Inf.
+			payload := uint16(frac >> 13)
+			if payload == 0 {
+				payload = 0x200
+			}
+			return sign | expMask16 | payload
 		}
 		return sign | expMask16
 	case exp == 0 && frac == 0:
@@ -44,7 +55,7 @@ func FromFloat32(f float32) uint16 {
 			half++ // may carry into exponent; that is correct rounding
 		}
 		return half
-	case e >= -24: // subnormal half
+	case e >= -25: // subnormal half (e = -25 can still round up to it)
 		// Implicit leading 1 becomes explicit; shift by the deficit.
 		mant := frac | 0x800000
 		shift := uint32(-e - 14 + 13)
@@ -95,22 +106,29 @@ func Quantize(buf []float32) {
 	}
 }
 
-// Encode packs a float32 slice into binary16 words.
-func Encode(src []float32, dst []uint16) {
+// Encode packs a float32 slice into binary16 words — the cast that
+// runs once per fused buffer on the compressed-allreduce pack path. A
+// destination shorter than the source is a caller bug, reported as an
+// error rather than a panic so a multi-rank world can unwind cleanly;
+// the success path allocates nothing.
+func Encode(src []float32, dst []uint16) error {
 	if len(dst) < len(src) {
-		panic("fp16: destination too small")
+		return fmt.Errorf("fp16: encode %d values into %d-word destination", len(src), len(dst))
 	}
 	for i, v := range src {
 		dst[i] = FromFloat32(v)
 	}
+	return nil
 }
 
-// Decode unpacks binary16 words into float32.
-func Decode(src []uint16, dst []float32) {
+// Decode unpacks binary16 words into float32 — Encode's inverse on
+// the unpack path, with the same error contract.
+func Decode(src []uint16, dst []float32) error {
 	if len(dst) < len(src) {
-		panic("fp16: destination too small")
+		return fmt.Errorf("fp16: decode %d words into %d-value destination", len(src), len(dst))
 	}
 	for i, h := range src {
 		dst[i] = ToFloat32(h)
 	}
+	return nil
 }

@@ -18,6 +18,27 @@ func FuzzRoundTrip(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, v float32) {
 		q := ToFloat32(FromFloat32(v))
+		// Encode/Decode must agree bit-for-bit with Quantize: one is
+		// the wire path, the other the in-place precision model, and
+		// the compressed-allreduce tests assume they are the same
+		// rounding.
+		var enc [1]uint16
+		var dec [1]float32
+		if err := Encode([]float32{v}, enc[:]); err != nil {
+			t.Fatal(err)
+		}
+		if enc[0] != FromFloat32(v) {
+			t.Fatalf("Encode(%g) = %#04x, FromFloat32 = %#04x", v, enc[0], FromFloat32(v))
+		}
+		if err := Decode(enc[:], dec[:]); err != nil {
+			t.Fatal(err)
+		}
+		qs := [1]float32{v}
+		Quantize(qs[:])
+		if math.Float32bits(dec[0]) != math.Float32bits(qs[0]) {
+			t.Fatalf("decode(encode(%g)) = %x, Quantize = %x",
+				v, math.Float32bits(dec[0]), math.Float32bits(qs[0]))
+		}
 		if math.IsNaN(float64(v)) {
 			if !math.IsNaN(float64(q)) {
 				t.Fatalf("NaN %x lost: %g", math.Float32bits(v), q)
@@ -50,12 +71,12 @@ func FuzzHalfBits(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, h uint16) {
 		v := ToFloat32(h)
-		if h&0x7C00 == 0x7C00 && h&0x3FF != 0 {
-			if !math.IsNaN(float64(v)) {
-				t.Fatalf("NaN pattern %#04x decoded to %g", h, v)
-			}
-			return
+		if h&0x7C00 == 0x7C00 && h&0x3FF != 0 && !math.IsNaN(float64(v)) {
+			t.Fatalf("NaN pattern %#04x decoded to %g", h, v)
 		}
+		// Identity on every pattern — NaN payloads survive the trip
+		// too, since FromFloat32 preserves payloads that outlive the
+		// truncation.
 		if got := FromFloat32(v); got != h {
 			t.Fatalf("half %#04x → %g → %#04x", h, v, got)
 		}

@@ -23,8 +23,9 @@ type Runtime struct {
 	Mach topology.Machine
 	Cfg  Config
 
-	world []int
-	fused []float32 // reusable fusion buffer
+	world   []int
+	fused   []float32 // reusable fusion buffer
+	fused16 []uint16  // reusable binary16 wire buffer (FP16Compression)
 
 	// members maps comm rank → original machine slot: the identity for
 	// a full world, the ascending survivor slots for an elastic one.
@@ -129,9 +130,19 @@ var fusedBucketsBytes = telemetry.ExpBuckets(4<<10, 4, 9)
 // fusing consecutive tensors up to the configured threshold per
 // buffer. Every rank must call it with an identically-shaped
 // parameter list (guaranteed by deterministic model construction).
+//
+// Under FP16Compression the fused buffer is encoded to binary16 once
+// at pack, the collective runs over the []uint16 wire (2 bytes per
+// element, which every byte counter below reports), and the result is
+// decoded once at unpack — hvd.Compression.fp16 as a real wire
+// format, not a precision simulation.
 func (r *Runtime) AllreduceGrads(params []*nn.Param) error {
 	if r.Size() == 1 {
 		return nil
+	}
+	elemBytes := 4
+	if r.Cfg.FP16Compression {
+		elemBytes = 2
 	}
 	groups := r.fusionPlan(params)
 	for _, group := range groups {
@@ -145,21 +156,48 @@ func (r *Runtime) AllreduceGrads(params []*nn.Param) error {
 		buf := r.fused[:n]
 
 		r.probe.Counter("horovod_fused_buffers_total").Inc()
-		r.probe.Counter("horovod_fused_bytes").Add(float64(4 * n))
-		r.probe.Histogram("horovod_fused_buffer_bytes", fusedBucketsBytes).Observe(float64(4 * n))
+		r.probe.Counter("horovod_fused_bytes").Add(float64(elemBytes * n))
+		r.probe.Histogram("horovod_fused_buffer_bytes", fusedBucketsBytes).Observe(float64(elemBytes * n))
 		if r.Cfg.FusionThreshold > 0 {
 			// Fusion-buffer fill: how much of the configured budget the
 			// planner actually packed — low fill at scale means the
 			// threshold is mis-tuned for the tensor-size distribution.
-			r.probe.Gauge("horovod_fusion_fill_ratio").Set(float64(4*n) / float64(r.Cfg.FusionThreshold))
+			r.probe.Gauge("horovod_fusion_fill_ratio").Set(float64(elemBytes*n) / float64(r.Cfg.FusionThreshold))
+		}
+
+		if r.Cfg.FP16Compression {
+			if cap(r.fused16) < n {
+				r.fused16 = make([]uint16, n) //seglint:ignore hotalloc wire buffer grows to the largest group once, then is reused every step
+			}
+			buf16 := r.fused16[:n]
+
+			pack := r.probe.Span(timeline.PhaseMemcpy, "pack")
+			packFused(buf, params, group)
+			err := fp16.Encode(buf, buf16)
+			pack.End()
+			if err != nil {
+				return fmt.Errorf("horovod: allreduce grads: %w", err)
+			}
+
+			if err := r.allreduce16(buf16); err != nil {
+				return fmt.Errorf("horovod: allreduce grads: %w", err)
+			}
+
+			unpack := r.probe.Span(timeline.PhaseMemcpy, "unpack")
+			err = fp16.Decode(buf16, buf)
+			if err == nil {
+				collective.Scale(buf, r.Size())
+				unpackFused(params, group, buf)
+			}
+			unpack.End()
+			if err != nil {
+				return fmt.Errorf("horovod: allreduce grads: %w", err)
+			}
+			continue
 		}
 
 		pack := r.probe.Span(timeline.PhaseMemcpy, "pack")
 		packFused(buf, params, group)
-		if r.Cfg.FP16Compression {
-			// hvd.Compression.fp16: gradients travel as binary16.
-			fp16.Quantize(buf)
-		}
 		pack.End()
 
 		if err := r.allreduce(buf); err != nil {
@@ -245,6 +283,29 @@ func (r *Runtime) allreduce(buf []float32) error {
 		return collective.AllreduceRabenseifner(r.Comm, r.world, buf)
 	default:
 		return collective.AllreduceRing(r.Comm, r.world, buf)
+	}
+}
+
+// allreduce16 dispatches one binary16 wire buffer to the configured
+// collective — the same algorithm resolution as allreduce, over the
+// compressed payload kind.
+func (r *Runtime) allreduce16(buf []uint16) error {
+	switch r.Cfg.ResolveAlgorithm() {
+	case netmodel.AlgHierLeader:
+		if r.elastic {
+			intra, inter := topology.SummitLinkSpecs()
+			return collective.AllreduceHierGroups16(r.Comm, r.nodeGroups, intra, inter, buf)
+		}
+		return collective.AllreduceHierLeader16(r.Comm, r.Mach, buf)
+	case netmodel.AlgHierTwoLevel:
+		intra, inter := topology.SummitLinkSpecs()
+		return collective.AllreduceHierGroups16(r.Comm, r.nodeGroups, intra, inter, buf)
+	case netmodel.AlgRecursiveDoubling:
+		return collective.AllreduceRecursiveDoubling16(r.Comm, r.world, buf)
+	case netmodel.AlgRabenseifner:
+		return collective.AllreduceRabenseifner16(r.Comm, r.world, buf)
+	default:
+		return collective.AllreduceRing16(r.Comm, r.world, buf)
 	}
 }
 

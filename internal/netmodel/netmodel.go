@@ -43,6 +43,14 @@ type Model struct {
 	Mach topology.Machine
 	Prof *mpiprofile.Profile
 
+	// ElemBytes is the wire width of one payload element: 4 (float32,
+	// the zero-value default) or 2 (binary16 under fp16 compression).
+	// The byte counts fed to the cost methods already reflect the wire
+	// width; ElemBytes only converts bytes back to element counts for
+	// the reduce-flops term, so a compressed buffer reduces the same
+	// number of elements it carries.
+	ElemBytes int
+
 	// split memoizes splitByNode for the last rank group: a simulation
 	// prices thousands of collectives over the same world, and the
 	// partition is a pure function of the ranks.
@@ -147,9 +155,14 @@ func (m *Model) P2P(a, b, n int) float64 {
 	return m.Xfer(m.Mach.Link(a, b), n)
 }
 
-// reduceTime is the elementwise-combine time for n bytes of float32.
+// reduceTime is the elementwise-combine time for n wire bytes:
+// n/ElemBytes elements at the profile's reduce throughput.
 func (m *Model) reduceTime(n int) float64 {
-	return float64(n) / 4 / m.Prof.ReduceFlops
+	eb := m.ElemBytes
+	if eb == 0 {
+		eb = 4
+	}
+	return float64(n) / float64(eb) / m.Prof.ReduceFlops
 }
 
 // worstKind reports the slowest link kind appearing between

@@ -1,0 +1,136 @@
+package perfsim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"segscale/internal/telemetry"
+	"segscale/internal/traceanalysis"
+)
+
+// fp16Pair returns the same configuration with and without
+// compression.
+func fp16Pair(base Config) (fp32, fp16 Config) {
+	fp16 = base
+	fp16.Horovod.FP16Compression = true
+	return base, fp16
+}
+
+// The paper's claim at sweep scale: at 132 ranks (22 nodes) and 1056
+// ranks (176 nodes) the compressed collectives must scale no worse
+// than fp32 — the wire is half as wide, the compute identical — with
+// the whole delta in the allreduce bucket.
+func TestFP16EfficiencyAtScale(t *testing.T) {
+	base := run(t, defaultSpectrum(1))
+	for _, gpus := range []int{132, 1056} {
+		c32, c16 := fp16Pair(defaultSpectrum(gpus))
+		r32, r16 := run(t, c32), run(t, c16)
+		e32, e16 := r32.EfficiencyVs(base), r16.EfficiencyVs(base)
+		if e16 < e32 {
+			t.Errorf("%d ranks: fp16 efficiency %.4f below fp32 %.4f", gpus, e16, e32)
+		}
+		if r16.AllreduceSec >= r32.AllreduceSec {
+			t.Errorf("%d ranks: fp16 allreduce %.4gs not below fp32 %.4gs",
+				gpus, r16.AllreduceSec, r32.AllreduceSec)
+		}
+		// The win lives in communication. Spectrum's host-staged path
+		// steals compute-stream time proportional to communication, so
+		// compute can only improve with the smaller wire, never regress.
+		if r16.ComputeSec > r32.ComputeSec {
+			t.Errorf("%d ranks: compression increased compute time %.6g → %.6g",
+				gpus, r32.ComputeSec, r16.ComputeSec)
+		}
+	}
+}
+
+// The modelled wire volume must agree with the live transport
+// counters' 2-bytes-per-element accounting: the fp16 run's
+// perfsim_wire_bytes is exactly half the fp32 run's.
+func TestFP16WireCounterExactlyHalves(t *testing.T) {
+	counter := func(cfg Config) float64 {
+		col := telemetry.NewCollector()
+		cfg.Probe = col.NewProbe("sim", telemetry.NewStepClock())
+		run(t, cfg)
+		for _, m := range col.Gather() {
+			if m.Name == "perfsim_wire_bytes" {
+				return m.Value
+			}
+		}
+		t.Fatal("perfsim_wire_bytes not gathered")
+		return 0
+	}
+	c32, c16 := fp16Pair(tunedMV2(24))
+	b32, b16 := counter(c32), counter(c16)
+	if b32 <= 0 || b32 != 2*b16 {
+		t.Fatalf("wire bytes fp32 %.0f vs fp16 %.0f — want exactly 2x", b32, b16)
+	}
+}
+
+// The compressed run gets its own committed attribution golden
+// (testdata/attribution_fp16_golden.json, regenerate together with the
+// fp32 one via -update-attribution): the allreduce bucket shrinks, and
+// any drift in the fp16 cost model fails here without touching the
+// fp32 golden.
+func TestAttributionFP16Golden(t *testing.T) {
+	rec := traceanalysis.NewLedgerRecorder("perfsim", 4)
+	cfg := goldenConfig()
+	cfg.Horovod.FP16Compression = true
+	cfg.Attribution = rec
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := rec.Ledger().WriteLedger(&got); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "attribution_fp16_golden.json")
+	if *updateAttribution {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("fp16 attribution ledger drifted from %s (len %d vs %d); regenerate with -update-attribution if the change is intentional",
+			golden, got.Len(), len(want))
+	}
+}
+
+// The fp32-vs-fp16 ledger comparison the seg-compare gate scripts
+// automate: same config, the compressed ledger's allreduce bucket must
+// shrink while compute stays put.
+func TestAttributionFP16AllreduceBucketShrinks(t *testing.T) {
+	ledger := func(cfg Config) *traceanalysis.Ledger {
+		rec := traceanalysis.NewLedgerRecorder("perfsim", 4)
+		cfg.Attribution = rec
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Ledger()
+	}
+	c32, c16 := fp16Pair(goldenConfig())
+	l32, l16 := ledger(c32), ledger(c16)
+	var ar32, ar16, comp32, comp16 float64
+	for _, row := range l32.Steps {
+		ar32 += row.Buckets[traceanalysis.BucketWire]
+		comp32 += row.Buckets[traceanalysis.BucketForward] + row.Buckets[traceanalysis.BucketBackward]
+	}
+	for _, row := range l16.Steps {
+		ar16 += row.Buckets[traceanalysis.BucketWire]
+		comp16 += row.Buckets[traceanalysis.BucketForward] + row.Buckets[traceanalysis.BucketBackward]
+	}
+	if ar16 >= ar32 {
+		t.Errorf("fp16 allreduce bucket %.4g not below fp32 %.4g", ar16, ar32)
+	}
+	if comp16 != comp32 {
+		t.Errorf("compression moved the compute bucket: %.6g → %.6g", comp32, comp16)
+	}
+}

@@ -246,6 +246,12 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Horovod.FP16Compression {
+		// Compressed collectives feed the model halved byte counts; tell
+		// it the wire element is 2 bytes so the reduce-flops term still
+		// prices the full element count.
+		net.ElemBytes = 2
+	}
 	gpu := devsim.New(cfg.Model)
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(cfg.GPUs)*7919))
 
@@ -527,10 +533,13 @@ func (s *stepSim) runStep(t0 float64, record bool, doComm bool) stepStats {
 				packT := 2 * float64(bytes) / cfg.MPI.FusionPackBW // pack + unpack
 				wireBytes := bytes
 				if cfg.Horovod.FP16Compression {
-					// fp16 compression halves wire volume and adds a
-					// cast kernel each way on the same memory path.
+					// fp16 compression halves wire volume. The casts fuse
+					// into the pack/unpack kernels (they re-read what the
+					// memcpy already touches), so the extra memory traffic
+					// is the binary16 payload written at pack plus the one
+					// re-read at unpack — bytes/2 each way.
 					wireBytes = bytes / 2
-					packT += 2 * float64(bytes) / cfg.MPI.FusionPackBW
+					packT += float64(bytes) / cfg.MPI.FusionPackBW
 				}
 				// Chaos: draw this buffer's fate from the plan's seed —
 				// pure hashing, so a rerun with the same plan costs

@@ -321,11 +321,12 @@ func (rs *runState) elasticIncarnation(startEpoch, inc int) ([]int, error) {
 			inc: inc, rank: slot,
 			net: rep.net, ws: rep.ws, params: rep.params, rt: rt, opt: rep.opt,
 			sched: rs.sched, trainSet: rs.trainSet,
-			shard: shard,
-			accum: cfg.Horovod.AccumPasses(),
-			ids:   make([]int, 0, cfg.BatchPerRank),
-			gstep: rep.gstep,
-			x:     tensor.New(cfg.BatchPerRank, 3, rs.trainSet.H, rs.trainSet.W),
+			shard:  shard,
+			accum:  cfg.Horovod.AccumPasses(),
+			scaler: scalerFor(cfg),
+			ids:    make([]int, 0, cfg.BatchPerRank),
+			gstep:  rep.gstep,
+			x:      tensor.New(cfg.BatchPerRank, 3, rs.trainSet.H, rs.trainSet.W),
 			labels: make([]int32,
 				cfg.BatchPerRank*rs.trainSet.H*rs.trainSet.W),
 		}

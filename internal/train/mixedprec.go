@@ -1,0 +1,157 @@
+package train
+
+import (
+	"math"
+
+	"segscale/internal/nn"
+)
+
+// Dynamic loss scaling for mixed-precision training. The replica's
+// master weights, activations, and optimiser state all stay float32 —
+// only the allreduce wire is binary16 (Config.MixedPrecision forces
+// Horovod's FP16Compression on). What the scaler protects is that
+// wire: late-training gradients sit well below binary16's smallest
+// normal (2⁻¹⁴), so encoding them unscaled flushes the signal to
+// zero. Multiplying every gradient by a power-of-two scale before the
+// allreduce and dividing it back out afterwards keeps the payload in
+// binary16's dynamic range without changing any mantissa bit — a
+// power-of-two scale is exact in both formats.
+//
+// The schedule is the standard one: on overflow (any Inf/NaN in the
+// reduced gradients — identical on every rank, since all ranks decode
+// the same reduced bytes) the step is skipped and the scale halves;
+// after growthInterval consecutive good steps the scale doubles,
+// probing back toward the largest safe value.
+
+// defaultLossScale is the initial scale when Config.LossScale is zero:
+// large enough to lift 1e-7-magnitude gradients into binary16 range,
+// small enough that unit-scale gradients stay far from overflow.
+const defaultLossScale = 1 << 10
+
+// lossScaler holds one replica's dynamic loss-scaling state. Every
+// rank steps its scaler on the same (shared) verdict each step, so the
+// states never diverge across ranks.
+type lossScaler struct {
+	scale          float64
+	good           int // consecutive overflow-free steps at this scale
+	growthInterval int
+	maxScale       float64
+}
+
+func newLossScaler(initial float64) *lossScaler {
+	if initial == 0 {
+		initial = defaultLossScale
+	}
+	return &lossScaler{scale: initial, growthInterval: 50, maxScale: 1 << 15}
+}
+
+// validLossScale reports whether s is usable as an initial scale:
+// zero (use the default) or a positive power of two — anything else
+// would perturb gradient mantissas and break the fp32/fp16 exactness
+// argument above.
+func validLossScale(s float64) bool {
+	if s == 0 {
+		return true
+	}
+	if s <= 0 || math.IsInf(s, 0) || math.IsNaN(s) {
+		return false
+	}
+	frac, _ := math.Frexp(s)
+	return frac == 0.5
+}
+
+// apply multiplies every gradient by the current scale — immediately
+// before the fused allreduce encodes them to binary16.
+func (ls *lossScaler) apply(params []*nn.Param) {
+	s := float32(ls.scale)
+	for _, p := range params {
+		p.G.Scale(s)
+	}
+}
+
+// unapply divides the scale back out of the (finite) reduced
+// gradients, restoring true magnitudes before clipping and the
+// optimiser step.
+func (ls *lossScaler) unapply(params []*nn.Param) {
+	s := float32(1 / ls.scale)
+	for _, p := range params {
+		p.G.Scale(s)
+	}
+}
+
+// backoff records an overflow: halve the scale (floor 1) and restart
+// the growth counter.
+func (ls *lossScaler) backoff() {
+	ls.scale /= 2
+	if ls.scale < 1 {
+		ls.scale = 1
+	}
+	ls.good = 0
+}
+
+// stepped records an overflow-free step, doubling the scale after
+// growthInterval consecutive good steps (capped at maxScale).
+func (ls *lossScaler) stepped() {
+	ls.good++
+	if ls.good >= ls.growthInterval && ls.scale < ls.maxScale {
+		ls.scale *= 2
+		ls.good = 0
+	}
+}
+
+// gradOverflow reports whether any gradient holds an Inf or NaN after
+// the allreduce. The scan is branch-cheap and allocation-free: a
+// float32 is non-finite exactly when its exponent field is all ones.
+//
+//seglint:hotpath per-step overflow scan over every gradient under mixed precision
+func gradOverflow(params []*nn.Param) bool {
+	for _, p := range params {
+		for _, v := range p.G.Data {
+			if math.Float32bits(v)&0x7F800000 == 0x7F800000 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mpStep runs the communicate-and-update half of a training step under
+// mixed precision: scale, allreduce over the binary16 wire, then
+// either skip (overflow: drop the poisoned gradients, halve the scale)
+// or unscale and apply the optimiser update. Returns the loss-scale
+// verdict for telemetry.
+func (t *rankStep) mpStep() error {
+	t.scaler.apply(t.params)
+	if err := t.rt.AllreduceGrads(t.params); err != nil {
+		return err
+	}
+	if gradOverflow(t.params) {
+		// Every rank sees the same reduced bytes, so every rank skips
+		// together — no extra agreement round needed.
+		t.scaler.backoff()
+		t.probe.Counter("amp_overflow_steps_total").Inc()
+		nn.ZeroGrads(t.params)
+	} else {
+		t.scaler.unapply(t.params)
+		t.scaler.stepped()
+		if t.cfg.GradClip > 0 {
+			nn.GlobalGradClip(t.params, t.cfg.GradClip)
+		}
+		t.opt.SetLR(t.sched.LR(t.gstep))
+		t.opt.Step(t.params)
+		nn.ZeroGrads(t.params)
+	}
+	t.probe.Gauge("amp_loss_scale_ratio").Set(t.scaler.scale)
+	return nil
+}
+
+// scalerFor returns a fresh loss scaler for one incarnation when the
+// run is mixed-precision, nil otherwise. Scaler state is derived (it
+// re-converges from the same schedule), so it is deliberately not
+// checkpointed; a restarted incarnation restarts the growth counter.
+func scalerFor(cfg Config) *lossScaler {
+	if !cfg.MixedPrecision {
+		return nil
+	}
+	return newLossScaler(cfg.LossScale)
+}

@@ -87,6 +87,18 @@ type Config struct {
 	// ResumeFrom, when set, loads a checkpoint into every rank before
 	// training (after which ranks are trivially in sync).
 	ResumeFrom string
+	// MixedPrecision enables fp16 training the way the paper's Horovod
+	// runs do: master weights, activations, and optimiser state stay
+	// float32, gradients cross the wire as binary16
+	// (Horovod.FP16Compression is forced on), and dynamic loss scaling
+	// keeps small late-training gradients above binary16's underflow
+	// floor — overflow steps are skipped with the scale halved, and the
+	// scale regrows after a run of good steps (see mixedprec.go).
+	MixedPrecision bool
+	// LossScale is the initial loss scale for MixedPrecision: zero
+	// selects the default (1024); any other value must be a positive
+	// power of two so scaling stays mantissa-exact.
+	LossScale float64
 	// Horovod configures gradient fusion/allreduce.
 	Horovod horovod.Config
 	// Seed controls data and augmentation randomness.
@@ -195,6 +207,12 @@ func (c Config) validate() error {
 	if c.MaxRestarts < 0 {
 		return fmt.Errorf("train: negative restart budget %d", c.MaxRestarts)
 	}
+	if !validLossScale(c.LossScale) {
+		return fmt.Errorf("train: loss scale %g is not a positive power of two", c.LossScale)
+	}
+	if c.LossScale != 0 && !c.MixedPrecision {
+		return fmt.Errorf("train: LossScale=%g without MixedPrecision", c.LossScale)
+	}
 	if c.RejoinEpoch != 0 {
 		if !c.Elastic {
 			return fmt.Errorf("train: RejoinEpoch=%d without Elastic", c.RejoinEpoch)
@@ -284,6 +302,11 @@ func augRNG(seed int64, rank, epoch int) *rand.Rand {
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.MixedPrecision {
+		// Mixed precision is the trainer-level switch; the wire-level
+		// half is Horovod's binary16 compressed allreduce.
+		cfg.Horovod.FP16Compression = true
 	}
 	mach := topology.ExactFor(cfg.World)
 	trainSet := segdata.New(cfg.TrainSize, cfg.Model.InputSize, cfg.Model.InputSize, cfg.Seed)
@@ -509,11 +532,12 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 			inc: inc, rank: rank,
 			net: net, ws: ws, params: params, rt: rt, opt: opt,
 			sched: rs.sched, trainSet: rs.trainSet,
-			shard: shard,
-			accum: cfg.Horovod.AccumPasses(),
-			ids:   make([]int, 0, cfg.BatchPerRank), // reused across steps
-			gstep: startEpoch * rs.stepsPerEpoch,
-			x:     tensor.New(cfg.BatchPerRank, 3, rs.trainSet.H, rs.trainSet.W),
+			shard:  shard,
+			accum:  cfg.Horovod.AccumPasses(),
+			scaler: scalerFor(cfg),
+			ids:    make([]int, 0, cfg.BatchPerRank), // reused across steps
+			gstep:  startEpoch * rs.stepsPerEpoch,
+			x:      tensor.New(cfg.BatchPerRank, 3, rs.trainSet.H, rs.trainSet.W),
 			labels: make([]int32,
 				cfg.BatchPerRank*rs.trainSet.H*rs.trainSet.W),
 		}
@@ -611,8 +635,9 @@ type rankStep struct {
 	trainSet *segdata.Dataset
 	shard    []int
 	accum    int
-	ids      []int // batch id scratch, reused across steps
-	gstep    int   // global step counter, continuous across incarnations
+	scaler   *lossScaler // non-nil only under MixedPrecision
+	ids      []int       // batch id scratch, reused across steps
+	gstep    int         // global step counter, continuous across incarnations
 
 	// Batch staging, reused across steps like the eval path's buffers:
 	// SampleInto fully overwrites the image and clears the labels, so
@@ -669,15 +694,24 @@ func (t *rankStep) step(s int, perm []int, rng *rand.Rand) (float64, error) {
 				p.G.Scale(1 / float32(t.accum))
 			}
 		}
-		if err := t.rt.AllreduceGrads(t.params); err != nil {
-			return 0, err
+		if t.scaler != nil {
+			// Mixed precision: scale → binary16 allreduce → skip-or-step
+			// (mixedprec.go). The fp32 branch below is untouched so its
+			// operation order stays pinned by the goldens.
+			if err := t.mpStep(); err != nil {
+				return 0, err
+			}
+		} else {
+			if err := t.rt.AllreduceGrads(t.params); err != nil {
+				return 0, err
+			}
+			if t.cfg.GradClip > 0 {
+				nn.GlobalGradClip(t.params, t.cfg.GradClip)
+			}
+			t.opt.SetLR(t.sched.LR(t.gstep))
+			t.opt.Step(t.params)
+			nn.ZeroGrads(t.params)
 		}
-		if t.cfg.GradClip > 0 {
-			nn.GlobalGradClip(t.params, t.cfg.GradClip)
-		}
-		t.opt.SetLR(t.sched.LR(t.gstep))
-		t.opt.Step(t.params)
-		nn.ZeroGrads(t.params)
 	}
 	t.gstep++
 	t.probe.Counter("train_steps_total").Inc()

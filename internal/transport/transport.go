@@ -28,11 +28,25 @@ import (
 // message is one in-flight payload. seq is the per-(src,dst)-pair
 // sequence number: receivers consume the lowest matching seq (FIFO
 // within a tag even under injected reordering) and use it to
-// deduplicate injected duplicates.
+// deduplicate injected duplicates. Exactly one of data/data16 carries
+// the payload; u16 marks which, so a zero-length binary16 message is
+// still distinguishable from a zero-length float32 one.
 type message struct {
-	seq  uint64
-	tag  int
-	data []float32
+	seq    uint64
+	tag    int
+	data   []float32
+	data16 []uint16
+	u16    bool
+}
+
+// bytes is the modelled wire size of the payload: 4 bytes per float32
+// element, 2 per binary16 word — the whole point of the compressed
+// wire format.
+func (m message) bytes() int {
+	if m.u16 {
+		return 2 * len(m.data16)
+	}
+	return 4 * len(m.data)
 }
 
 // mailbox is the (src,dst) pair's delivery queue. Unlike a bare
@@ -310,6 +324,26 @@ func (c *Comm) opTimer() (<-chan time.Time, func()) {
 // are retried under the world's RetryPolicy; exhausting it fails the
 // send (and the rank) with ErrDeliveryFailed.
 func (c *Comm) Send(dst, tag int, data []float32) error {
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	return c.send(dst, tag, message{tag: tag, data: cp})
+}
+
+// Send16 is Send for binary16 payloads — the compressed-collective
+// wire format. The payload rides the same mailbox, fault-injection
+// and flow-control machinery as float32 traffic; only the accounting
+// differs: 2 bytes per element instead of 4.
+func (c *Comm) Send16(dst, tag int, data []uint16) error {
+	cp := make([]uint16, len(data))
+	copy(cp, data)
+	return c.send(dst, tag, message{tag: tag, data16: cp, u16: true})
+}
+
+// send is the payload-agnostic send path: validation, sequence
+// assignment, the edge-ID span, the injected-drop retry loop, and the
+// flow-controlled enqueue. m.tag must equal tag and the payload slice
+// must already be a private copy.
+func (c *Comm) send(dst, tag int, m message) error {
 	if dst == c.rank {
 		return fmt.Errorf("transport: rank %d send to self", c.rank)
 	}
@@ -321,7 +355,7 @@ func (c *Comm) Send(dst, tag int, data []float32) error {
 	}
 	mb := c.w.boxes[dst][c.rank]
 	mb.mu.Lock()
-	seq := mb.nextSeq
+	m.seq = mb.nextSeq
 	mb.nextSeq++
 	mb.mu.Unlock()
 
@@ -333,13 +367,13 @@ func (c *Comm) Send(dst, tag int, data []float32) error {
 	var sp telemetry.Span
 	if c.probe != nil {
 		sp = c.probe.EdgeSpan(timeline.PhaseSend, "send",
-			timeline.Edge{Src: c.rank, Dst: dst, Seq: seq, Inc: c.w.inc}.String())
+			timeline.Edge{Src: c.rank, Dst: dst, Seq: m.seq, Inc: c.w.inc}.String())
 	}
 
 	fault := FaultNone
 	if inj := c.w.inj; inj != nil {
 		for attempt := 0; ; attempt++ {
-			f := inj.Message(c.rank, dst, tag, attempt, seq)
+			f := inj.Message(c.rank, dst, tag, attempt, m.seq)
 			if f == FaultNone {
 				break
 			}
@@ -351,7 +385,7 @@ func (c *Comm) Send(dst, tag int, data []float32) error {
 			if attempt+1 >= c.w.retry.MaxAttempts {
 				c.w.kill(c.rank)
 				return fmt.Errorf("transport: send %d→%d tag %d seq %d: all %d attempts dropped: %w",
-					c.rank, dst, tag, seq, attempt+1, ErrDeliveryFailed)
+					c.rank, dst, tag, m.seq, attempt+1, ErrDeliveryFailed)
 			}
 			c.retries.Inc()
 			if b := c.w.retry.Backoff; b > 0 {
@@ -360,13 +394,11 @@ func (c *Comm) Send(dst, tag int, data []float32) error {
 		}
 	}
 
-	cp := make([]float32, len(data))
-	copy(cp, data)
-	if err := c.enqueue(mb, message{seq: seq, tag: tag, data: cp}, fault); err != nil {
+	if err := c.enqueue(mb, m, fault); err != nil {
 		return fmt.Errorf("transport: send %d→%d tag %d: %w", c.rank, dst, tag, err)
 	}
 	c.sends.Inc()
-	c.sentBytes.Add(float64(4 * len(data)))
+	c.sentBytes.Add(float64(m.bytes()))
 	sp.End()
 	return nil
 }
@@ -416,11 +448,40 @@ func (c *Comm) enqueue(mb *mailbox, m message, fault Fault) error {
 // send order (lowest sequence number first) even when the injector
 // reorders arrival.
 func (c *Comm) Recv(src, tag int) ([]float32, error) {
+	m, err := c.recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	if m.u16 {
+		return nil, fmt.Errorf("transport: recv %d←%d tag %d: binary16 payload on a float32 receive", c.rank, src, tag)
+	}
+	return m.data, nil
+}
+
+// Recv16 is Recv for binary16 payloads. A float32 message matched by
+// a binary16 receive (or vice versa) is a protocol bug between the
+// layered collectives — distinct tag bases keep the kinds apart — and
+// is reported as an error.
+func (c *Comm) Recv16(src, tag int) ([]uint16, error) {
+	m, err := c.recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	if !m.u16 {
+		return nil, fmt.Errorf("transport: recv %d←%d tag %d: float32 payload on a binary16 receive", c.rank, src, tag)
+	}
+	return m.data16, nil
+}
+
+// recv is the payload-agnostic receive path shared by Recv and
+// Recv16: tag-scanned, seq-ordered consumption with the edge-ID span
+// and drain semantics.
+func (c *Comm) recv(src, tag int) (message, error) {
 	if src == c.rank {
-		return nil, fmt.Errorf("transport: rank %d recv from self", c.rank)
+		return message{}, fmt.Errorf("transport: rank %d recv from self", c.rank)
 	}
 	if src < 0 || src >= c.w.n {
-		return nil, fmt.Errorf("transport: recv from rank %d outside world of %d", src, c.w.n)
+		return message{}, fmt.Errorf("transport: recv from rank %d outside world of %d", src, c.w.n)
 	}
 	mb := c.w.boxes[c.rank][src]
 	// The recv span's edge ID is known only once a message is taken
@@ -435,26 +496,26 @@ func (c *Comm) Recv(src, tag int) ([]float32, error) {
 			mb.wakeSend()
 			mb.mu.Unlock()
 			c.recvs.Inc()
-			c.recvBytes.Add(float64(4 * len(m.data)))
+			c.recvBytes.Add(float64(m.bytes()))
 			if c.probe != nil {
 				sp.SetEdge(timeline.Edge{Src: src, Dst: c.rank, Seq: m.seq, Inc: c.w.inc}.String())
 				sp.End()
 			}
-			return m.data, nil
+			return m, nil
 		}
 		notify := mb.notify
 		mb.mu.Unlock()
 		// Queued messages stay drainable above; only a dry queue in a
 		// poisoned world fails.
 		if err := c.w.failure(); err != nil {
-			return nil, fmt.Errorf("transport: recv %d←%d tag %d: %w", c.rank, src, tag, err)
+			return message{}, fmt.Errorf("transport: recv %d←%d tag %d: %w", c.rank, src, tag, err)
 		}
 		select {
 		case <-notify:
 		case <-c.w.deathCh:
 		case <-timeout:
 			c.w.kill(c.rank)
-			return nil, fmt.Errorf("transport: recv %d←%d tag %d: %w", c.rank, src, tag, ErrTimeout)
+			return message{}, fmt.Errorf("transport: recv %d←%d tag %d: %w", c.rank, src, tag, ErrTimeout)
 		}
 	}
 }
@@ -474,6 +535,21 @@ func (c *Comm) RecvInto(src, tag int, dst []float32) error {
 	return nil
 }
 
+// RecvInto16 is Recv16 but copies the payload into dst, which must
+// match the message length.
+func (c *Comm) RecvInto16(src, tag int, dst []uint16) error {
+	m, err := c.Recv16(src, tag)
+	if err != nil {
+		return err
+	}
+	if len(m) != len(dst) {
+		return fmt.Errorf("transport: recv %d←%d tag %d: length %d into buffer %d",
+			c.rank, src, tag, len(m), len(dst))
+	}
+	copy(dst, m)
+	return nil
+}
+
 // SendRecv posts a send to dst and then receives from src — the
 // classic ring-step primitive. The eager mailbox keeps this
 // deadlock-free for cycles shorter than mailboxDepth.
@@ -482,6 +558,14 @@ func (c *Comm) SendRecv(dst, sendTag int, data []float32, src, recvTag int) ([]f
 		return nil, err
 	}
 	return c.Recv(src, recvTag)
+}
+
+// SendRecv16 is SendRecv for binary16 payloads.
+func (c *Comm) SendRecv16(dst, sendTag int, data []uint16, src, recvTag int) ([]uint16, error) {
+	if err := c.Send16(dst, sendTag, data); err != nil {
+		return nil, err
+	}
+	return c.Recv16(src, recvTag)
 }
 
 // Barrier blocks until all ranks in the world have called it, or

@@ -373,6 +373,16 @@ func Train(cfg TrainConfig) (*TrainResult, error) { return train.Run(cfg) }
 // a laptop in seconds.
 func DefaultTraining() TrainConfig { return train.DefaultConfig() }
 
+// EnableMixedPrecision switches a training configuration to the
+// paper's fp16 recipe: gradients cross the allreduce wire as binary16
+// (2 bytes per element) while master weights and the optimiser stay
+// float32, protected by dynamic loss scaling. A non-zero lossScale
+// must be a positive power of two; zero keeps the default (1024).
+func EnableMixedPrecision(cfg *TrainConfig, lossScale float64) {
+	cfg.MixedPrecision = true
+	cfg.LossScale = lossScale
+}
+
 // LatencyRow is one osu_allreduce-style measurement.
 type LatencyRow struct {
 	Bytes     int

@@ -1,0 +1,55 @@
+#!/bin/sh
+# fp16_smoke.sh — end-to-end check of the mixed-precision story and
+# the fp32-vs-fp16 A/B gate:
+#  1. dlv3-train -fp16 (binary16 gradient wire, fp32 master weights,
+#     dynamic loss scaling) must converge and finish cleanly;
+#  2. the fp16 transcript must be byte-identical across same-seed
+#     reruns — the compressed wire is just as deterministic as the
+#     fp32 golden path;
+#  3. gate: at sweep scale the compressed allreduce must pass
+#     seg-compare against the fp32 baseline (half the wire, same
+#     compute), and the fp32 ledger as candidate must FAIL against
+#     the fp16 baseline — the gate has to see the direction of the
+#     win, not just a diff.
+set -eu
+
+train=/tmp/segscale-dlv3-train
+sim=/tmp/segscale-summit-sim
+cmp_bin=/tmp/segscale-seg-compare
+run_a=/tmp/segscale-fp16-a.txt
+run_b=/tmp/segscale-fp16-b.txt
+fp32=/tmp/segscale-attr-fp32-1056.json
+fp16=/tmp/segscale-attr-fp16-1056.json
+
+go build -o "$train" ./cmd/dlv3-train
+go build -o "$sim" ./cmd/summit-sim
+go build -o "$cmp_bin" ./cmd/seg-compare
+
+# 1+2: mixed-precision training, twice, byte-identical transcripts.
+fp16_run() {
+    "$train" -world 2 -batch 1 -epochs 4 -train 24 -eval 8 -fp16 "$@"
+}
+# The final summary line carries real wall-clock time; normalize it so
+# the comparison is over the training transcript only.
+fp16_run | sed 's/ in [0-9a-zµ.]*$/ in X/' >"$run_a"
+fp16_run | sed 's/ in [0-9a-zµ.]*$/ in X/' >"$run_b"
+cmp -s "$run_a" "$run_b" || {
+    echo "fp16 run is not byte-deterministic across same-seed reruns:"
+    diff "$run_a" "$run_b" || true; exit 1; }
+
+grep -q 'final mIOU' "$run_a" || {
+    echo "fp16 run did not reach the final evaluation:"; cat "$run_a"; exit 1; }
+
+# 3: fp32-vs-fp16 A/B gate at 1056 ranks (176 nodes x 6 GPUs). The
+# 1 ms per-bucket floor keeps the gate on step-level effects.
+"$sim" -gpus 1056 -seed 11 -attr-out "$fp32" >/dev/null
+"$sim" -gpus 1056 -seed 11 -fp16 -attr-out "$fp16" >/dev/null
+"$cmp_bin" -validate "$fp32"
+"$cmp_bin" -validate "$fp16"
+"$cmp_bin" -min-abs 0.001 "$fp32" "$fp16" >/dev/null || {
+    echo "fp16 compression regressed against the fp32 baseline"; exit 1; }
+if "$cmp_bin" -min-abs 0.001 "$fp16" "$fp32" >/dev/null; then
+    echo "seg-compare failed to flag fp32 against the fp16 baseline"; exit 1
+fi
+
+echo "fp16 smoke OK (deterministic mixed-precision run; compressed wire beats fp32 at 1056)"
