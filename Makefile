@@ -1,6 +1,6 @@
 # Mirrors .github/workflows/ci.yml so local runs and CI agree.
 
-RACE_PKGS := ./internal/transport/ ./internal/faultinject/ ./internal/tensor/ ./internal/nn/ ./internal/collective/ ./internal/horovod/ ./internal/telemetry/ ./internal/obs/ ./internal/fp16/
+RACE_PKGS := ./internal/transport/ ./internal/faultinject/ ./internal/tensor/ ./internal/nn/ ./internal/collective/ ./internal/horovod/ ./internal/telemetry/ ./internal/obs/ ./internal/fp16/ ./internal/modelhealth/
 FUZZTIME  ?= 10s
 
 # Statement-coverage floor across ./... — measured 76.9% when the
@@ -9,7 +9,7 @@ FUZZTIME  ?= 10s
 COVER_FLOOR ?= 74.0
 COVER_OUT   ?= /tmp/segscale-cover.out
 
-.PHONY: build test race lint vet fuzz-smoke trace-smoke chaos-smoke obs-smoke attr-smoke elastic-smoke fp16-smoke cover bench-json bench-check ci
+.PHONY: build test race lint vet fuzz-smoke trace-smoke chaos-smoke obs-smoke attr-smoke elastic-smoke fp16-smoke health-smoke cover bench-json bench-check ci
 
 build:
 	go build ./...
@@ -19,7 +19,7 @@ test:
 
 race:
 	go test -race $(RACE_PKGS)
-	go test -race -run 'TestElastic|TestMixedPrecision' ./internal/train/
+	go test -race -run 'TestElastic|TestMixedPrecision|TestHealthLedgerGolden|TestHealthDivergence' ./internal/train/
 
 vet:
 	go vet ./...
@@ -72,6 +72,14 @@ elastic-smoke:
 fp16-smoke:
 	./scripts/fp16_smoke.sh
 
+# health-smoke drives the training-health plane end to end: a healthy
+# run stays sentinel-silent with a byte-deterministic ledger, a
+# blown-LR run trips the divergence sentinels with provenance and
+# dumps the flight window, and the seg-compare health gate hard-fails
+# the diverged candidate.
+health-smoke:
+	./scripts/health_smoke.sh
+
 # bench-json regenerates the committed performance baseline (full
 # timing iterations). Run it on kernel or allocation-path changes and
 # commit the result; docs/PERFORMANCE.md explains how to read it.
@@ -92,4 +100,4 @@ cover:
 		if (t+0 < f+0) { printf "FAIL: coverage %.1f%% below floor %.1f%%\n", t, f; exit 1 } \
 		printf "coverage %.1f%% >= floor %.1f%%\n", t, f }'
 
-ci: build lint test race fuzz-smoke trace-smoke chaos-smoke obs-smoke attr-smoke elastic-smoke fp16-smoke bench-check cover
+ci: build lint test race fuzz-smoke trace-smoke chaos-smoke obs-smoke attr-smoke elastic-smoke fp16-smoke health-smoke bench-check cover

@@ -11,6 +11,7 @@
 //	           [-trace trace.json] [-prom metrics.prom]
 //	           [-obs-addr 127.0.0.1:6060] [-flight flight.json]
 //	           [-slo 0.92] [-runs-dir results/runs] [-attr-out ledger.json]
+//	           [-health] [-health-out health.jsonl]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"sync"
 	"time"
 
 	"segscale/internal/segdata"
@@ -60,6 +62,9 @@ func main() {
 	slo := flag.Float64("slo", summitseg.DefaultSLO, "scaling-efficiency objective for the online monitor")
 	runsDir := flag.String("runs-dir", "", "write a run manifest (config, seed, chaos, final efficiency, alerts) under this directory (empty = off)")
 	attrOut := flag.String("attr-out", "", "decompose each rank's recorded step spans into the attribution ledger and write it to this file (seg-compare's input)")
+	healthOn := flag.Bool("health", false, "collect the training-health plane: per-layer gradient/activation statistics with divergence sentinels (served on /debug/health when -obs-addr is set)")
+	healthOut := flag.String("health-out", "", "write the per-run health ledger (deterministic JSONL, seg-compare's input) to this file; implies -health")
+	healthEvery := flag.Int("health-every", 1, "with -health, collect statistics every N-th step")
 	flag.Parse()
 
 	if *fp16 {
@@ -105,6 +110,39 @@ func main() {
 		flight = cfg.Telemetry.EnableFlight(0)
 		mon = summitseg.NewEffMonitor(cfg.Telemetry, summitseg.MonitorConfig{SLO: *slo})
 	}
+	// Training-health plane: a pure observer of the train step. A
+	// sentinel trip is routed into the efficiency monitor's alert log
+	// and (once per run, while the window still shows the divergence)
+	// dumps the flight recorder naming the offending layer/rank/step.
+	var health *summitseg.HealthPlane
+	if *healthOn || *healthOut != "" {
+		healthDump := ""
+		if *flightOut != "" {
+			healthDump = *flightOut + ".health"
+		}
+		var dumpOnce sync.Once
+		health = summitseg.NewHealthPlane(summitseg.HealthConfig{
+			Every: *healthEvery,
+			OnAlert: func(a summitseg.HealthAlert) {
+				mon.Report(summitseg.ObsAlert{
+					Kind: "health_" + a.Kind, Lane: fmt.Sprintf("rank%d", a.Rank),
+					Value: a.Value, Threshold: a.Threshold, Msg: a.Msg,
+				})
+				dumpOnce.Do(func() {
+					log.Printf("health alert: %s", a.Msg)
+					if healthDump == "" {
+						return
+					}
+					if err := summitseg.WriteFlightTrace(flight, healthDump); err != nil {
+						log.Printf("flight: %v", err)
+					} else {
+						fmt.Printf("flight: divergence window written to %s\n", healthDump)
+					}
+				})
+			},
+		})
+		cfg.Health = health
+	}
 	if *promOut != "" && *promEvery > 0 {
 		flusher = summitseg.NewPromFlusher(cfg.Telemetry, *promOut, *promEvery)
 	}
@@ -120,7 +158,7 @@ func main() {
 	}
 	if *obsAddr != "" {
 		srv = summitseg.NewObsServer(summitseg.ObsServerOptions{
-			Addr: *obsAddr, Telemetry: cfg.Telemetry, Monitor: mon})
+			Addr: *obsAddr, Telemetry: cfg.Telemetry, Monitor: mon, Health: health})
 		url, err := srv.Start()
 		if err != nil {
 			log.Fatal(err)
@@ -211,6 +249,22 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("attribution ledger written to %s\n", *attrOut)
+	}
+	if health != nil {
+		alerts := health.Alerts()
+		trips := len(alerts) + health.DroppedAlerts()
+		fmt.Printf("health: %d ledger rows, %d sentinel trip(s)\n", len(health.Rows()), trips)
+		if len(alerts) > 0 {
+			a := alerts[0]
+			fmt.Printf("health: first trip %s at layer %s rank %d step %d inc %d\n",
+				a.Kind, a.Layer, a.Rank, a.Step, a.Inc)
+		}
+		if *healthOut != "" {
+			if err := summitseg.WriteHealthLedger(health, *healthOut); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("health ledger written to %s\n", *healthOut)
+		}
 	}
 	if *promOut != "" {
 		// Atomic final flush (and surface any periodic-flush error).

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"segscale/internal/modelhealth"
+)
+
+// mkHealth builds a deterministic health ledger: `steps` steps × 2
+// ranks × 2 layers of grad rows plus one act row per (step, rank).
+// scale multiplies gradient norms (and so update ratios); nonfinite
+// poisons one row per step when set.
+func mkHealth(steps int, scale float64, nonfinite bool) *modelhealth.Ledger {
+	l := &modelhealth.Ledger{Header: modelhealth.Header{HealthSchema: modelhealth.LedgerSchema, World: 2}}
+	for s := int64(0); s < int64(steps); s++ {
+		wobble := 1 + 0.02*float64(s%4)
+		for r := 0; r < 2; r++ {
+			l.Rows = append(l.Rows, modelhealth.Row{
+				Step: s, Rank: r, Kind: "act", Layer: "entry.relu",
+				Mean: 0.4 * wobble, Std: 0.7, DeadFrac: 0.3 * wobble,
+			})
+			for _, layer := range []string{"entry.conv", "head.conv"} {
+				row := modelhealth.Row{
+					Step: s, Rank: r, Kind: "grad", Layer: layer,
+					GradL2: 0.5 * wobble * scale, WeightL2: 2,
+					UpdRatio: 0.01 * wobble * scale,
+				}
+				if nonfinite && layer == "head.conv" && r == 0 {
+					row.NonFinite = 1
+				}
+				l.Rows = append(l.Rows, row)
+			}
+		}
+	}
+	l.Header.Rows = len(l.Rows)
+	l.Header.LastStep = int64(steps - 1)
+	if nonfinite {
+		l.Header.Alerts = steps
+	}
+	return l
+}
+
+// writeHealth serialises the ledger as header + row JSONL lines — the
+// rows are already built in sorted order, so the bytes match what
+// Plane.WriteLedger emits.
+func writeHealth(t *testing.T, dir, name string, l *modelhealth.Ledger) string {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(l.Header); err != nil {
+		t.Fatal(err)
+	}
+	for i := range l.Rows {
+		if err := enc.Encode(&l.Rows[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareIdenticalHealthPasses(t *testing.T) {
+	dir := t.TempDir()
+	a := writeHealth(t, dir, "a.jsonl", mkHealth(8, 1, false))
+	b := writeHealth(t, dir, "b.jsonl", mkHealth(8, 1, false))
+	var out bytes.Buffer
+	code, err := run([]string{a, b}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("identical health ledgers exit %d\n%s", code, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"health diff", "grad_l2", "upd_ratio", "dead_frac", "no regression"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCompareHealthFlagsBlownGradients(t *testing.T) {
+	dir := t.TempDir()
+	base := writeHealth(t, dir, "base.jsonl", mkHealth(8, 1, false))
+	cand := writeHealth(t, dir, "cand.jsonl", mkHealth(8, 5, false))
+	var out bytes.Buffer
+	code, err := run([]string{base, cand}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("5x gradient norms: code %d\n%s", code, out.String())
+	}
+}
+
+// The gate is two-sided: collapsed gradients regress just like blown
+// ones — an fp16 wire that flushes the signal to zero must not pass.
+func TestCompareHealthFlagsCollapsedGradients(t *testing.T) {
+	dir := t.TempDir()
+	base := writeHealth(t, dir, "base.jsonl", mkHealth(8, 1, false))
+	cand := writeHealth(t, dir, "cand.jsonl", mkHealth(8, 0.1, false))
+	var out bytes.Buffer
+	code, err := run([]string{base, cand}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("collapsed gradient norms: code %d\n%s", code, out.String())
+	}
+}
+
+func TestCompareHealthNonFiniteIsHardRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeHealth(t, dir, "base.jsonl", mkHealth(8, 1, false))
+	cand := writeHealth(t, dir, "cand.jsonl", mkHealth(8, 1, true))
+	var out bytes.Buffer
+	code, err := run([]string{base, cand}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if code != 1 || !strings.Contains(s, "HARD REGRESSION") {
+		t.Fatalf("non-finite candidate: code %d\n%s", code, s)
+	}
+	// Both hard gates fire: non-finite elements and sentinel trips.
+	if !strings.Contains(s, "non-finite") || !strings.Contains(s, "sentinel") {
+		t.Fatalf("hard-gate reasons missing:\n%s", s)
+	}
+	// The reverse direction (candidate cleaned up) passes.
+	out.Reset()
+	code, err = run([]string{cand, base}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("recovered candidate flagged: code %d\n%s", code, out.String())
+	}
+}
+
+func TestValidateHealthLedger(t *testing.T) {
+	dir := t.TempDir()
+	good := writeHealth(t, dir, "good.jsonl", mkHealth(2, 1, false))
+	var out bytes.Buffer
+	code, err := run([]string{"-validate", good}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("valid health ledger: code %d err %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "health schema") {
+		t.Fatalf("validate verdict did not name the health schema:\n%s", out.String())
+	}
+
+	// Break the row ordering: validation must fail.
+	data := readFile(t, good)
+	lines := strings.Split(strings.TrimSpace(data), "\n")
+	lines[1], lines[len(lines)-1] = lines[len(lines)-1], lines[1]
+	bad := filepath.Join(dir, "bad.jsonl")
+	writeStr(t, bad, strings.Join(lines, "\n")+"\n")
+	out.Reset()
+	code, err = run([]string{"-validate", bad}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "INVALID") {
+		t.Fatalf("out-of-order health ledger: code %d\n%s", code, out.String())
+	}
+}
+
+func TestMixedHealthAndAttributionRejected(t *testing.T) {
+	dir := t.TempDir()
+	health := writeHealth(t, dir, "h.jsonl", mkHealth(2, 1, false))
+	attr := writeLedger(t, dir, "a.json", mkLedger(2, 1))
+	if _, err := run([]string{health, attr}, &bytes.Buffer{}); err == nil {
+		t.Fatal("mixed health/attribution compare accepted")
+	}
+}
+
+func TestCompareHealthIsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	base := writeHealth(t, dir, "base.jsonl", mkHealth(8, 1, false))
+	cand := writeHealth(t, dir, "cand.jsonl", mkHealth(8, 1.5, false))
+	var a, b bytes.Buffer
+	if _, err := run([]string{base, cand}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run([]string{base, cand}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same inputs produced different health reports")
+	}
+}

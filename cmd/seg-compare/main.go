@@ -1,30 +1,41 @@
 // Command seg-compare is the run-comparison regression gate: it diffs
 // two runs' artifacts — step-time attribution ledgers (summit-sim
-// -attr-out, dlv3-train -attr-out, a /debug/attribution scrape) or run
-// manifests from results/runs/ — and exits nonzero when the candidate
-// regresses against the baseline. The test is deterministic: given the
-// same two files it always renders the same report and verdict, so it
-// can gate CI.
+// -attr-out, dlv3-train -attr-out, a /debug/attribution scrape), run
+// manifests from results/runs/, or training-health ledgers (dlv3-train
+// -health-out, a /debug/health scrape's backing plane) — and exits
+// nonzero when the candidate regresses against the baseline. The test
+// is deterministic: given the same two files it always renders the
+// same report and verdict, so it can gate CI.
 //
 // Usage:
 //
 //	seg-compare [-rel 0.05] [-z 3] [-min-abs 1e-4] baseline.json candidate.json
 //	seg-compare -validate ledger.json
 //
-// For ledgers, every bucket's per-row samples are compared with a
-// two-sample z-test on top of a relative-delta threshold: a bucket
-// regresses only when it got slower by more than -rel, by more than
-// -min-abs seconds, and the shift clears -z pooled standard errors —
-// noise-sized wobbles pass, straggler-sized shifts fail. The report
-// also names each run's most-blamed rank, so a failing diff points at
-// who to go look at.
+// For attribution ledgers, every bucket's per-row samples are compared
+// with a two-sample z-test on top of a relative-delta threshold: a
+// bucket regresses only when it got slower by more than -rel, by more
+// than -min-abs seconds, and the shift clears -z pooled standard
+// errors — noise-sized wobbles pass, straggler-sized shifts fail. The
+// report also names each run's most-blamed rank, so a failing diff
+// points at who to go look at.
 //
-// -validate checks a single ledger's structural invariants (schema,
-// rank bounds, non-negative buckets summing to each row's step wall)
-// and exits nonzero on violation — the smoke tests' JSON-schema gate.
+// For health ledgers the gate works on gradient-health distributions
+// instead of time: per-run grad_l2 / upd_ratio / dead_frac samples are
+// z-tested the same way (two-sided — a fp16 or hierarchical-allreduce
+// candidate must neither blow up nor collapse gradients relative to
+// the fp32/flat baseline), and any increase in non-finite elements or
+// sentinel trips is a hard regression regardless of thresholds.
+//
+// -validate checks a single ledger's structural invariants — schema,
+// rank bounds, non-negative buckets summing to each row's step wall
+// (attribution) or (step, rank, inc, kind, layer) row order and value
+// sanity (health) — and exits nonzero on violation: the smoke tests'
+// JSON-schema gate.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +44,7 @@ import (
 	"math"
 	"os"
 
+	"segscale/internal/modelhealth"
 	"segscale/internal/traceanalysis"
 )
 
@@ -78,6 +90,8 @@ func run(args []string, stdout io.Writer) (int, error) {
 	switch {
 	case base.ledger != nil && cand.ledger != nil:
 		return compareLedgers(stdout, base, cand, *rel, *zThresh, *minAbs), nil
+	case base.health != nil && cand.health != nil:
+		return compareHealth(stdout, base, cand, *rel, *zThresh), nil
 	case base.manifest != nil && cand.manifest != nil:
 		return compareManifests(stdout, base, cand, *rel), nil
 	default:
@@ -87,12 +101,25 @@ func run(args []string, stdout io.Writer) (int, error) {
 }
 
 func runValidate(path string, stdout io.Writer) (int, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, err
 	}
-	defer f.Close()
-	l, err := traceanalysis.ReadLedger(f)
+	if sniffHealth(data) {
+		hl, err := modelhealth.ReadLedger(bytes.NewReader(data))
+		if err == nil {
+			err = hl.Validate()
+		}
+		if err != nil {
+			// Validation failures are the tool's verdict, not its malfunction.
+			fmt.Fprintf(stdout, "INVALID %s: %v\n", path, err)
+			return 1, nil
+		}
+		fmt.Fprintf(stdout, "OK %s: health schema %d, world %d, %d rows through step %d, %d alert(s)\n",
+			path, hl.Header.HealthSchema, hl.Header.World, len(hl.Rows), hl.Header.LastStep, hl.Header.Alerts)
+		return 0, nil
+	}
+	l, err := traceanalysis.ReadLedger(bytes.NewReader(data))
 	if err != nil {
 		// Validation failures are the tool's verdict, not its malfunction.
 		fmt.Fprintf(stdout, "INVALID %s: %v\n", path, err)
@@ -103,19 +130,38 @@ func runValidate(path string, stdout io.Writer) (int, error) {
 	return 0, nil
 }
 
-// artifact is one loaded input file: exactly one of ledger/manifest is
-// set.
+// sniffHealth reports whether data's first JSON value carries a
+// health_schema field — the health ledger's JSONL header. A Decoder
+// reads only the first value, so the trailing row lines (invalid as a
+// single JSON document) do not break the probe.
+func sniffHealth(data []byte) bool {
+	var probe struct {
+		HealthSchema *int `json:"health_schema"`
+	}
+	if err := json.NewDecoder(bytes.NewReader(data)).Decode(&probe); err != nil {
+		return false
+	}
+	return probe.HealthSchema != nil
+}
+
+// artifact is one loaded input file: exactly one of
+// ledger/health/manifest is set.
 type artifact struct {
 	path     string
 	ledger   *traceanalysis.Ledger
+	health   *modelhealth.Ledger
 	manifest *manifest
 }
 
 func (a artifact) kind() string {
-	if a.ledger != nil {
+	switch {
+	case a.ledger != nil:
 		return "ledger"
+	case a.health != nil:
+		return "health ledger"
+	default:
+		return "manifest"
 	}
-	return "manifest"
 }
 
 // manifest mirrors the fields of obs.Manifest this tool diffs; decoded
@@ -130,21 +176,33 @@ type manifest struct {
 	Restarts        int     `json:"restarts"`
 }
 
-// load sniffs the artifact kind: manifests carry "tool", ledgers carry
-// "schema" + "steps".
+// load sniffs the artifact kind: manifests carry "tool", attribution
+// ledgers carry "schema", health ledgers open with a "health_schema"
+// header line. The probe decodes only the first JSON value so JSONL
+// health ledgers sniff the same way single-object artifacts do.
 func load(path string) (artifact, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return artifact{}, err
 	}
 	var probe struct {
-		Tool   string `json:"tool"`
-		Schema *int   `json:"schema"`
+		Tool         string `json:"tool"`
+		Schema       *int   `json:"schema"`
+		HealthSchema *int   `json:"health_schema"`
 	}
-	if err := json.Unmarshal(data, &probe); err != nil {
+	if err := json.NewDecoder(bytes.NewReader(data)).Decode(&probe); err != nil {
 		return artifact{}, fmt.Errorf("%s: %w", path, err)
 	}
 	switch {
+	case probe.HealthSchema != nil:
+		hl, err := modelhealth.ReadLedger(bytes.NewReader(data))
+		if err != nil {
+			return artifact{}, fmt.Errorf("%s: %w", path, err)
+		}
+		if err := hl.Validate(); err != nil {
+			return artifact{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return artifact{path: path, health: hl}, nil
 	case probe.Tool != "":
 		var m manifest
 		if err := json.Unmarshal(data, &m); err != nil {
@@ -161,7 +219,7 @@ func load(path string) (artifact, error) {
 		}
 		return artifact{path: path, ledger: &l}, nil
 	default:
-		return artifact{}, fmt.Errorf("%s: neither a run manifest nor an attribution ledger", path)
+		return artifact{}, fmt.Errorf("%s: not a run manifest, attribution ledger, or health ledger", path)
 	}
 }
 
@@ -275,6 +333,85 @@ func blameLine(l *traceanalysis.Ledger) string {
 		return "no rank blamed"
 	}
 	return fmt.Sprintf("rank %d blamed most (%d/%d rows)", best, bestN, len(l.Steps))
+}
+
+// healthSamples pulls one metric's per-row samples out of a health
+// ledger: grad rows feed grad_l2 and upd_ratio, act rows feed
+// dead_frac.
+func healthSamples(l *modelhealth.Ledger, kind string, field func(modelhealth.Row) float64) []float64 {
+	out := make([]float64, 0, len(l.Rows))
+	for _, r := range l.Rows {
+		if r.Kind == kind {
+			out = append(out, field(r))
+		}
+	}
+	return out
+}
+
+func healthNonFinite(l *modelhealth.Ledger) int {
+	n := 0
+	for _, r := range l.Rows {
+		n += r.NonFinite
+	}
+	return n
+}
+
+// compareHealth gates on gradient-health distributions. Unlike the
+// attribution diff (where only slower is worse), the health gate is
+// two-sided: a candidate whose gradient norms collapsed is as suspect
+// as one whose norms exploded — either means the fp16 or hierarchical
+// path is not computing the same optimisation trajectory. Non-finite
+// elements and sentinel trips may not increase at all.
+func compareHealth(w io.Writer, base, cand artifact, rel, zThresh float64) int {
+	b, c := base.health, cand.health
+	fmt.Fprintf(w, "health diff: %s (%d rows) -> %s (%d rows)\n\n",
+		base.path, len(b.Rows), cand.path, len(c.Rows))
+	fmt.Fprintf(w, "%-20s %12s %12s %10s %8s %8s  %s\n",
+		"metric", "base mean", "cand mean", "delta", "rel", "z", "verdict")
+
+	regressions := 0
+	row := func(name string, bs, cs stats) {
+		d := cs.mean - bs.mean
+		relD := 0.0
+		if bs.mean != 0 {
+			relD = d / bs.mean
+		} else if d != 0 {
+			relD = math.Inf(sign(d))
+		}
+		z := zScore(bs, cs)
+		verdict := "ok"
+		if math.Abs(d) > 0 && math.Abs(relD) > rel && math.Abs(z) > zThresh {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-20s %12.6f %12.6f %+10.6f %+7.1f%% %8.1f  %s\n",
+			name, bs.mean, cs.mean, d, 100*relD, z, verdict)
+	}
+	gradL2 := func(r modelhealth.Row) float64 { return r.GradL2 }
+	updRatio := func(r modelhealth.Row) float64 { return r.UpdRatio }
+	deadFrac := func(r modelhealth.Row) float64 { return r.DeadFrac }
+	row("grad_l2", summarize(healthSamples(b, "grad", gradL2)), summarize(healthSamples(c, "grad", gradL2)))
+	row("upd_ratio", summarize(healthSamples(b, "grad", updRatio)), summarize(healthSamples(c, "grad", updRatio)))
+	row("dead_frac", summarize(healthSamples(b, "act", deadFrac)), summarize(healthSamples(c, "act", deadFrac)))
+
+	bNF, cNF := healthNonFinite(b), healthNonFinite(c)
+	fmt.Fprintf(w, "\nnonfinite elements: %d -> %d\n", bNF, cNF)
+	fmt.Fprintf(w, "sentinel trips:     %d -> %d\n", b.Header.Alerts, c.Header.Alerts)
+	if cNF > bNF {
+		fmt.Fprintf(w, "HARD REGRESSION: candidate introduced %d non-finite gradient/activation elements\n", cNF-bNF)
+		regressions++
+	}
+	if c.Header.Alerts > b.Header.Alerts {
+		fmt.Fprintf(w, "HARD REGRESSION: candidate tripped %d more sentinel(s) than baseline\n",
+			c.Header.Alerts-b.Header.Alerts)
+		regressions++
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\nRESULT: %d health metric(s) regressed\n", regressions)
+		return 1
+	}
+	fmt.Fprintf(w, "\nRESULT: no regression\n")
+	return 0
 }
 
 func compareManifests(w io.Writer, base, cand artifact, rel float64) int {

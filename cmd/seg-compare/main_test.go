@@ -202,7 +202,7 @@ func TestLoadAndUsageErrors(t *testing.T) {
 
 	neither := filepath.Join(dir, "neither.json")
 	os.WriteFile(neither, []byte("{}"), 0o644)
-	if _, err := load(neither); err == nil || !strings.Contains(err.Error(), "neither") {
+	if _, err := load(neither); err == nil || !strings.Contains(err.Error(), "not a run manifest") {
 		t.Errorf("kind sniffing on {}: %v", err)
 	}
 

@@ -20,6 +20,11 @@
 //	                                 # whose baseline ran at a different
 //	                                 # GOMAXPROCS are skipped, not compared.
 //
+// Every entry pins its own GOMAXPROCS — serial kernels at 1, the _mp4
+// variants at 4 — so the committed baseline is comparable on any
+// runner shape and -check gates both the serial and the parallel
+// paths instead of skipping whichever the machine doesn't match.
+//
 // Benchmark keys and shapes are identical in both modes — -fast only
 // reduces timing iterations — so a -fast run is always comparable to a
 // full-mode baseline on everything -check enforces.
@@ -50,7 +55,14 @@ import (
 // set changes incompatibly; -check refuses to compare across versions.
 // v2: per-entry gomaxprocs.
 // v3: fp16 encode/decode wire-cast kernels.
-const schemaVersion = 3
+// v4: serial entries pinned to GOMAXPROCS=1, _mp4 entries pinned to 4.
+const schemaVersion = 4
+
+// mpProcs is the parallelism the _mp4 entries pin. Four workers is
+// enough to exercise the tensor.Parallel fan-out path (closure +
+// goroutine per worker per launch) without depending on the runner's
+// core count.
+const mpProcs = 4
 
 // Entry is one benchmark's measurements.
 type Entry struct {
@@ -75,14 +87,33 @@ type Report struct {
 	Derived    map[string]float64 `json:"derived"`
 }
 
+// withProcs pins GOMAXPROCS around one benchmark and restores it.
+// Pinning is what makes the committed baseline machine-independent:
+// every entry runs at its recorded parallelism regardless of the
+// runner's core count, so -check compares instead of skipping.
+func withProcs(procs int, fn func() Entry) Entry {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	return fn()
+}
+
 // bench times fn over iters runs (after one untimed warmup) and counts
-// steady-state allocations. testing.AllocsPerRun pins GOMAXPROCS to 1
-// for its measurement, which is exactly what makes the counts
-// machine-independent and therefore CI-comparable; the timing loop
-// runs at ambient GOMAXPROCS.
+// steady-state allocations at the pinned GOMAXPROCS. At one proc the
+// count comes from testing.AllocsPerRun — exact and machine-
+// independent. At higher parallelism AllocsPerRun would pin back to 1
+// and miss the very thing the _mp4 entries exist to pin (per-launch
+// closures and goroutine spawns in tensor.Parallel), so the parallel
+// count is a Mallocs delta averaged over several runs; check() gives
+// those entries proportional slack because goroutine-stack reuse makes
+// the count approximate, not exact.
 func bench(iters int, fn func()) Entry {
 	fn() // warmup: grow arenas, fault in scratch pools
-	allocs := testing.AllocsPerRun(1, fn)
+	var allocs float64
+	if runtime.GOMAXPROCS(0) == 1 {
+		allocs = testing.AllocsPerRun(1, fn)
+	} else {
+		allocs = allocsParallel(fn)
+	}
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		fn()
@@ -92,6 +123,22 @@ func bench(iters int, fn func()) Entry {
 		AllocsPerOp: allocs,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 	}
+}
+
+// allocsParallel measures steady-state allocations without changing
+// GOMAXPROCS: one extra warmup run to populate the goroutine free
+// list, then a Mallocs delta averaged over a batch of runs.
+func allocsParallel(fn func()) float64 {
+	const runs = 10
+	fn()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / runs
 }
 
 // matmulDims is the DeepLab-head GEMM the tentpole kernel is judged
@@ -261,20 +308,39 @@ func run(fast bool) *Report {
 		Benchmarks: map[string]Entry{},
 		Derived:    map[string]float64{},
 	}
-	r.Benchmarks["matmul_tiled_256x2304x1089"] = benchMatmul(iters, true)
-	r.Benchmarks["matmul_ref_256x2304x1089"] = benchMatmul(iters, false)
-	r.Benchmarks["conv2d_fwd_ws"] = benchConv(iters, false)
-	r.Benchmarks["conv2d_bwd_ws"] = benchConv(iters, true)
-	r.Benchmarks["train_step_rank0"] = benchTrainStep(iters)
-	r.Benchmarks["perfsim_132gpu"] = benchPerfsim(iters)
-	r.Benchmarks["perfsim_1056gpu_hier"] = benchPerfsimHier(iters)
-	r.Benchmarks["fp16_encode_4m"] = benchFP16Encode(iters)
-	r.Benchmarks["fp16_decode_4m"] = benchFP16Decode(iters)
+	r.Benchmarks["matmul_tiled_256x2304x1089"] = withProcs(1, func() Entry { return benchMatmul(iters, true) })
+	r.Benchmarks["matmul_ref_256x2304x1089"] = withProcs(1, func() Entry { return benchMatmul(iters, false) })
+	r.Benchmarks["conv2d_fwd_ws"] = withProcs(1, func() Entry { return benchConv(iters, false) })
+	r.Benchmarks["conv2d_bwd_ws"] = withProcs(1, func() Entry { return benchConv(iters, true) })
+	r.Benchmarks["train_step_rank0"] = withProcs(1, func() Entry { return benchTrainStep(iters) })
+	r.Benchmarks["perfsim_132gpu"] = withProcs(1, func() Entry { return benchPerfsim(iters) })
+	r.Benchmarks["perfsim_1056gpu_hier"] = withProcs(1, func() Entry { return benchPerfsimHier(iters) })
+	r.Benchmarks["fp16_encode_4m"] = withProcs(1, func() Entry { return benchFP16Encode(iters) })
+	r.Benchmarks["fp16_decode_4m"] = withProcs(1, func() Entry { return benchFP16Decode(iters) })
+
+	// Multi-core variants of the kernels with a tensor.Parallel fan-out
+	// path. These pin the parallel path's allocation shape (closures and
+	// goroutine spawns per launch) alongside the serial entries' exact
+	// zero/low counts.
+	r.Benchmarks["matmul_tiled_256x2304x1089_mp4"] = withProcs(mpProcs, func() Entry { return benchMatmul(iters, true) })
+	r.Benchmarks["matmul_ref_256x2304x1089_mp4"] = withProcs(mpProcs, func() Entry { return benchMatmul(iters, false) })
+	r.Benchmarks["conv2d_fwd_ws_mp4"] = withProcs(mpProcs, func() Entry { return benchConv(iters, false) })
+	r.Benchmarks["conv2d_bwd_ws_mp4"] = withProcs(mpProcs, func() Entry { return benchConv(iters, true) })
+	r.Benchmarks["train_step_rank0_mp4"] = withProcs(mpProcs, func() Entry { return benchTrainStep(iters) })
 
 	r.Derived["matmul_speedup_vs_ref"] =
 		r.Benchmarks["matmul_ref_256x2304x1089"].NsPerOp /
 			r.Benchmarks["matmul_tiled_256x2304x1089"].NsPerOp
 	r.Derived["train_allocs_per_step"] = r.Benchmarks["train_step_rank0"].AllocsPerOp
+	// Parallel speedups are advisory like all timings: on a single-core
+	// runner they sit near 1.0; a multi-core regeneration pins the real
+	// fan-out win.
+	r.Derived["matmul_tiled_mp4_speedup"] =
+		r.Benchmarks["matmul_tiled_256x2304x1089"].NsPerOp /
+			r.Benchmarks["matmul_tiled_256x2304x1089_mp4"].NsPerOp
+	r.Derived["train_step_mp4_speedup"] =
+		r.Benchmarks["train_step_rank0"].NsPerOp /
+			r.Benchmarks["train_step_rank0_mp4"].NsPerOp
 	return r
 }
 
@@ -321,7 +387,14 @@ func check(cur *Report, baselinePath string) error {
 				name, b.GOMAXPROCS, c.GOMAXPROCS)
 			continue
 		}
-		if c.AllocsPerOp > b.AllocsPerOp+allocSlack {
+		slack := float64(allocSlack)
+		if b.GOMAXPROCS > 1 {
+			// Parallel entries count goroutine spawns, which depend on
+			// free-list state; their gate is proportional, catching a
+			// leaked-per-launch allocation but not scheduler noise.
+			slack += 0.25 * b.AllocsPerOp
+		}
+		if c.AllocsPerOp > b.AllocsPerOp+slack {
 			failed = true
 			fmt.Fprintf(os.Stderr, "FAIL %s: allocs/op %.0f, baseline %.0f\n",
 				name, c.AllocsPerOp, b.AllocsPerOp)

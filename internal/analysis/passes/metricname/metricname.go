@@ -3,7 +3,7 @@
 //
 // Every metric registered through telemetry's Probe or Registry
 // (Counter, Gauge, Histogram) must be named in snake_case and end in
-// a unit suffix (_seconds, _bytes, _total, _ratio, _ops, _events).
+// a unit suffix (_seconds, _bytes, _total, _ratio, _ops, _events, _norm).
 // The registry already panics on a bad name at runtime, but an
 // instrumented path that only fires under an optional collector can
 // hide a bad name until production; this pass moves the failure to
@@ -44,7 +44,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "metricname",
 	Doc: "require metric names at telemetry Counter/Gauge/Histogram registration " +
 		"sites to be compile-time constants in snake_case with a unit suffix " +
-		"(_seconds, _bytes, _total, _ratio, _ops, _events)",
+		"(_seconds, _bytes, _total, _ratio, _ops, _events, _norm)",
 	Run: run,
 }
 

@@ -88,10 +88,10 @@ func sepConv(rng *rand.Rand, name string, inC, outC, stride, dilation int) *nn.S
 		nn.NewConv2D(rng, name+".dw", inC, inC, 3,
 			tensor.ConvSpec{Stride: stride, Pad: pad, Dilation: dilation, Groups: inC}, false),
 		nn.NewBatchNorm2D(name+".dwbn", inC),
-		&nn.ReLU{},
+		&nn.ReLU{Label: name + ".dw.relu"},
 		nn.NewConv2D(rng, name+".pw", inC, outC, 1, tensor.ConvSpec{}, false),
 		nn.NewBatchNorm2D(name+".pwbn", outC),
-		&nn.ReLU{},
+		&nn.ReLU{Label: name + ".pw.relu"},
 	)
 }
 
@@ -161,6 +161,13 @@ func (b *xblock) SetWorkspace(ws *tensor.Workspace) {
 	}
 }
 
+func (b *xblock) SetActivationTap(tap nn.ActivationTap) {
+	b.body.SetActivationTap(tap)
+	if s, ok := b.shortcut.(nn.ActivationTapUser); ok {
+		s.SetActivationTap(tap)
+	}
+}
+
 // aspp is the Atrous Spatial Pyramid Pooling head: a 1×1 branch,
 // three atrous 3×3 branches, and an image-pooling branch, concatenated
 // and projected.
@@ -189,12 +196,22 @@ func (a *aspp) SetWorkspace(ws *tensor.Workspace) {
 	a.dropout.SetWorkspace(ws)
 }
 
+func (a *aspp) SetActivationTap(tap nn.ActivationTap) {
+	for _, b := range a.branches {
+		if u, ok := b.(nn.ActivationTapUser); ok {
+			u.SetActivationTap(tap)
+		}
+	}
+	a.poolConv.SetActivationTap(tap)
+	a.project.SetActivationTap(tap)
+}
+
 func newASPP(rng *rand.Rand, inC, branchC, outC int, rates [3]int, drop float64) *aspp {
 	a := &aspp{branchC: branchC}
 	a.branches = append(a.branches, nn.NewSequential(
 		nn.NewConv2D(rng, "aspp.b0", inC, branchC, 1, tensor.ConvSpec{}, false),
 		nn.NewBatchNorm2D("aspp.b0bn", branchC),
-		&nn.ReLU{},
+		&nn.ReLU{Label: "aspp.b0.relu"},
 	))
 	for i, r := range rates {
 		name := fmt.Sprintf("aspp.b%d", i+1)
@@ -202,17 +219,17 @@ func newASPP(rng *rand.Rand, inC, branchC, outC int, rates [3]int, drop float64)
 			nn.NewConv2D(rng, name, inC, branchC, 3,
 				tensor.ConvSpec{Pad: tensor.SamePad(3, r), Dilation: r}, false),
 			nn.NewBatchNorm2D(name+"bn", branchC),
-			&nn.ReLU{},
+			&nn.ReLU{Label: name + ".relu"},
 		))
 	}
 	a.poolConv = nn.NewSequential(
 		nn.NewConv2D(rng, "aspp.pool", inC, branchC, 1, tensor.ConvSpec{}, true),
-		&nn.ReLU{},
+		&nn.ReLU{Label: "aspp.pool.relu"},
 	)
 	a.project = nn.NewSequential(
 		nn.NewConv2D(rng, "aspp.proj", branchC*5, outC, 1, tensor.ConvSpec{}, false),
 		nn.NewBatchNorm2D("aspp.projbn", outC),
-		&nn.ReLU{},
+		&nn.ReLU{Label: "aspp.proj.relu"},
 	)
 	a.dropout = &nn.Dropout2D{P: drop, Seed: rng.Int63()}
 	return a
@@ -312,6 +329,21 @@ func (m *Model) SetWorkspace(ws *tensor.Workspace) {
 	m.classifier.SetWorkspace(ws)
 }
 
+// SetActivationTap implements Segmenter: every labelled activation in
+// the network reports its training-mode outputs to tap.
+func (m *Model) SetActivationTap(tap nn.ActivationTap) {
+	m.entry.SetActivationTap(tap)
+	m.down.SetActivationTap(tap)
+	for _, b := range m.deep {
+		b.SetActivationTap(tap)
+	}
+	m.head.SetActivationTap(tap)
+	if !m.Cfg.NoDecoder {
+		m.decLow.SetActivationTap(tap)
+		m.decoder.SetActivationTap(tap)
+	}
+}
+
 // New constructs the model with deterministic initialisation.
 func New(cfg Config) *Model {
 	cfg.validate()
@@ -322,7 +354,7 @@ func New(cfg Config) *Model {
 	m.entry = nn.NewSequential(
 		nn.NewConv2D(rng, "entry", 3, w, 3, tensor.ConvSpec{Stride: 2, Pad: 1}, false),
 		nn.NewBatchNorm2D("entrybn", w),
-		&nn.ReLU{},
+		&nn.ReLU{Label: "entry.relu"},
 	)
 	m.down = newXBlock(rng, "down", w, 2*w, 2, 1)
 	for i := 0; i < cfg.DeepBlocks; i++ {
@@ -333,15 +365,15 @@ func New(cfg Config) *Model {
 		m.decLow = nn.NewSequential(
 			nn.NewConv2D(rng, "dec.low", w, w/2, 1, tensor.ConvSpec{}, false),
 			nn.NewBatchNorm2D("dec.lowbn", w/2),
-			&nn.ReLU{},
+			&nn.ReLU{Label: "dec.low.relu"},
 		)
 		m.decoder = nn.NewSequential(
 			nn.NewConv2D(rng, "dec.fuse1", 2*w+w/2, 2*w, 3, tensor.ConvSpec{Pad: 1}, false),
 			nn.NewBatchNorm2D("dec.fuse1bn", 2*w),
-			&nn.ReLU{},
+			&nn.ReLU{Label: "dec.fuse1.relu"},
 			nn.NewConv2D(rng, "dec.fuse2", 2*w, 2*w, 3, tensor.ConvSpec{Pad: 1}, false),
 			nn.NewBatchNorm2D("dec.fuse2bn", 2*w),
-			&nn.ReLU{},
+			&nn.ReLU{Label: "dec.fuse2.relu"},
 		)
 	}
 	m.classifier = nn.NewConv2D(rng, "classifier", 2*w, cfg.Classes, 1, tensor.ConvSpec{}, true)

@@ -28,6 +28,10 @@ type Segmenter interface {
 	// and kernel scratch are drawn from. The trainer Resets it at each
 	// step boundary; nil (the default) keeps plain heap allocation.
 	SetWorkspace(ws *tensor.Workspace)
+	// SetActivationTap routes every labelled activation's training-mode
+	// outputs to tap (the model-health plane's per-layer statistics
+	// hook). Nil (the default) disables observation.
+	SetActivationTap(tap nn.ActivationTap)
 }
 
 // FCN is the no-atrous, no-ASPP, no-skip baseline: a plain strided
@@ -47,6 +51,12 @@ func (f *FCN) SetWorkspace(ws *tensor.Workspace) {
 	f.head.SetWorkspace(ws)
 }
 
+// SetActivationTap implements Segmenter.
+func (f *FCN) SetActivationTap(tap nn.ActivationTap) {
+	f.net.SetActivationTap(tap)
+	f.head.SetActivationTap(tap)
+}
+
 // NewFCN builds the baseline at a comparable parameter budget.
 func NewFCN(cfg Config) *FCN {
 	cfg.validate()
@@ -56,16 +66,16 @@ func NewFCN(cfg Config) *FCN {
 	f.net = nn.NewSequential(
 		nn.NewConv2D(rng, "fcn.c1", 3, w, 3, tensor.ConvSpec{Stride: 2, Pad: 1}, false),
 		nn.NewBatchNorm2D("fcn.bn1", w),
-		&nn.ReLU{},
+		&nn.ReLU{Label: "fcn.c1.relu"},
 		nn.NewConv2D(rng, "fcn.c2", w, 2*w, 3, tensor.ConvSpec{Stride: 2, Pad: 1}, false),
 		nn.NewBatchNorm2D("fcn.bn2", 2*w),
-		&nn.ReLU{},
+		&nn.ReLU{Label: "fcn.c2.relu"},
 		nn.NewConv2D(rng, "fcn.c3", 2*w, 2*w, 3, tensor.ConvSpec{Pad: 1}, false),
 		nn.NewBatchNorm2D("fcn.bn3", 2*w),
-		&nn.ReLU{},
+		&nn.ReLU{Label: "fcn.c3.relu"},
 		nn.NewConv2D(rng, "fcn.c4", 2*w, 2*w, 3, tensor.ConvSpec{Pad: 1}, false),
 		nn.NewBatchNorm2D("fcn.bn4", 2*w),
-		&nn.ReLU{},
+		&nn.ReLU{Label: "fcn.c4.relu"},
 	)
 	f.head = nn.NewSequential(
 		nn.NewConv2D(rng, "fcn.cls", 2*w, cfg.Classes, 1, tensor.ConvSpec{}, true),

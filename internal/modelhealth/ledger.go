@@ -1,0 +1,209 @@
+package modelhealth
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// LedgerSchema versions the health-ledger JSONL format.
+const LedgerSchema = 1
+
+// Header is the ledger's first JSONL line. The health_schema field
+// doubles as the format sniff for cmd/seg-compare.
+type Header struct {
+	HealthSchema int   `json:"health_schema"`
+	World        int   `json:"world"`
+	Rows         int   `json:"rows"`
+	Alerts       int   `json:"alerts"`
+	LastStep     int64 `json:"last_step"`
+}
+
+// Ledger is a parsed health ledger.
+type Ledger struct {
+	Header Header
+	Rows   []Row
+}
+
+// sortRows orders rows by (step, rank, inc, kind, layer) — a total
+// order over everything a run can produce, so the serialised ledger
+// is byte-identical across same-seed reruns regardless of goroutine
+// interleaving.
+func sortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Step != b.Step {
+			return a.Step < b.Step
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.Inc != b.Inc {
+			return a.Inc < b.Inc
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Layer < b.Layer
+	})
+}
+
+// WriteLedger serialises the plane's rows as deterministic JSONL: one
+// header line, then one row per line in (step, rank, inc, kind,
+// layer) order.
+func (p *Plane) WriteLedger(w io.Writer) error {
+	rows := p.Rows()
+	sortRows(rows)
+	world := 0
+	var last int64
+	for _, r := range rows {
+		if r.Rank+1 > world {
+			world = r.Rank + 1
+		}
+		if r.Step > last {
+			last = r.Step
+		}
+	}
+	h := Header{
+		HealthSchema: LedgerSchema,
+		World:        world,
+		Rows:         len(rows),
+		Alerts:       len(p.Alerts()) + p.DroppedAlerts(),
+		LastStep:     last,
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(h); err != nil {
+		return err
+	}
+	for i := range rows {
+		if err := enc.Encode(&rows[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLedger parses a health-ledger JSONL stream, validating the
+// schema and the header/row count agreement.
+func ReadLedger(r io.Reader) (*Ledger, error) {
+	dec := json.NewDecoder(r)
+	var h Header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("modelhealth: ledger header: %w", err)
+	}
+	if h.HealthSchema != LedgerSchema {
+		return nil, fmt.Errorf("modelhealth: ledger schema %d, want %d", h.HealthSchema, LedgerSchema)
+	}
+	l := &Ledger{Header: h}
+	for {
+		var row Row
+		if err := dec.Decode(&row); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("modelhealth: ledger row %d: %w", len(l.Rows), err)
+		}
+		l.Rows = append(l.Rows, row)
+	}
+	if len(l.Rows) != h.Rows {
+		return nil, fmt.Errorf("modelhealth: header says %d rows, found %d", h.Rows, len(l.Rows))
+	}
+	return l, nil
+}
+
+// Validate checks ledger invariants beyond what ReadLedger enforces:
+// row ordering, rank bounds, and value sanity.
+func (l *Ledger) Validate() error {
+	for i, r := range l.Rows {
+		if r.Rank < 0 || r.Rank >= l.Header.World {
+			return fmt.Errorf("modelhealth: row %d rank %d outside world %d", i, r.Rank, l.Header.World)
+		}
+		if r.Kind != "grad" && r.Kind != "act" {
+			return fmt.Errorf("modelhealth: row %d has kind %q", i, r.Kind)
+		}
+		if r.Layer == "" {
+			return fmt.Errorf("modelhealth: row %d has no layer", i)
+		}
+		if r.DeadFrac < 0 || r.DeadFrac > 1 {
+			return fmt.Errorf("modelhealth: row %d dead_frac %g outside [0,1]", i, r.DeadFrac)
+		}
+		if r.NonFinite < 0 || r.GradL2 < 0 || r.WeightL2 < 0 || r.UpdRatio < 0 || r.Std < 0 {
+			return fmt.Errorf("modelhealth: row %d has a negative magnitude: %+v", i, r)
+		}
+		if i > 0 {
+			a := l.Rows[i-1]
+			after := a.Step < r.Step ||
+				(a.Step == r.Step && (a.Rank < r.Rank ||
+					(a.Rank == r.Rank && (a.Inc < r.Inc ||
+						(a.Inc == r.Inc && (a.Kind < r.Kind ||
+							(a.Kind == r.Kind && a.Layer < r.Layer)))))))
+			if !after {
+				return fmt.Errorf("modelhealth: rows %d/%d out of (step,rank,inc,kind,layer) order", i-1, i)
+			}
+		}
+	}
+	return nil
+}
+
+// LayerSummary is one layer's most recent statistics, as surfaced on
+// /debug/health.
+type LayerSummary struct {
+	Layer     string  `json:"layer"`
+	Kind      string  `json:"kind"`
+	Step      int64   `json:"step"`
+	GradL2    float64 `json:"grad_l2,omitempty"`
+	WeightL2  float64 `json:"weight_l2,omitempty"`
+	UpdRatio  float64 `json:"upd_ratio,omitempty"`
+	Mean      float64 `json:"mean,omitempty"`
+	Std       float64 `json:"std,omitempty"`
+	DeadFrac  float64 `json:"dead_frac,omitempty"`
+	NonFinite int     `json:"nonfinite,omitempty"`
+}
+
+// Snapshot is the live /debug/health view: totals, the alert log,
+// and each layer's latest row.
+type Snapshot struct {
+	Rows          int            `json:"rows"`
+	LastStep      int64          `json:"last_step"`
+	SentinelTrips int            `json:"sentinel_trips"`
+	DroppedAlerts int            `json:"dropped_alerts"`
+	Alerts        []Alert        `json:"alerts"`
+	Layers        []LayerSummary `json:"layers"`
+}
+
+// Snapshot summarises the plane's current state. Layers appear in
+// first-observation order; each carries its most recent row (rank 0
+// preferred so the summary tracks one replica coherently).
+func (p *Plane) Snapshot() Snapshot {
+	rows := p.Rows()
+	alerts := p.Alerts()
+	s := Snapshot{Rows: len(rows), Alerts: alerts, DroppedAlerts: p.DroppedAlerts()}
+	s.SentinelTrips = len(alerts) + s.DroppedAlerts
+	type key struct{ layer, kind string }
+	idx := map[key]int{}
+	for _, r := range rows {
+		if r.Step > s.LastStep {
+			s.LastStep = r.Step
+		}
+		if r.Rank != 0 {
+			continue
+		}
+		k := key{r.Layer, r.Kind}
+		i, ok := idx[k]
+		if !ok {
+			i = len(s.Layers)
+			idx[k] = i
+			s.Layers = append(s.Layers, LayerSummary{Layer: r.Layer, Kind: r.Kind})
+		}
+		if r.Step >= s.Layers[i].Step {
+			s.Layers[i] = LayerSummary{
+				Layer: r.Layer, Kind: r.Kind, Step: r.Step,
+				GradL2: r.GradL2, WeightL2: r.WeightL2, UpdRatio: r.UpdRatio,
+				Mean: r.Mean, Std: r.Std, DeadFrac: r.DeadFrac, NonFinite: r.NonFinite,
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,337 @@
+package modelhealth
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"segscale/internal/nn"
+	"segscale/internal/telemetry"
+	"segscale/internal/tensor"
+)
+
+func param(name string, w, g []float32) *nn.Param {
+	return &nn.Param{
+		Name: name,
+		W:    tensor.FromSlice(w, len(w)),
+		G:    tensor.FromSlice(g, len(g)),
+	}
+}
+
+func TestCollectUpdateStatsAndRows(t *testing.T) {
+	p := New(Config{})
+	c := p.Rank(0, 0, nil)
+	c.BeginStep(0)
+	// ‖g‖ = 5 (3-4-0), ‖w‖ = 2 (2-0-0), lr 0.1 → upd = 0.5/2 = 0.25.
+	c.CollectUpdate([]*nn.Param{param("layer.a", []float32{2, 0, 0}, []float32{3, 4, 0})}, 0.1)
+	c.EndStep()
+	rows := p.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Kind != "grad" || r.Layer != "layer.a" || r.Step != 0 || r.Rank != 0 {
+		t.Fatalf("row identity %+v", r)
+	}
+	if math.Abs(r.GradL2-5) > 1e-9 || math.Abs(r.WeightL2-2) > 1e-9 {
+		t.Fatalf("norms grad=%g weight=%g, want 5, 2", r.GradL2, r.WeightL2)
+	}
+	if math.Abs(r.UpdRatio-0.25) > 1e-9 {
+		t.Fatalf("upd_ratio %g, want 0.25", r.UpdRatio)
+	}
+	if len(p.Alerts()) != 0 {
+		t.Fatalf("healthy update tripped alerts: %+v", p.Alerts())
+	}
+}
+
+func TestActivationStats(t *testing.T) {
+	p := New(Config{})
+	c := p.Rank(1, 2, nil)
+	c.BeginStep(7)
+	// 4 finite values (one zero), mean 1.5, plus one NaN.
+	act := tensor.FromSlice([]float32{0, 1, 2, 3, float32(math.NaN())}, 5)
+	c.ObserveActivation("entry.relu", act)
+	c.EndStep()
+	rows := p.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Kind != "act" || r.Layer != "entry.relu" || r.Step != 7 || r.Rank != 1 || r.Inc != 2 {
+		t.Fatalf("row identity %+v", r)
+	}
+	if math.Abs(r.Mean-1.5) > 1e-9 {
+		t.Fatalf("mean %g, want 1.5", r.Mean)
+	}
+	wantStd := math.Sqrt(1.25) // population std of {0,1,2,3}
+	if math.Abs(r.Std-wantStd) > 1e-9 {
+		t.Fatalf("std %g, want %g", r.Std, wantStd)
+	}
+	if math.Abs(r.DeadFrac-0.25) > 1e-9 || r.NonFinite != 1 {
+		t.Fatalf("dead=%g nonfinite=%d, want 0.25, 1", r.DeadFrac, r.NonFinite)
+	}
+	// The NaN trips the activation sentinel with full provenance.
+	alerts := p.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %+v, want one nonfinite_act", alerts)
+	}
+	a := alerts[0]
+	if a.Kind != AlertNonFiniteAct || a.Layer != "entry.relu" || a.Rank != 1 || a.Step != 7 || a.Inc != 2 {
+		t.Fatalf("alert provenance %+v", a)
+	}
+	if !strings.Contains(a.Msg, "entry.relu") || !strings.Contains(a.Msg, "rank 1") {
+		t.Fatalf("alert message %q lacks provenance", a.Msg)
+	}
+}
+
+func TestSentinelThresholds(t *testing.T) {
+	p := New(Config{UpdRatioMax: 0.5, DeadFracMax: 0.9})
+	probe := telemetry.NewProbe("rank0", telemetry.NewStepClock())
+	c := p.Rank(0, 0, probe)
+	c.BeginStep(3)
+	// upd = 1.0·1/1 = 1 > 0.5 → update_ratio trips.
+	c.CollectUpdate([]*nn.Param{param("hot", []float32{1}, []float32{1})}, 1.0)
+	// NaN gradient → nonfinite_grad trips.
+	c.CollectUpdate([]*nn.Param{param("nan", []float32{1}, []float32{float32(math.NaN())})}, 0.01)
+	// 19/20 zeros → dead_relu trips at 0.95 ≥ 0.9.
+	dead := make([]float32, 20)
+	dead[0] = 1
+	c.ObserveActivation("dead.relu", tensor.FromSlice(dead, 20))
+	c.EndStep()
+
+	kinds := map[string]Alert{}
+	for _, a := range p.Alerts() {
+		kinds[a.Kind] = a
+	}
+	if len(kinds) != 3 {
+		t.Fatalf("alert kinds %v, want update_ratio + nonfinite_grad + dead_relu", kinds)
+	}
+	if a := kinds[AlertUpdateRatio]; a.Layer != "hot" || a.Threshold != 0.5 || math.Abs(a.Value-1) > 1e-9 {
+		t.Fatalf("update_ratio alert %+v", a)
+	}
+	if a := kinds[AlertNonFiniteGrad]; a.Layer != "nan" || a.Value != 1 {
+		t.Fatalf("nonfinite_grad alert %+v", a)
+	}
+	if a := kinds[AlertDeadReLU]; a.Layer != "dead.relu" || math.Abs(a.Value-0.95) > 1e-9 {
+		t.Fatalf("dead_relu alert %+v", a)
+	}
+	// Sentinel trips reach the probe's counter and the flight marks.
+	if got := probe.Counter("model_health_sentinel_trips_total").Value(); got != 3 {
+		t.Fatalf("sentinel_trips counter %g, want 3", got)
+	}
+	if got := probe.Counter("model_health_nonfinite_total").Value(); got != 1 {
+		t.Fatalf("nonfinite counter %g, want 1", got)
+	}
+}
+
+func TestUpdateRatioSentinelDisable(t *testing.T) {
+	p := New(Config{UpdRatioMax: -1})
+	c := p.Rank(0, 0, nil)
+	c.BeginStep(0)
+	c.CollectUpdate([]*nn.Param{param("hot", []float32{1}, []float32{100})}, 1.0)
+	c.EndStep()
+	if len(p.Alerts()) != 0 {
+		t.Fatalf("disabled sentinel tripped: %+v", p.Alerts())
+	}
+}
+
+func TestEveryCadence(t *testing.T) {
+	p := New(Config{Every: 2})
+	c := p.Rank(0, 0, nil)
+	for step := int64(0); step < 4; step++ {
+		c.BeginStep(step)
+		c.CollectUpdate([]*nn.Param{param("w", []float32{1}, []float32{1})}, 0.01)
+		c.EndStep()
+	}
+	rows := p.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (steps 0 and 2)", len(rows))
+	}
+	if rows[0].Step != 0 || rows[1].Step != 2 {
+		t.Fatalf("collected steps %d, %d", rows[0].Step, rows[1].Step)
+	}
+}
+
+func TestNilCollectorSafe(t *testing.T) {
+	var c *Collector
+	c.BeginStep(0)
+	c.ObserveActivation("x", tensor.FromSlice([]float32{1}, 1))
+	c.CollectUpdate([]*nn.Param{param("w", []float32{1}, []float32{1})}, 0.1)
+	c.EndStep()
+}
+
+func TestOnAlertHookAndCap(t *testing.T) {
+	var hooked []Alert
+	p := New(Config{UpdRatioMax: 1e-9, OnAlert: func(a Alert) { hooked = append(hooked, a) }})
+	c := p.Rank(0, 0, nil)
+	// Far more trips than the cap retains.
+	for step := int64(0); step < int64(maxAlerts)+100; step++ {
+		c.BeginStep(step)
+		c.CollectUpdate([]*nn.Param{param("w", []float32{1}, []float32{1})}, 1.0)
+		c.EndStep()
+	}
+	if len(p.Alerts()) != maxAlerts {
+		t.Fatalf("retained %d alerts, want cap %d", len(p.Alerts()), maxAlerts)
+	}
+	if got := p.DroppedAlerts(); got != 100 {
+		t.Fatalf("dropped %d, want 100", got)
+	}
+	// The hook sees every trip, including dropped ones, with
+	// monotonically increasing Seq that counts drops.
+	if len(hooked) != maxAlerts+100 {
+		t.Fatalf("hook saw %d alerts, want %d", len(hooked), maxAlerts+100)
+	}
+	for i, a := range hooked {
+		if a.Seq != i {
+			t.Fatalf("hooked alert %d has seq %d", i, a.Seq)
+		}
+	}
+}
+
+func TestLedgerRoundTripAndDeterminism(t *testing.T) {
+	build := func() *Plane {
+		p := New(Config{})
+		// Interleave two ranks out of order: serialisation must sort.
+		for _, rank := range []int{1, 0} {
+			c := p.Rank(rank, 0, nil)
+			for step := int64(0); step < 3; step++ {
+				c.BeginStep(step)
+				c.CollectUpdate([]*nn.Param{
+					param("b.layer", []float32{1, 2}, []float32{0.1, 0.2}),
+					param("a.layer", []float32{3}, []float32{0.3}),
+				}, 0.05)
+				c.ObserveActivation("entry.relu", tensor.FromSlice([]float32{0, 1, 2}, 3))
+				c.EndStep()
+			}
+		}
+		return p
+	}
+	var buf1, buf2 bytes.Buffer
+	if err := build().WriteLedger(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteLedger(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("two identical planes serialised differently")
+	}
+
+	l, err := ReadLedger(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Header.World != 2 || l.Header.LastStep != 2 {
+		t.Fatalf("header %+v", l.Header)
+	}
+	// 3 steps × 2 ranks × (2 grad + 1 act) rows.
+	if len(l.Rows) != 18 {
+		t.Fatalf("rows = %d, want 18", len(l.Rows))
+	}
+	// Grad rows for one (step, rank) sort by layer.
+	if l.Rows[0].Layer >= l.Rows[1].Layer && l.Rows[0].Kind == l.Rows[1].Kind {
+		t.Fatalf("rows not layer-sorted: %q then %q", l.Rows[0].Layer, l.Rows[1].Layer)
+	}
+}
+
+func TestReadLedgerRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad schema":         `{"health_schema":99,"world":1,"rows":0,"alerts":0,"last_step":0}`,
+		"row count mismatch": `{"health_schema":1,"world":1,"rows":2,"alerts":0,"last_step":0}`,
+		"garbage":            `nope`,
+	}
+	for name, in := range cases {
+		if _, err := ReadLedger(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	row := func(step int64, rank int, kind, layer string) Row {
+		return Row{Step: step, Rank: rank, Kind: kind, Layer: layer}
+	}
+	cases := map[string]*Ledger{
+		"rank outside world": {
+			Header: Header{HealthSchema: 1, World: 1, Rows: 1},
+			Rows:   []Row{row(0, 3, "grad", "w")},
+		},
+		"bad kind": {
+			Header: Header{HealthSchema: 1, World: 1, Rows: 1},
+			Rows:   []Row{row(0, 0, "wat", "w")},
+		},
+		"empty layer": {
+			Header: Header{HealthSchema: 1, World: 1, Rows: 1},
+			Rows:   []Row{row(0, 0, "grad", "")},
+		},
+		"out of order": {
+			Header: Header{HealthSchema: 1, World: 1, Rows: 2},
+			Rows:   []Row{row(1, 0, "grad", "w"), row(0, 0, "grad", "w")},
+		},
+		"dead_frac out of range": {
+			Header: Header{HealthSchema: 1, World: 1, Rows: 1},
+			Rows:   []Row{{Step: 0, Rank: 0, Kind: "act", Layer: "r", DeadFrac: 1.5}},
+		},
+		"negative norm": {
+			Header: Header{HealthSchema: 1, World: 1, Rows: 1},
+			Rows:   []Row{{Step: 0, Rank: 0, Kind: "grad", Layer: "w", GradL2: -1}},
+		},
+	}
+	for name, l := range cases {
+		if err := l.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestSnapshotLatestPerLayer(t *testing.T) {
+	p := New(Config{})
+	c0 := p.Rank(0, 0, nil)
+	c1 := p.Rank(1, 0, nil)
+	for step := int64(0); step < 2; step++ {
+		for _, c := range []*Collector{c0, c1} {
+			c.BeginStep(step)
+			c.CollectUpdate([]*nn.Param{
+				param("w", []float32{1}, []float32{float32(step + 1)}),
+			}, 0.1)
+			c.EndStep()
+		}
+	}
+	s := p.Snapshot()
+	if s.Rows != 4 || s.LastStep != 1 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	// One layer summary (rank 0 only), carrying the latest step's value.
+	if len(s.Layers) != 1 || s.Layers[0].Step != 1 {
+		t.Fatalf("layers %+v", s.Layers)
+	}
+	if math.Abs(s.Layers[0].GradL2-2) > 1e-9 {
+		t.Fatalf("latest grad_l2 %g, want 2", s.Layers[0].GradL2)
+	}
+}
+
+func TestLedgerEncodesDivergedRun(t *testing.T) {
+	// A fully non-finite gradient must still serialise (JSON cannot
+	// encode NaN): norms stay zero, the non-finite count carries it.
+	p := New(Config{})
+	c := p.Rank(0, 0, nil)
+	c.BeginStep(0)
+	nan := float32(math.NaN())
+	c.CollectUpdate([]*nn.Param{param("w", []float32{1, 1}, []float32{nan, nan})}, 0.1)
+	c.EndStep()
+	var buf bytes.Buffer
+	if err := p.WriteLedger(&buf); err != nil {
+		t.Fatal(err)
+	}
+	l, err := ReadLedger(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Rows[0].NonFinite != 2 || l.Rows[0].GradL2 != 0 {
+		t.Fatalf("diverged row %+v", l.Rows[0])
+	}
+}

@@ -17,6 +17,22 @@ type WorkspaceUser interface {
 	SetWorkspace(ws *tensor.Workspace)
 }
 
+// ActivationTap observes post-activation tensors during training
+// forwards. Implementations must treat the tensor as read-only and
+// must not retain it — it is workspace-owned and dies at the step's
+// Reset. Taps fire on the hot path, so they must be allocation-free
+// in steady state.
+type ActivationTap interface {
+	ObserveActivation(layer string, act *tensor.Tensor)
+}
+
+// ActivationTapUser is implemented by layers and models that can route
+// their activations to a tap. A nil tap (the default) disables
+// observation entirely.
+type ActivationTapUser interface {
+	SetActivationTap(tap ActivationTap)
+}
+
 // Conv2D is a convolution layer (optionally with bias). Dilation > 1
 // makes it an atrous convolution; Groups == in-channels makes it
 // depthwise.
@@ -338,13 +354,22 @@ func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.gamma, bn.beta} }
 // boolean mask it keeps the input tensor alive until backward and
 // re-tests the sign — the input is workspace-owned and valid until the
 // step's Reset, so this costs no extra memory.
+//
+// Label names the activation for health taps (e.g. "aspp.b0.relu");
+// an unlabelled ReLU is never observed.
 type ReLU struct {
-	x  *tensor.Tensor
-	ws *tensor.Workspace
+	Label string
+
+	x   *tensor.Tensor
+	ws  *tensor.Workspace
+	tap ActivationTap
 }
 
 // SetWorkspace installs the arena activations are drawn from.
 func (r *ReLU) SetWorkspace(ws *tensor.Workspace) { r.ws = ws }
+
+// SetActivationTap routes this unit's training-mode outputs to tap.
+func (r *ReLU) SetActivationTap(tap ActivationTap) { r.tap = tap }
 
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	r.x = x
@@ -355,6 +380,9 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		} else {
 			out.Data[i] = v
 		}
+	}
+	if train && r.tap != nil && r.Label != "" {
+		r.tap.ObserveActivation(r.Label, out)
 	}
 	return out
 }
@@ -493,6 +521,16 @@ func (s *Sequential) SetWorkspace(ws *tensor.Workspace) {
 	for _, l := range s.Layers {
 		if u, ok := l.(WorkspaceUser); ok {
 			u.SetWorkspace(ws)
+		}
+	}
+}
+
+// SetActivationTap recursively installs tap on every child that
+// accepts one.
+func (s *Sequential) SetActivationTap(tap ActivationTap) {
+	for _, l := range s.Layers {
+		if u, ok := l.(ActivationTapUser); ok {
+			u.SetActivationTap(tap)
 		}
 	}
 }

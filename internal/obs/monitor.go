@@ -279,6 +279,32 @@ func (m *EffMonitor) Event(kind, lane, msg string) {
 	m.mu.Unlock()
 }
 
+// Report appends an externally observed alert with its full
+// measurement (value and threshold), not just a message — the
+// training-health plane routes sentinel trips here so divergence
+// alerts land in the same manifest log as SLO breaches. Seq and Obs
+// are stamped by the monitor. Nil-safe.
+func (m *EffMonitor) Report(a Alert) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.addAlertLocked(a)
+	m.mu.Unlock()
+}
+
+// DroppedAlerts returns how many alerts were discarded beyond the
+// retention cap; the Seq of retained alerts keeps counting across
+// drops, so len(Alerts()) + DroppedAlerts() is the true alert total.
+func (m *EffMonitor) DroppedAlerts() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
 func (m *EffMonitor) addAlertLocked(a Alert) {
 	a.Seq = len(m.alerts) + m.dropped
 	a.Obs = m.globalObs

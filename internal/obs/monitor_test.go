@@ -177,3 +177,55 @@ func TestMonitorEventsAndAlertCap(t *testing.T) {
 		t.Fatalf("alert seqs broken: first=%d last=%d", got[0].Seq, got[len(got)-1].Seq)
 	}
 }
+
+// TestMonitorDroppedAlertCounting pins the drop-counter path: past the
+// retention cap the counter keeps the true total, and would-be Seq
+// values keep advancing across drops (so a later Report is stamped as
+// if the dropped alerts were still in the log).
+func TestMonitorDroppedAlertCounting(t *testing.T) {
+	m := NewEffMonitor(nil, MonitorConfig{AnchorImgPerSec: 10})
+	if m.DroppedAlerts() != 0 {
+		t.Fatal("fresh monitor reports drops")
+	}
+	for i := 0; i < maxAlerts+25; i++ {
+		m.Event("restart", "", "again")
+	}
+	if got := m.DroppedAlerts(); got != 25 {
+		t.Fatalf("dropped = %d, want 25", got)
+	}
+	if got := len(m.Alerts()); got != maxAlerts {
+		t.Fatalf("retained = %d, want cap %d", got, maxAlerts)
+	}
+	// The true total is reconstructible.
+	if total := len(m.Alerts()) + m.DroppedAlerts(); total != maxAlerts+25 {
+		t.Fatalf("reconstructed total = %d, want %d", total, maxAlerts+25)
+	}
+}
+
+// TestMonitorReport covers externally sourced alerts (the health
+// plane's sentinel trips route through here): fields pass through,
+// Seq/Obs are stamped by the monitor, and nil stays a no-op.
+func TestMonitorReport(t *testing.T) {
+	m := NewEffMonitor(nil, MonitorConfig{AnchorImgPerSec: 10, Window: 2, EveryK: 1})
+	feed(m, "rank0", 3, 1, 0.1) // advance the observation counter
+	m.Report(Alert{
+		Kind: "health_nonfinite_grad", Lane: "rank1",
+		Value: 3, Threshold: 0, Msg: "nonfinite_grad: layer aspp.b0 rank 1 step 7 inc 0",
+	})
+	got := m.Alerts()
+	if len(got) != 1 {
+		t.Fatalf("alerts = %+v, want one reported", got)
+	}
+	a := got[0]
+	if a.Kind != "health_nonfinite_grad" || a.Lane != "rank1" || a.Value != 3 {
+		t.Fatalf("reported alert mangled: %+v", a)
+	}
+	if a.Seq != 0 || a.Obs != 3 {
+		t.Fatalf("monitor did not stamp seq/obs: %+v", a)
+	}
+	var nilMon *EffMonitor
+	nilMon.Report(Alert{Kind: "x"}) // must not panic
+	if nilMon.DroppedAlerts() != 0 {
+		t.Fatal("nil monitor reports drops")
+	}
+}

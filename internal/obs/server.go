@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"segscale/internal/modelhealth"
 	"segscale/internal/telemetry"
 	"segscale/internal/traceanalysis"
 	"segscale/internal/transport"
@@ -27,6 +28,9 @@ type ServerOptions struct {
 	// Attribution feeds /debug/attribution: a live snapshot of the
 	// run's step-time attribution ledger. May be nil.
 	Attribution *traceanalysis.LedgerRecorder
+	// Health feeds /debug/health: a live snapshot of the training-
+	// health plane (per-layer statistics, sentinel alerts). May be nil.
+	Health *modelhealth.Plane
 }
 
 // Server is the live observability endpoint of a run:
@@ -63,6 +67,7 @@ func NewServer(opts ServerOptions) *Server {
 	s.mux.HandleFunc("/debug/flight", s.handleFlight)
 	s.mux.HandleFunc("/debug/alerts", s.handleAlerts)
 	s.mux.HandleFunc("/debug/attribution", s.handleAttribution)
+	s.mux.HandleFunc("/debug/health", s.handleHealth)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -144,7 +149,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, "segscale observability\n\n/metrics\n/healthz\n/readyz\n/debug/flight\n/debug/alerts\n/debug/attribution\n/debug/pprof/\n")
+	fmt.Fprint(w, "segscale observability\n\n/metrics\n/healthz\n/readyz\n/debug/flight\n/debug/alerts\n/debug/attribution\n/debug/health\n/debug/pprof/\n")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -215,6 +220,24 @@ func (s *Server) handleAttribution(w http.ResponseWriter, r *http.Request) {
 	if err := s.opts.Attribution.Ledger().WriteLedger(w); err != nil {
 		fmt.Fprintf(w, "\n# render error: %v\n", err)
 	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Health == nil {
+		http.Error(w, "health plane disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	snap := s.opts.Health.Snapshot()
+	if snap.Alerts == nil {
+		snap.Alerts = []modelhealth.Alert{}
+	}
+	if snap.Layers == nil {
+		snap.Layers = []modelhealth.LayerSummary{}
+	}
+	_ = enc.Encode(snap)
 }
 
 func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {

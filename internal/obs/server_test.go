@@ -8,7 +8,10 @@ import (
 	"strings"
 	"testing"
 
+	"segscale/internal/modelhealth"
+	"segscale/internal/nn"
 	"segscale/internal/telemetry"
+	"segscale/internal/tensor"
 	"segscale/internal/traceanalysis"
 	"segscale/internal/transport"
 )
@@ -189,5 +192,46 @@ func TestServerAttributionEndpoint(t *testing.T) {
 	defer off.Close()
 	if code, _ := scrape(t, off, "/debug/attribution"); code != http.StatusNotFound {
 		t.Fatalf("disabled attribution endpoint: %d, want 404", code)
+	}
+}
+
+func TestServerHealthEndpoint(t *testing.T) {
+	plane := modelhealth.New(modelhealth.Config{UpdRatioMax: 1e-9})
+	c := plane.Rank(0, 0, nil)
+	c.BeginStep(4)
+	c.CollectUpdate([]*nn.Param{{
+		Name: "entry.conv",
+		W:    tensor.FromSlice([]float32{1, 2}, 2),
+		G:    tensor.FromSlice([]float32{0.5, 0.5}, 2),
+	}}, 0.1)
+	c.EndStep()
+
+	s := NewServer(ServerOptions{Health: plane})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := scrape(t, ts, "/debug/health")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/health: %d", code)
+	}
+	var snap modelhealth.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("endpoint did not serve JSON: %v\n%s", err, body)
+	}
+	if snap.Rows != 1 || snap.LastStep != 4 || snap.SentinelTrips != 1 {
+		t.Fatalf("served snapshot %+v", snap)
+	}
+	if len(snap.Layers) != 1 || snap.Layers[0].Layer != "entry.conv" {
+		t.Fatalf("layer summaries %+v", snap.Layers)
+	}
+	if len(snap.Alerts) != 1 || snap.Alerts[0].Kind != modelhealth.AlertUpdateRatio {
+		t.Fatalf("alerts %+v", snap.Alerts)
+	}
+
+	// Disabled: no plane configured.
+	off := httptest.NewServer(NewServer(ServerOptions{}).Handler())
+	defer off.Close()
+	if code, _ := scrape(t, off, "/debug/health"); code != http.StatusNotFound {
+		t.Fatalf("disabled health endpoint: %d, want 404", code)
 	}
 }

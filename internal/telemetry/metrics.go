@@ -13,8 +13,9 @@ import (
 // metricname seglint pass enforces at registration call sites:
 // snake_case, ending in the quantity's unit (_seconds for virtual
 // seconds, _ops for step-clock ticks, _bytes, _events) or in the
-// dimensionless markers _total (monotonic counts) and _ratio.
-var MetricSuffixes = []string{"_seconds", "_bytes", "_total", "_ratio", "_ops", "_events"}
+// dimensionless markers _total (monotonic counts), _ratio, and _norm
+// (vector norms, e.g. the health plane's per-layer gradient L2).
+var MetricSuffixes = []string{"_seconds", "_bytes", "_total", "_ratio", "_ops", "_events", "_norm"}
 
 // ValidMetricName reports whether name follows the convention:
 // lower-case snake_case with a recognised unit suffix.
@@ -285,8 +286,8 @@ func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
-		bounds := append([]float64(nil), buckets...) //seglint:ignore hotalloc first use of a metric name registers it; steady-state calls return the cached instance
-		sort.Float64s(bounds)                        //seglint:ignore hotalloc first-use registration only
+		bounds := append([]float64(nil), buckets...)                          //seglint:ignore hotalloc first use of a metric name registers it; steady-state calls return the cached instance
+		sort.Float64s(bounds)                                                 //seglint:ignore hotalloc first-use registration only
 		h = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)} //seglint:ignore hotalloc first-use registration only
 		r.hists[name] = h
 		r.order = append(r.order, registered{name, kindHistogram}) //seglint:ignore hotalloc registration-order log grows once per metric name

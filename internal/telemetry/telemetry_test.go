@@ -224,7 +224,7 @@ func TestMetricSuffixesDocumented(t *testing.T) {
 	// The suffix list is part of the public contract (docs, seglint
 	// pass); catch accidental edits.
 	joined := strings.Join(MetricSuffixes, ",")
-	if joined != "_seconds,_bytes,_total,_ratio,_ops,_events" {
+	if joined != "_seconds,_bytes,_total,_ratio,_ops,_events,_norm" {
 		t.Fatalf("MetricSuffixes changed: %s", joined)
 	}
 }
@@ -239,13 +239,13 @@ func TestHistogramQuantile(t *testing.T) {
 		h.Observe(3)
 	}
 	cases := []struct{ q, want float64 }{
-		{0.5, 2},      // rank 10 exhausts the (1,2] bucket exactly
-		{0.95, 3.8},   // 1 + 2 + (19-10)/10 * 2
-		{0.99, 3.96},  // 1 + 2 + (19.8-10)/10 * 2
-		{0, 1},        // rank 0 clamps to the owning bucket's low edge
-		{1, 4},        // all mass within the finite bounds
-		{-0.5, 1},     // clamped to 0
-		{1.5, 4},      // clamped to 1
+		{0.5, 2},     // rank 10 exhausts the (1,2] bucket exactly
+		{0.95, 3.8},  // 1 + 2 + (19-10)/10 * 2
+		{0.99, 3.96}, // 1 + 2 + (19.8-10)/10 * 2
+		{0, 1},       // rank 0 clamps to the owning bucket's low edge
+		{1, 4},       // all mass within the finite bounds
+		{-0.5, 1},    // clamped to 0
+		{1.5, 4},     // clamped to 1
 	}
 	for _, c := range cases {
 		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
@@ -284,8 +284,8 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 
 func TestQuantileName(t *testing.T) {
 	cases := map[string]string{
-		"perfsim_step_seconds":    "perfsim_step_p99_seconds",
-		"transport_sent_bytes":    "transport_sent_p99_bytes",
+		"perfsim_step_seconds":     "perfsim_step_p99_seconds",
+		"transport_sent_bytes":     "transport_sent_p99_bytes",
 		"collective_allreduce_ops": "collective_allreduce_p99_ops",
 	}
 	for in, want := range cases {

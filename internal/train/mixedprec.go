@@ -23,6 +23,9 @@ import (
 // after growthInterval consecutive good steps the scale doubles,
 // probing back toward the largest safe value.
 
+// phaseAMP labels loss-scale transition marks in the flight recorder.
+const phaseAMP = "AMP"
+
 // defaultLossScale is the initial scale when Config.LossScale is zero:
 // large enough to lift 1e-7-magnitude gradients into binary16 range,
 // small enough that unit-scale gradients stay far from overflow.
@@ -80,23 +83,28 @@ func (ls *lossScaler) unapply(params []*nn.Param) {
 }
 
 // backoff records an overflow: halve the scale (floor 1) and restart
-// the growth counter.
-func (ls *lossScaler) backoff() {
-	ls.scale /= 2
-	if ls.scale < 1 {
-		ls.scale = 1
-	}
+// the growth counter. Reports whether the scale actually moved, so
+// the caller can mark the transition in the flight recorder.
+func (ls *lossScaler) backoff() bool {
 	ls.good = 0
+	if ls.scale <= 1 {
+		return false
+	}
+	ls.scale /= 2
+	return true
 }
 
 // stepped records an overflow-free step, doubling the scale after
-// growthInterval consecutive good steps (capped at maxScale).
-func (ls *lossScaler) stepped() {
+// growthInterval consecutive good steps (capped at maxScale). Reports
+// whether the scale regrew on this step.
+func (ls *lossScaler) stepped() bool {
 	ls.good++
 	if ls.good >= ls.growthInterval && ls.scale < ls.maxScale {
 		ls.scale *= 2
 		ls.good = 0
+		return true
 	}
+	return false
 }
 
 // gradOverflow reports whether any gradient holds an Inf or NaN after
@@ -127,16 +135,26 @@ func (t *rankStep) mpStep() error {
 	}
 	if gradOverflow(t.params) {
 		// Every rank sees the same reduced bytes, so every rank skips
-		// together — no extra agreement round needed.
-		t.scaler.backoff()
+		// together — no extra agreement round needed. The backoff is
+		// recorded as an instantaneous flight-recorder event so a dump
+		// shows *when* the scale moved, not just the gauge's end state.
+		if t.scaler.backoff() {
+			t.probe.Mark(phaseAMP, "loss_scale_backoff")
+		}
 		t.probe.Counter("amp_overflow_steps_total").Inc()
 		nn.ZeroGrads(t.params)
 	} else {
 		t.scaler.unapply(t.params)
-		t.scaler.stepped()
+		if t.scaler.stepped() {
+			t.probe.Mark(phaseAMP, "loss_scale_regrow")
+		}
 		if t.cfg.GradClip > 0 {
 			nn.GlobalGradClip(t.params, t.cfg.GradClip)
 		}
+		// Health sees only applied updates: overflow steps carry
+		// deliberately-poisoned scaled gradients that are dropped above
+		// and must not trip the non-finite sentinel.
+		t.health.CollectUpdate(t.params, t.sched.LR(t.gstep))
 		t.opt.SetLR(t.sched.LR(t.gstep))
 		t.opt.Step(t.params)
 		nn.ZeroGrads(t.params)

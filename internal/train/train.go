@@ -29,6 +29,7 @@ import (
 	"segscale/internal/faultinject"
 	"segscale/internal/horovod"
 	"segscale/internal/metrics"
+	"segscale/internal/modelhealth"
 	"segscale/internal/nn"
 	"segscale/internal/segdata"
 	"segscale/internal/telemetry"
@@ -158,6 +159,14 @@ type Config struct {
 	// must be goroutine-safe; nil (the default) must not change
 	// results.
 	StepObs telemetry.StepObserver
+	// Health, when non-nil, hooks the training-health plane into every
+	// rank's step: per-layer gradient norms, update-to-weight ratios,
+	// activation statistics, and NaN/Inf divergence sentinels, all
+	// with (layer, rank, step, incarnation) provenance. Purely an
+	// observer — it reads gradients and activations but never writes
+	// them — so nil (the default) and enabled runs compute identical
+	// results, and the deterministic goldens are unaffected.
+	Health *modelhealth.Plane
 }
 
 // DefaultConfig returns a configuration that converges in seconds on
@@ -474,6 +483,11 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 		// equivalence and the chaos byte-identity goldens are unaffected.
 		ws := tensor.NewWorkspace()
 		net.SetWorkspace(ws)
+		var health *modelhealth.Collector
+		if cfg.Health != nil {
+			health = cfg.Health.Rank(rank, inc, probe)
+			net.SetActivationTap(health)
+		}
 		params := net.Params()
 		rt, err := horovod.NewRuntime(c, rs.mach, cfg.Horovod)
 		if err != nil {
@@ -535,6 +549,7 @@ func (rs *runState) incarnation(startEpoch, inc int) error {
 			shard:  shard,
 			accum:  cfg.Horovod.AccumPasses(),
 			scaler: scalerFor(cfg),
+			health: health,
 			ids:    make([]int, 0, cfg.BatchPerRank), // reused across steps
 			gstep:  startEpoch * rs.stepsPerEpoch,
 			x:      tensor.New(cfg.BatchPerRank, 3, rs.trainSet.H, rs.trainSet.W),
@@ -635,9 +650,10 @@ type rankStep struct {
 	trainSet *segdata.Dataset
 	shard    []int
 	accum    int
-	scaler   *lossScaler // non-nil only under MixedPrecision
-	ids      []int       // batch id scratch, reused across steps
-	gstep    int         // global step counter, continuous across incarnations
+	scaler   *lossScaler            // non-nil only under MixedPrecision
+	health   *modelhealth.Collector // nil unless Config.Health is set
+	ids      []int                  // batch id scratch, reused across steps
+	gstep    int                    // global step counter, continuous across incarnations
 
 	// Batch staging, reused across steps like the eval path's buffers:
 	// SampleInto fully overwrites the image and clears the labels, so
@@ -663,6 +679,9 @@ func (t *rankStep) step(s int, perm []int, rng *rand.Rand) (float64, error) {
 	// Reclaim last step's activations; their contents are
 	// dead once the optimiser update has run.
 	t.ws.Reset()
+	// Open the health window before the forward so activation taps
+	// land in it (nil-safe observer; no effect on the computation).
+	t.health.BeginStep(int64(t.gstep))
 	// Dropout masks keyed by the global step, not by how
 	// many forwards this replica has run — restart-safe.
 	t.net.ReseedDropout(int64(t.gstep))
@@ -708,11 +727,15 @@ func (t *rankStep) step(s int, perm []int, rng *rand.Rand) (float64, error) {
 			if t.cfg.GradClip > 0 {
 				nn.GlobalGradClip(t.params, t.cfg.GradClip)
 			}
+			// Health reads the post-allreduce, post-clip gradients —
+			// exactly what the optimiser is about to apply.
+			t.health.CollectUpdate(t.params, t.sched.LR(t.gstep))
 			t.opt.SetLR(t.sched.LR(t.gstep))
 			t.opt.Step(t.params)
 			nn.ZeroGrads(t.params)
 		}
 	}
+	t.health.EndStep()
 	t.gstep++
 	t.probe.Counter("train_steps_total").Inc()
 	t.probe.Histogram("train_step_ops", stepBucketsOps).Observe(stepSpan.End())

@@ -33,6 +33,7 @@ import (
 	"segscale/internal/iosim"
 	"segscale/internal/jobscript"
 	"segscale/internal/model"
+	"segscale/internal/modelhealth"
 	"segscale/internal/mpiprofile"
 	"segscale/internal/netmodel"
 	"segscale/internal/obs"
@@ -286,6 +287,43 @@ func WriteAttribution(rec *AttributionRecorder, path string) error {
 		return err
 	}
 	if err := rec.Ledger().WriteLedger(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// HealthPlane is the training-health plane: per-layer gradient and
+// activation statistics with divergence sentinels, collected inside
+// the train step. Attach via TrainConfig.Health, serve live via
+// ObsServerOptions.Health, persist with WriteHealthLedger, and diff
+// two runs' ledgers with seg-compare.
+type HealthPlane = modelhealth.Plane
+
+// HealthConfig tunes health collection cadence and sentinel
+// thresholds.
+type HealthConfig = modelhealth.Config
+
+// HealthAlert is one sentinel trip with (layer, rank, step,
+// incarnation) provenance.
+type HealthAlert = modelhealth.Alert
+
+// HealthRow is one health-ledger row: one layer's gradient or
+// activation statistics at one step on one rank.
+type HealthRow = modelhealth.Row
+
+// NewHealthPlane builds a training-health plane with defaults applied.
+func NewHealthPlane(cfg HealthConfig) *HealthPlane { return modelhealth.New(cfg) }
+
+// WriteHealthLedger writes the plane's health ledger to path as
+// deterministic JSONL (header line, then rows sorted by (step, rank,
+// inc, kind, layer) — byte-identical across same-seed reruns).
+func WriteHealthLedger(p *HealthPlane, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteLedger(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -1,0 +1,73 @@
+#!/bin/sh
+# health_smoke.sh — end-to-end check of the training-health plane:
+#  1. a healthy run must finish sentinel-silent and write a health
+#     ledger that is byte-identical across same-seed reruns;
+#  2. seg-compare -validate accepts the ledger and the A/B health gate
+#     passes a healthy-vs-healthy compare in both directions;
+#  3. a blown-LR run must trip the divergence sentinels with (layer,
+#     rank, step) provenance, dump the flight-recorder window while it
+#     still shows the divergence, still produce a valid ledger, and
+#     FAIL the health gate as a HARD REGRESSION against the healthy
+#     baseline. The distribution gate is two-sided by design (collapsed
+#     gradients regress like blown ones), so the reverse compare may
+#     flag the shift too — but only the diverged candidate may carry
+#     the hard non-finite/sentinel verdict.
+set -eu
+
+train=/tmp/segscale-dlv3-train
+cmp_bin=/tmp/segscale-seg-compare
+healthy_a=/tmp/segscale-health-a.jsonl
+healthy_b=/tmp/segscale-health-b.jsonl
+blown=/tmp/segscale-health-blown.jsonl
+flight=/tmp/segscale-health-flight.json
+log=/tmp/segscale-health-smoke.log
+
+go build -o "$train" ./cmd/dlv3-train
+go build -o "$cmp_bin" ./cmd/seg-compare
+
+health_run() {
+    out=$1; shift
+    "$train" -world 2 -batch 2 -epochs 2 -train 8 -eval 8 -health-out "$out" "$@"
+}
+
+# 1: healthy run, twice — sentinel-silent, byte-identical ledgers.
+health_run "$healthy_a" >"$log" 2>&1
+grep -q 'health: .* 0 sentinel trip(s)' "$log" || {
+    echo "healthy run tripped a sentinel:"; cat "$log"; exit 1; }
+health_run "$healthy_b" >/dev/null 2>&1
+cmp -s "$healthy_a" "$healthy_b" || {
+    echo "health ledger is not byte-deterministic across same-seed reruns"
+    exit 1; }
+
+# 2: schema gate, then the A/B gate in both directions.
+"$cmp_bin" -validate "$healthy_a"
+"$cmp_bin" "$healthy_a" "$healthy_b" >/dev/null || {
+    echo "healthy-vs-healthy health gate regressed"; exit 1; }
+"$cmp_bin" "$healthy_b" "$healthy_a" >/dev/null || {
+    echo "healthy-vs-healthy health gate regressed (reverse)"; exit 1; }
+
+# 3: blown-LR divergence — sentinels trip with provenance, the flight
+# window is dumped at trip time, and the gate sees the direction.
+health_run "$blown" -lr 1e20 -flight "$flight" >"$log" 2>&1
+grep -q 'health alert:' "$log" || {
+    echo "blown-LR run tripped no sentinel:"; cat "$log"; exit 1; }
+grep -q 'health: first trip' "$log" || {
+    echo "no first-trip provenance line:"; cat "$log"; exit 1; }
+[ -s "$flight.health" ] || {
+    echo "no divergence flight window dumped:"; cat "$log"; exit 1; }
+"$cmp_bin" -validate "$blown"
+diff_fwd=/tmp/segscale-health-diff-fwd.txt
+diff_rev=/tmp/segscale-health-diff-rev.txt
+if "$cmp_bin" "$healthy_a" "$blown" >"$diff_fwd"; then
+    echo "health gate passed a diverged candidate:"; cat "$diff_fwd"; exit 1
+fi
+grep -q 'HARD REGRESSION' "$diff_fwd" || {
+    echo "diverged candidate failed without the hard non-finite/sentinel verdict:"
+    cat "$diff_fwd"; exit 1; }
+"$cmp_bin" "$blown" "$healthy_a" >"$diff_rev" || true
+if grep -q 'HARD REGRESSION' "$diff_rev"; then
+    echo "recovery direction carries a hard regression verdict:"
+    cat "$diff_rev"; exit 1
+fi
+
+echo "health smoke OK (healthy run silent; blown LR tripped sentinels and failed the gate)"
